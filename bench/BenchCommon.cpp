@@ -1,0 +1,33 @@
+//===- bench/BenchCommon.cpp - Shared bench harness helpers -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+namespace pf::bench {
+
+CompileResult &cachedRun(const std::string &Key, const std::string &Model,
+                         OffloadPolicy Policy,
+                         const PimFlowOptions &Options) {
+  static std::map<std::string, CompileResult> Cache;
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  Graph G = buildModel(Model);
+  PimFlow Flow(Policy, Options);
+  return Cache.emplace(Key, Flow.compileAndRun(G)).first->second;
+}
+
+void printHeader(const char *Figure, const char *Caption) {
+  std::printf("=== %s ===\n%s\n\n", Figure, Caption);
+}
+
+std::string norm(double Value, double Baseline) {
+  return formatStr("%.3f", Baseline > 0.0 ? Value / Baseline : 0.0);
+}
+
+} // namespace pf::bench

@@ -1,0 +1,43 @@
+//===- bench/BenchCommon.h - Shared bench harness helpers -------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure bench binaries: cached compile-and-run
+/// over (model, policy, options) and normalized-series table printing.
+/// Every binary regenerates the rows/series of one table or figure of the
+/// paper's evaluation (see DESIGN.md section 4 for the index).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_BENCH_BENCHCOMMON_H
+#define PIMFLOW_BENCH_BENCHCOMMON_H
+
+#include <map>
+#include <string>
+
+#include "core/PimFlow.h"
+#include "models/Zoo.h"
+#include "support/Format.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+namespace pf::bench {
+
+/// Compiles and runs \p Model under \p Policy, memoizing by a caller-chosen
+/// key so sweeps that revisit configurations stay fast.
+CompileResult &cachedRun(const std::string &Key, const std::string &Model,
+                         OffloadPolicy Policy,
+                         const PimFlowOptions &Options = {});
+
+/// Prints a standard figure header.
+void printHeader(const char *Figure, const char *Caption);
+
+/// Formats a value normalized to \p Baseline with 3 decimals.
+std::string norm(double Value, double Baseline);
+
+} // namespace pf::bench
+
+#endif // PIMFLOW_BENCH_BENCHCOMMON_H

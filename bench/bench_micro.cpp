@@ -1,0 +1,114 @@
+//===- bench/bench_micro.cpp - google-benchmark micro suite -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the library's hot paths: PIM trace
+/// simulation, command-generation planning, graph transforms, the search
+/// DP, and the reference interpreter. These track the compiler's own
+/// performance (the Section-7 compilation-overhead discussion), not the
+/// simulated hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "codegen/CommandGenerator.h"
+#include "core/PimFlow.h"
+#include "ir/Builder.h"
+#include "models/Zoo.h"
+#include "runtime/Interpreter.h"
+#include "search/SearchEngine.h"
+#include "transform/MdDpSplitPass.h"
+
+using namespace pf;
+
+static void BM_PimChannelSimulation(benchmark::State &State) {
+  PimConfig C = PimConfig::newtonPlusPlus();
+  PimSimulator Sim(C);
+  ChannelTrace Trace;
+  std::vector<PimCommand> Pattern;
+  for (int T = 0; T < 8; ++T) {
+    Pattern.push_back(PimCommand::gwrite(32, 4));
+    Pattern.push_back(PimCommand::gact(4));
+    Pattern.push_back(PimCommand::comp(512));
+  }
+  Pattern.push_back(PimCommand::readRes(64));
+  Trace.Blocks.push_back(CommandBlock{Pattern, 1000});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Sim.simulateChannel(Trace));
+}
+BENCHMARK(BM_PimChannelSimulation);
+
+static void BM_CommandGeneratorPlan(benchmark::State &State) {
+  PimCommandGenerator Gen(PimConfig::newtonPlusPlus(), CodegenOptions{});
+  PimKernelSpec Spec;
+  Spec.M = 144;
+  Spec.K = 24;
+  Spec.NumVectors = 3136;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Gen.plan(Spec).Ns);
+}
+BENCHMARK(BM_CommandGeneratorPlan);
+
+static void BM_BuildMobileNetV2(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildMobileNetV2().numNodes());
+}
+BENCHMARK(BM_BuildMobileNetV2);
+
+static void BM_TopoSortResNet50(benchmark::State &State) {
+  Graph G = buildResNet50();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(G.topoOrder().size());
+}
+BENCHMARK(BM_TopoSortResNet50);
+
+static void BM_MdDpSplitPass(benchmark::State &State) {
+  const Graph Template = [] {
+    GraphBuilder B("t");
+    ValueId X = B.input("x", TensorShape{1, 56, 56, 64});
+    B.output(B.conv2d(X, 128, 3, 1, 1));
+    return B.take();
+  }();
+  for (auto _ : State) {
+    Graph G = Template;
+    benchmark::DoNotOptimize(
+        applyMdDpSplit(G, G.topoOrder().front(), 0.5).has_value());
+  }
+}
+BENCHMARK(BM_MdDpSplitPass);
+
+static void BM_SearchMobileNetV2(benchmark::State &State) {
+  // Full Algorithm-1 search including profiling (cold cache each time):
+  // the dominant compilation cost of Section 7.
+  const Graph G = buildMobileNetV2();
+  for (auto _ : State) {
+    Profiler P(SystemConfig::dual());
+    SearchEngine S(P, SearchOptions{});
+    benchmark::DoNotOptimize(S.search(G).PredictedNs);
+  }
+}
+BENCHMARK(BM_SearchMobileNetV2)->Unit(benchmark::kMillisecond);
+
+static void BM_InterpreterToy(benchmark::State &State) {
+  const Graph G = buildToy();
+  const Tensor In =
+      Interpreter::randomInput(G.value(G.graphInputs()[0]).Shape, 1);
+  Interpreter I(G);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(I.run({In}).front().at(0));
+}
+BENCHMARK(BM_InterpreterToy)->Unit(benchmark::kMillisecond);
+
+static void BM_ExecutionEngineResNet50(benchmark::State &State) {
+  const Graph G = buildResNet50();
+  ExecutionEngine E(SystemConfig::gpuOnly());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(E.execute(G).TotalNs);
+}
+BENCHMARK(BM_ExecutionEngineResNet50)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+//===- bench/bench_prelim_parallelism.cpp - Section 3, obs. 1 ---*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Section-3 preliminary observation motivating PIMFlow's
+/// graph transformations: "The majority of DNN inference models including
+/// CNN do not have enough inherent inter-node parallelism to fully utilize
+/// PIM units in parallel with GPU" — in 75% of the surveyed Torchvision
+/// models, zero or <17% of nodes have an independent peer. This bench
+/// measures the same metric on the zoo models, before and after the
+/// PIMFlow transformations (which *create* the missing parallelism).
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "BenchCommon.h"
+#include "ir/Parallelism.h"
+
+using namespace pf;
+using namespace pf::bench;
+
+int main() {
+  printHeader("Preliminary analysis (Section 3, observation 1)",
+              "Inherent inter-node parallelism of the model graphs, and "
+              "the parallelism PIMFlow's transformations create");
+
+  Table T;
+  T.setHeader({"model", "nodes", "indep. peers", "avg width",
+               "after PIMFlow", "width after"});
+  std::vector<std::string> Nets = modelNames();
+  Nets.push_back("bert");
+  for (const std::string &Name : Nets) {
+    Graph G = buildModel(Name);
+    const ParallelismStats Before = analyzeParallelism(G);
+
+    const CompileResult &R = cachedRun("par/" + Name, Name,
+                                       OffloadPolicy::PimFlow);
+    const ParallelismStats After = analyzeParallelism(R.Transformed);
+
+    T.addRow({Name, formatStr("%d", Before.NumNodes),
+              formatStr("%.0f%%", Before.independentFraction() * 100.0),
+              formatStr("%.2f", Before.averageWidth()),
+              formatStr("%.0f%%", After.independentFraction() * 100.0),
+              formatStr("%.2f", After.averageWidth())});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Expected shape: the CNNs have little or no inherent "
+              "inter-node parallelism (mobile nets and VGG-16: 0%%; "
+              "ResNet-50's shortcut convs: ~20%% — matching the paper's "
+              "observation that 75%% of Torchvision models sit at 0-17%%); "
+              "BERT's Q/K/V projections give it more. After the "
+              "MD-DP/pipelining transformations the fraction of nodes "
+              "with an independent peer rises sharply — the parallelism "
+              "is created, not found.\n");
+  return 0;
+}

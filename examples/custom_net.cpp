@@ -1,0 +1,71 @@
+//===- examples/custom_net.cpp - Compile your own network -------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shows the full public API on a hand-built network: construct a graph
+/// with GraphBuilder, compile it under PIMFlow, verify with the reference
+/// interpreter that the transformed graph computes exactly the original
+/// model, and print the transformed program.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/PimFlow.h"
+#include "ir/Builder.h"
+#include "ir/GraphPrinter.h"
+#include "runtime/Interpreter.h"
+
+using namespace pf;
+
+int main() {
+  // 1. Build a small detector-style backbone with the builder API.
+  GraphBuilder B("custom-net");
+  ValueId X = B.input("image", TensorShape{1, 48, 48, 3});
+  X = B.relu(B.conv2d(X, 16, 3, 2, 1));          // stem
+  ValueId Skip = X;
+  X = B.relu6(B.conv2d(X, 48, 1, 1, 0));         // expand (PIM candidate)
+  X = B.relu6(B.dwConv(X, 3, 1, 1));             // depthwise (GPU)
+  X = B.conv2d(X, 16, 1, 1, 0);                  // project (PIM candidate)
+  X = B.add(X, Skip);                            // residual
+  X = B.relu(B.conv2d(X, 32, 3, 2, 1));          // downsample
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  X = B.gemm(X, 100);                            // classifier (PIM)
+  B.output(X);
+  const Graph Model = B.take();
+  std::printf("built %s: %zu nodes\n\n", Model.name().c_str(),
+              Model.numNodes());
+
+  // 2. Compile under full PIMFlow.
+  PimFlow Flow(OffloadPolicy::PimFlow);
+  CompileResult R = Flow.compileAndRun(Model);
+  std::printf("transformed program:\n%s\n",
+              printGraph(R.Transformed).c_str());
+
+  // 3. Verify functional equivalence with the reference interpreter.
+  const Tensor In =
+      Interpreter::randomInput(Model.value(Model.graphInputs()[0]).Shape,
+                               2026);
+  const Tensor Ref = Interpreter(Model).run({In}).front();
+  const Tensor Got = Interpreter(R.Transformed).run({In}).front();
+  double MaxDiff = 0.0;
+  for (int64_t I = 0; I < Ref.numElements(); ++I)
+    MaxDiff = std::max(MaxDiff,
+                       std::fabs(static_cast<double>(Ref.at(I)) -
+                                 static_cast<double>(Got.at(I))));
+  std::printf("functional check: max |original - transformed| = %g %s\n\n",
+              MaxDiff, MaxDiff == 0.0 ? "(bit-identical)" : "");
+
+  // 4. Report the performance outcome.
+  const double BaseNs =
+      PimFlow(OffloadPolicy::GpuOnly).compileAndRun(Model).endToEndNs();
+  std::printf("end-to-end: %.2f us vs %.2f us on GPU only "
+              "(%.2fx speedup)\n",
+              R.endToEndNs() / 1e3, BaseNs / 1e3, BaseNs / R.endToEndNs());
+  return MaxDiff == 0.0 ? 0 : 1;
+}

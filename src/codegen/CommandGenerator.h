@@ -1,0 +1,107 @@
+//===- codegen/CommandGenerator.h - PIM command generation ------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DRAM-PIM command generator and command-scheduling pass (Section
+/// 4.3.1). For a lowered PimKernelSpec it emits per-channel command traces,
+/// distributing work across channels at one of three granularities
+/// (Fig. 6):
+///
+///  * G_ACT level  — whole weight-row groups are pinned to channels for the
+///    entire kernel (weight-stationary; minimal command duplication, but a
+///    small matrix leaves channels idle);
+///  * READRES level — (row-group x vector-batch) units are distributed, so
+///    small matrices with many vectors still fill all channels;
+///  * COMP level   — units are additionally split along the reduction (K)
+///    axis into partial sums, engaging all channels even for single-vector
+///    kernels with few rows.
+///
+/// The scheduler enumerates the channel-partitioning candidates permitted by
+/// the mechanism's maximum granularity, prices each with the cycle
+/// simulator, and keeps the fastest — this is the paper's "command
+/// scheduling pass to distribute PIM commands across channels to fully
+/// utilize all PIM compute units".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_CODEGEN_COMMANDGENERATOR_H
+#define PIMFLOW_CODEGEN_COMMANDGENERATOR_H
+
+#include <string>
+
+#include "codegen/PimKernelSpec.h"
+#include "pim/PimCommand.h"
+#include "pim/PimConfig.h"
+#include "pim/PimSimulator.h"
+
+namespace pf {
+
+/// Fig. 6 command-scheduling granularities, in increasing channel-level
+/// parallelism.
+enum class ScheduleGranularity : uint8_t {
+  GAct,
+  ReadRes,
+  Comp,
+};
+
+/// Returns "g_act"/"readres"/"comp".
+const char *granularityName(ScheduleGranularity G);
+
+/// Code-generation options distinguishing the evaluated mechanisms.
+struct CodegenOptions {
+  /// Finest scheduling granularity the mechanism may use.
+  ScheduleGranularity MaxGranularity = ScheduleGranularity::Comp;
+  /// Strided-GWRITE extension: gather a conv window's KH segments with one
+  /// command instead of KH commands.
+  bool StridedGwrite = true;
+};
+
+/// A generated PIM kernel: the traces, their simulated timing, and the
+/// mapping the scheduler chose.
+struct PimKernelPlan {
+  DeviceTrace Trace{0};
+  PimRunStats Stats;
+  /// Simulated kernel latency in nanoseconds.
+  double Ns = 0.0;
+  /// Useful MACs (for the energy model).
+  int64_t EffectiveMacs = 0;
+  /// Chosen (M-partitions, vector-partitions, K-partitions) mapping.
+  int ChannelsForM = 1;
+  int ChannelsForV = 1;
+  int ChannelsForK = 1;
+  ScheduleGranularity Granularity = ScheduleGranularity::GAct;
+
+  std::string describeMapping() const;
+};
+
+/// Generates and schedules PIM command traces for lowered kernels.
+class PimCommandGenerator {
+public:
+  PimCommandGenerator(PimConfig Config, CodegenOptions Options)
+      : Config(Config), Options(Options), Sim(Config) {}
+
+  const PimConfig &config() const { return Config; }
+  const CodegenOptions &options() const { return Options; }
+
+  /// Emits traces for \p Spec under a fixed channel partitioning
+  /// (ChannelsForM x ChannelsForV x ChannelsForK must not exceed the
+  /// channel count).
+  PimKernelPlan planWithMapping(const PimKernelSpec &Spec, int ChannelsForM,
+                                int ChannelsForV, int ChannelsForK) const;
+
+  /// Command-scheduling pass: tries every mapping the configured
+  /// granularity permits and returns the fastest plan.
+  PimKernelPlan plan(const PimKernelSpec &Spec) const;
+
+private:
+  PimConfig Config;
+  CodegenOptions Options;
+  PimSimulator Sim;
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_CODEGEN_COMMANDGENERATOR_H

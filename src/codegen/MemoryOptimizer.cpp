@@ -1,0 +1,74 @@
+//===- codegen/MemoryOptimizer.cpp - Layout optimization --------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MemoryOptimizer.h"
+
+using namespace pf;
+
+DataMovementCost MemoryOptimizer::classify(const Graph &G, NodeId Id) const {
+  const Node &N = G.node(Id);
+  switch (N.Kind) {
+  case OpKind::Flatten:
+  case OpKind::Identity:
+    // Always metadata-only in a contiguous layout.
+    return DataMovementCost::Free;
+
+  case OpKind::Slice: {
+    if (!Enabled)
+      return DataMovementCost::Copy;
+    // Weight/bias slices (from MD-DP output-feature splits) are prepared at
+    // compile time when parameters are placed, never copied at runtime.
+    if (G.value(N.Inputs[0]).IsParam)
+      return DataMovementCost::Free;
+    const SliceAttrs &A = std::get<SliceAttrs>(N.Attrs);
+    const TensorShape &X = G.value(N.Inputs[0]).Shape;
+    // NHWC batch-1: an H-axis (axis 1) slice of a contiguous tensor is a
+    // contiguous sub-range; so is a leading-axis slice of a rank-2 tensor.
+    // Other axes interleave and need a gather.
+    if (X.rank() == 4 && X.dim(0) == 1 && A.Axis == 1)
+      return DataMovementCost::Free;
+    if (X.rank() == 2 && A.Axis == 0)
+      return DataMovementCost::Free;
+    if (X.rank() == 2 && A.Axis == 1 && X.dim(0) == 1)
+      return DataMovementCost::Free;
+    if (X.rank() == 1)
+      return DataMovementCost::Free;
+    return DataMovementCost::Copy;
+  }
+
+  case OpKind::Concat: {
+    if (!Enabled)
+      return DataMovementCost::Copy;
+    const ConcatAttrs &A = std::get<ConcatAttrs>(N.Attrs);
+    const TensorShape &Out = G.value(N.Outputs[0]).Shape;
+    if (Out.rank() == 4 && Out.dim(0) == 1 && A.Axis == 1)
+      return DataMovementCost::Free;
+    if (Out.rank() == 2 && A.Axis == 0)
+      return DataMovementCost::Free;
+    if (Out.rank() == 2 && A.Axis == 1 && Out.dim(0) == 1)
+      return DataMovementCost::Free;
+    return DataMovementCost::Copy;
+  }
+
+  case OpKind::Pad:
+    // Folded into a zero-initialized padded allocation when enabled.
+    return Enabled ? DataMovementCost::Free : DataMovementCost::Copy;
+
+  default:
+    return DataMovementCost::NotDataMovement;
+  }
+}
+
+int64_t MemoryOptimizer::copyBytes(const Graph &G, NodeId Id) const {
+  if (classify(G, Id) != DataMovementCost::Copy)
+    return 0;
+  const Node &N = G.node(Id);
+  // A copy reads every input once and writes the output once.
+  int64_t Bytes = G.value(N.Outputs[0]).byteCount();
+  for (ValueId In : N.Inputs)
+    Bytes += G.value(In).byteCount();
+  return Bytes;
+}

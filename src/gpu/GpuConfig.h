@@ -1,0 +1,104 @@
+//===- gpu/GpuConfig.h - GPU hardware parameters ----------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameters of the analytical GPU model. The defaults describe an NVIDIA
+/// GeForce RTX 2060-class part attached to a 32-channel GDDR6 memory — the
+/// paper's baseline GPU configuration. The simulator-validation experiment
+/// (Fig. 8) swaps in a Titan-V-like configuration with 24 HBM channels via
+/// titanVLike().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_GPU_GPUCONFIG_H
+#define PIMFLOW_GPU_GPUCONFIG_H
+
+namespace pf {
+
+/// Analytical GPU model parameters (roofline + launch overheads).
+struct GpuConfig {
+  /// Number of streaming multiprocessors.
+  int NumSms = 30;
+  /// FP32 FMA lanes per SM.
+  int LanesPerSm = 64;
+  /// Core clock in GHz.
+  double ClockGhz = 1.68;
+  /// FP16 throughput multiplier over FP32: cuDNN uses the tensor cores
+  /// (HMMA) for fp16 conv/GEMM, several times the CUDA-core FMA rate.
+  double Fp16Multiplier = 6.0;
+
+  /// Number of memory channels visible to the GPU. The paper's dual
+  /// GPU/PIM configuration hands a contiguous subset of the 32 channels to
+  /// PIM; the remainder stays here.
+  int MemChannels = 32;
+  /// Sustained bandwidth per memory channel in GB/s.
+  double ChannelBandwidthGBs = 14.0;
+
+  /// Fixed kernel launch + cuDNN dispatch overhead in nanoseconds.
+  double KernelLaunchNs = 1500.0;
+  /// Launch overhead of lightweight (elementwise/pool) kernels, which the
+  /// runtime typically fuses or streams.
+  double LightKernelLaunchNs = 800.0;
+
+  /// Peak fraction achieved by well-tiled GEMM/conv kernels.
+  double GemmEfficiency = 0.75;
+  /// DRAM traffic inflation over the compulsory minimum (cache conflicts,
+  /// write allocate, metadata).
+  double TrafficInflation = 1.15;
+  /// Output elements needed to fully occupy the device; below this the
+  /// compute throughput scales down linearly.
+  double SaturationElements = 262144.0;
+
+  /// GPU-kernel slowdown from running the caches in write-through mode,
+  /// required for coherence between PIM commands and GPU accesses in the
+  /// dual configuration (the paper's footnote measured 2.8% vs
+  /// write-back). 1.0 outside the dual configuration.
+  double CoherenceSlowdown = 1.0;
+
+  /// Idle (static) board power in watts.
+  double IdlePowerW = 35.0;
+  /// Additional dynamic power at full utilization in watts.
+  double DynamicPowerW = 110.0;
+
+  /// Peak FLOP/s for \p F16 data.
+  double peakFlops(bool F16) const {
+    double Peak = static_cast<double>(NumSms) * LanesPerSm * 2.0 * ClockGhz *
+                  1e9;
+    return F16 ? Peak * Fp16Multiplier : Peak;
+  }
+
+  /// Aggregate DRAM bandwidth in bytes/s.
+  double memBandwidth() const {
+    return static_cast<double>(MemChannels) * ChannelBandwidthGBs * 1e9;
+  }
+
+  /// Titan-V-like configuration used to reproduce the Fig. 8 validation
+  /// against the Newton paper's setup (24 HBM channels, more SMs).
+  static GpuConfig titanVLike() {
+    GpuConfig C;
+    C.NumSms = 80;
+    C.LanesPerSm = 64;
+    C.ClockGhz = 1.46;
+    C.MemChannels = 24;
+    C.ChannelBandwidthGBs = 27.0; // ~650 GB/s aggregate HBM2.
+    return C;
+  }
+
+  /// RTX 2080 Ti-like configuration (Fig. 1 runtime-breakdown platform).
+  static GpuConfig rtx2080TiLike() {
+    GpuConfig C;
+    C.NumSms = 68;
+    C.LanesPerSm = 64;
+    C.ClockGhz = 1.545;
+    C.MemChannels = 22;
+    C.ChannelBandwidthGBs = 28.0; // ~616 GB/s aggregate GDDR6.
+    return C;
+  }
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_GPU_GPUCONFIG_H

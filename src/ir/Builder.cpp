@@ -1,0 +1,187 @@
+//===- ir/Builder.cpp - Convenience graph construction ----------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "ir/ShapeInference.h"
+#include "support/Format.h"
+
+using namespace pf;
+
+std::string GraphBuilder::freshName(const char *Stem) {
+  return formatStr("%s_%d", Stem, Counter++);
+}
+
+ValueId GraphBuilder::input(const std::string &Name, TensorShape Shape) {
+  ValueId Id = G.addValue(Name, std::move(Shape));
+  auto Inputs = G.graphInputs();
+  Inputs.push_back(Id);
+  G.setGraphInputs(std::move(Inputs));
+  return Id;
+}
+
+ValueId GraphBuilder::addOp(OpKind Kind, OpAttrs Attrs,
+                            std::vector<ValueId> Inputs) {
+  std::string Name = freshName(opKindName(Kind));
+  ValueId Out = G.addValue(Name + ".out", TensorShape{});
+  NodeId N = G.addNode(Kind, Name, std::move(Attrs), std::move(Inputs), {Out});
+  auto Err = inferNodeShapes(G, N);
+  PF_ASSERT(!Err, "builder produced an op that fails shape inference");
+  if (Err)
+    pf_unreachable(Err->c_str());
+  return Out;
+}
+
+ValueId GraphBuilder::conv2d(ValueId X, int64_t Cout, int64_t Kernel,
+                             int64_t Stride, int64_t Pad, int64_t Groups,
+                             bool WithBias) {
+  const TensorShape &XS = G.value(X).Shape;
+  PF_ASSERT(XS.rank() == 4, "conv2d input must be rank-4 NHWC");
+  const int64_t Cin = XS.dim(3);
+  PF_ASSERT(Cin % Groups == 0, "channels not divisible by groups");
+  ValueId W = G.addParam(freshName("w"),
+                         TensorShape{Kernel, Kernel, Cin / Groups, Cout});
+  Conv2dAttrs A;
+  A.KernelH = A.KernelW = Kernel;
+  A.StrideH = A.StrideW = Stride;
+  A.PadTop = A.PadBottom = A.PadLeft = A.PadRight = Pad;
+  A.Groups = Groups;
+  std::vector<ValueId> Inputs = {X, W};
+  if (WithBias)
+    Inputs.push_back(G.addParam(freshName("b"), TensorShape{Cout}));
+  return addOp(OpKind::Conv2d, A, std::move(Inputs));
+}
+
+ValueId GraphBuilder::dwConv(ValueId X, int64_t Kernel, int64_t Stride,
+                             int64_t Pad) {
+  const int64_t C = G.value(X).Shape.dim(3);
+  return conv2d(X, C, Kernel, Stride, Pad, /*Groups=*/C);
+}
+
+ValueId GraphBuilder::gemm(ValueId X, int64_t OutFeatures, bool WithBias) {
+  const TensorShape &XS = G.value(X).Shape;
+  PF_ASSERT(XS.rank() == 2, "gemm input must be rank-2");
+  ValueId W =
+      G.addParam(freshName("w"), TensorShape{XS.dim(1), OutFeatures});
+  GemmAttrs A;
+  A.HasBias = WithBias;
+  std::vector<ValueId> Inputs = {X, W};
+  if (WithBias)
+    Inputs.push_back(G.addParam(freshName("b"), TensorShape{OutFeatures}));
+  return addOp(OpKind::Gemm, A, std::move(Inputs));
+}
+
+ValueId GraphBuilder::relu(ValueId X) {
+  return addOp(OpKind::Relu, std::monostate{}, {X});
+}
+ValueId GraphBuilder::relu6(ValueId X) {
+  return addOp(OpKind::Relu6, std::monostate{}, {X});
+}
+ValueId GraphBuilder::silu(ValueId X) {
+  return addOp(OpKind::SiLU, std::monostate{}, {X});
+}
+ValueId GraphBuilder::sigmoid(ValueId X) {
+  return addOp(OpKind::Sigmoid, std::monostate{}, {X});
+}
+ValueId GraphBuilder::gelu(ValueId X) {
+  return addOp(OpKind::Gelu, std::monostate{}, {X});
+}
+ValueId GraphBuilder::softmax(ValueId X) {
+  return addOp(OpKind::Softmax, std::monostate{}, {X});
+}
+
+ValueId GraphBuilder::add(ValueId A, ValueId B) {
+  return addOp(OpKind::Add, std::monostate{}, {A, B});
+}
+ValueId GraphBuilder::mul(ValueId A, ValueId B) {
+  return addOp(OpKind::Mul, std::monostate{}, {A, B});
+}
+
+ValueId GraphBuilder::batchNorm(ValueId X) {
+  const int64_t C = G.value(X).Shape.dim(3);
+  ValueId Scale = G.addParam(freshName("bn_scale"), TensorShape{C});
+  ValueId Bias = G.addParam(freshName("bn_bias"), TensorShape{C});
+  ValueId Mean = G.addParam(freshName("bn_mean"), TensorShape{C});
+  ValueId Var = G.addParam(freshName("bn_var"), TensorShape{C});
+  return addOp(OpKind::BatchNorm, BatchNormAttrs{}, {X, Scale, Bias, Mean,
+                                                     Var});
+}
+
+ValueId GraphBuilder::layerNorm(ValueId X) {
+  const TensorShape &XS = G.value(X).Shape;
+  const int64_t C = XS.dim(XS.rank() - 1);
+  ValueId Scale = G.addParam(freshName("ln_scale"), TensorShape{C});
+  ValueId Bias = G.addParam(freshName("ln_bias"), TensorShape{C});
+  return addOp(OpKind::LayerNorm, LayerNormAttrs{}, {X, Scale, Bias});
+}
+
+ValueId GraphBuilder::matmul(ValueId A, ValueId B, bool TransposeB) {
+  MatMulAttrs Attrs;
+  Attrs.TransposeB = TransposeB;
+  return addOp(OpKind::MatMul, Attrs, {A, B});
+}
+
+static PoolAttrs makePool(int64_t Kernel, int64_t Stride, int64_t Pad) {
+  PoolAttrs A;
+  A.KernelH = A.KernelW = Kernel;
+  A.StrideH = A.StrideW = Stride;
+  A.PadTop = A.PadBottom = A.PadLeft = A.PadRight = Pad;
+  return A;
+}
+
+ValueId GraphBuilder::maxPool(ValueId X, int64_t Kernel, int64_t Stride,
+                              int64_t Pad) {
+  return addOp(OpKind::MaxPool, makePool(Kernel, Stride, Pad), {X});
+}
+ValueId GraphBuilder::avgPool(ValueId X, int64_t Kernel, int64_t Stride,
+                              int64_t Pad) {
+  return addOp(OpKind::AvgPool, makePool(Kernel, Stride, Pad), {X});
+}
+ValueId GraphBuilder::globalAvgPool(ValueId X) {
+  return addOp(OpKind::GlobalAvgPool, std::monostate{}, {X});
+}
+
+ValueId GraphBuilder::pad(ValueId X, int64_t Top, int64_t Bottom,
+                          int64_t Left, int64_t Right) {
+  PadAttrs A;
+  A.Top = Top;
+  A.Bottom = Bottom;
+  A.Left = Left;
+  A.Right = Right;
+  return addOp(OpKind::Pad, A, {X});
+}
+
+ValueId GraphBuilder::slice(ValueId X, int64_t Axis, int64_t Begin,
+                            int64_t End) {
+  SliceAttrs A;
+  A.Axis = Axis;
+  A.Begin = Begin;
+  A.End = End;
+  return addOp(OpKind::Slice, A, {X});
+}
+
+ValueId GraphBuilder::concat(const std::vector<ValueId> &Xs, int64_t Axis) {
+  ConcatAttrs A;
+  A.Axis = Axis;
+  return addOp(OpKind::Concat, A, Xs);
+}
+
+ValueId GraphBuilder::flatten(ValueId X) {
+  return addOp(OpKind::Flatten, std::monostate{}, {X});
+}
+
+void GraphBuilder::output(ValueId X) {
+  auto Outputs = G.graphOutputs();
+  Outputs.push_back(X);
+  G.setGraphOutputs(std::move(Outputs));
+}
+
+Graph GraphBuilder::take() {
+  auto Err = G.validate();
+  if (Err)
+    pf_unreachable(Err->c_str());
+  return std::move(G);
+}

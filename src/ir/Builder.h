@@ -1,0 +1,96 @@
+//===- ir/Builder.h - Convenience graph construction ------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GraphBuilder builds model graphs layer-by-layer, creating weight
+/// parameters and running shape inference as it goes. The model zoo uses it
+/// to express the evaluated networks at the same granularity as their ONNX
+/// exports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_IR_BUILDER_H
+#define PIMFLOW_IR_BUILDER_H
+
+#include <string>
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// Incremental graph construction helper. All layer methods return the
+/// ValueId of the layer's output tensor.
+class GraphBuilder {
+public:
+  explicit GraphBuilder(std::string GraphName)
+      : G(std::move(GraphName)) {}
+
+  /// Declares a graph input of \p Shape.
+  ValueId input(const std::string &Name, TensorShape Shape);
+
+  /// Conv2d with `same`-style explicit padding. Weight is created as a
+  /// parameter of shape [KH, KW, Cin/Groups, Cout]; an optional bias [Cout]
+  /// is added when \p WithBias.
+  ValueId conv2d(ValueId X, int64_t Cout, int64_t Kernel, int64_t Stride,
+                 int64_t Pad, int64_t Groups = 1, bool WithBias = false);
+
+  /// Depthwise convolution: groups == channel count.
+  ValueId dwConv(ValueId X, int64_t Kernel, int64_t Stride, int64_t Pad);
+
+  /// Fully connected layer to \p OutFeatures.
+  ValueId gemm(ValueId X, int64_t OutFeatures, bool WithBias = true);
+
+  ValueId relu(ValueId X);
+  ValueId relu6(ValueId X);
+  ValueId silu(ValueId X);
+  ValueId sigmoid(ValueId X);
+  ValueId gelu(ValueId X);
+  ValueId softmax(ValueId X);
+
+  ValueId add(ValueId A, ValueId B);
+  ValueId mul(ValueId A, ValueId B);
+
+  /// BatchNorm with per-channel scale/bias/mean/var parameters.
+  ValueId batchNorm(ValueId X);
+
+  ValueId maxPool(ValueId X, int64_t Kernel, int64_t Stride, int64_t Pad = 0);
+  ValueId avgPool(ValueId X, int64_t Kernel, int64_t Stride, int64_t Pad = 0);
+  ValueId globalAvgPool(ValueId X);
+
+  /// LayerNorm over the last axis with learned scale/bias parameters.
+  ValueId layerNorm(ValueId X);
+
+  /// Weight-less matrix product (attention); \p TransposeB computes
+  /// A x B^T.
+  ValueId matmul(ValueId A, ValueId B, bool TransposeB = false);
+
+  ValueId pad(ValueId X, int64_t Top, int64_t Bottom, int64_t Left,
+              int64_t Right);
+  ValueId slice(ValueId X, int64_t Axis, int64_t Begin, int64_t End);
+  ValueId concat(const std::vector<ValueId> &Xs, int64_t Axis);
+  ValueId flatten(ValueId X);
+
+  /// Marks \p X as a graph output.
+  void output(ValueId X);
+
+  /// Finalizes and returns the graph (validates it first).
+  Graph take();
+
+  Graph &graph() { return G; }
+
+private:
+  /// Adds a node with a freshly created (shape-inferred) output value.
+  ValueId addOp(OpKind Kind, OpAttrs Attrs, std::vector<ValueId> Inputs);
+
+  std::string freshName(const char *Stem);
+
+  Graph G;
+  int Counter = 0;
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_IR_BUILDER_H

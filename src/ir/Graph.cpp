@@ -1,0 +1,253 @@
+//===- ir/Graph.cpp - Model computation graph -------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Graph.h"
+
+#include <deque>
+
+#include "support/Format.h"
+
+using namespace pf;
+
+const char *pf::deviceName(Device Dev) {
+  switch (Dev) {
+  case Device::Any:
+    return "any";
+  case Device::Gpu:
+    return "gpu";
+  case Device::Pim:
+    return "pim";
+  }
+  pf_unreachable("unknown device");
+}
+
+const char *pf::opKindName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Input:
+    return "input";
+  case OpKind::Conv2d:
+    return "conv2d";
+  case OpKind::Gemm:
+    return "gemm";
+  case OpKind::Relu:
+    return "relu";
+  case OpKind::Relu6:
+    return "relu6";
+  case OpKind::Sigmoid:
+    return "sigmoid";
+  case OpKind::SiLU:
+    return "silu";
+  case OpKind::Tanh:
+    return "tanh";
+  case OpKind::Gelu:
+    return "gelu";
+  case OpKind::Softmax:
+    return "softmax";
+  case OpKind::Add:
+    return "add";
+  case OpKind::Mul:
+    return "mul";
+  case OpKind::BatchNorm:
+    return "batchnorm";
+  case OpKind::MaxPool:
+    return "maxpool";
+  case OpKind::AvgPool:
+    return "avgpool";
+  case OpKind::GlobalAvgPool:
+    return "globalavgpool";
+  case OpKind::Pad:
+    return "pad";
+  case OpKind::Slice:
+    return "slice";
+  case OpKind::Concat:
+    return "concat";
+  case OpKind::Flatten:
+    return "flatten";
+  case OpKind::Identity:
+    return "identity";
+  case OpKind::LayerNorm:
+    return "layernorm";
+  case OpKind::MatMul:
+    return "matmul";
+  }
+  pf_unreachable("unknown op kind");
+}
+
+bool pf::isDepthwiseConv(const Node &N) {
+  return N.Kind == OpKind::Conv2d && N.conv().Groups > 1;
+}
+
+bool pf::isPimCandidate(const Node &N) {
+  if (N.Kind == OpKind::Gemm)
+    return true;
+  return N.Kind == OpKind::Conv2d && !isDepthwiseConv(N);
+}
+
+ValueId Graph::addValue(const std::string &Name, TensorShape Shape,
+                        DataType Type) {
+  Value V;
+  V.Id = static_cast<ValueId>(Values.size());
+  V.Name = Name;
+  V.Shape = std::move(Shape);
+  V.Type = Type;
+  Values.push_back(std::move(V));
+  ProducerOf.push_back(InvalidNode);
+  return Values.back().Id;
+}
+
+ValueId Graph::addParam(const std::string &Name, TensorShape Shape,
+                        DataType Type) {
+  ValueId Id = addValue(Name, std::move(Shape), Type);
+  Value &V = value(Id);
+  V.IsParam = true;
+  // Seed derived from the id so parameter data is deterministic but distinct
+  // per parameter.
+  V.InitSeed = 0x5DEECE66Dull ^ (static_cast<uint64_t>(Id) * 0x2545F4914F6CDD1Dull);
+  return Id;
+}
+
+NodeId Graph::addNode(OpKind Kind, const std::string &Name, OpAttrs Attrs,
+                      std::vector<ValueId> NodeInputs,
+                      std::vector<ValueId> NodeOutputs) {
+  for (ValueId In : NodeInputs)
+    PF_ASSERT(In >= 0 && static_cast<size_t>(In) < Values.size(),
+              "node input value does not exist");
+  for (ValueId Out : NodeOutputs) {
+    PF_ASSERT(Out >= 0 && static_cast<size_t>(Out) < Values.size(),
+              "node output value does not exist");
+    PF_ASSERT(ProducerOf[static_cast<size_t>(Out)] == InvalidNode,
+              "node output already has a producer");
+    PF_ASSERT(!value(Out).IsParam, "parameters cannot be node outputs");
+  }
+
+  Node N;
+  N.Id = static_cast<NodeId>(Nodes.size());
+  N.Name = Name;
+  N.Kind = Kind;
+  N.Attrs = std::move(Attrs);
+  N.Inputs = std::move(NodeInputs);
+  N.Outputs = std::move(NodeOutputs);
+  for (ValueId Out : N.Outputs)
+    ProducerOf[static_cast<size_t>(Out)] = N.Id;
+  Nodes.push_back(std::move(N));
+  return Nodes.back().Id;
+}
+
+void Graph::removeNode(NodeId Id) {
+  Node &N = node(Id);
+  PF_ASSERT(!N.Dead, "node already removed");
+  N.Dead = true;
+  for (ValueId Out : N.Outputs)
+    ProducerOf[static_cast<size_t>(Out)] = InvalidNode;
+}
+
+size_t Graph::numNodes() const {
+  size_t Count = 0;
+  for (const Node &N : Nodes)
+    if (!N.Dead)
+      ++Count;
+  return Count;
+}
+
+NodeId Graph::producer(ValueId Id) const {
+  PF_ASSERT(Id >= 0 && static_cast<size_t>(Id) < ProducerOf.size(),
+            "value id out of range");
+  return ProducerOf[static_cast<size_t>(Id)];
+}
+
+std::vector<NodeId> Graph::consumers(ValueId Id) const {
+  std::vector<NodeId> Out;
+  for (const Node &N : Nodes) {
+    if (N.Dead)
+      continue;
+    for (ValueId In : N.Inputs)
+      if (In == Id) {
+        Out.push_back(N.Id);
+        break;
+      }
+  }
+  return Out;
+}
+
+std::vector<NodeId> Graph::topoOrder() const {
+  // Kahn's algorithm: a node is ready once all of its non-parameter,
+  // non-graph-input inputs have been produced.
+  std::vector<int> PendingInputs(Nodes.size(), 0);
+  std::vector<std::vector<NodeId>> ValueConsumers(Values.size());
+  std::deque<NodeId> Ready;
+  size_t LiveCount = 0;
+
+  for (const Node &N : Nodes) {
+    if (N.Dead)
+      continue;
+    ++LiveCount;
+    int Pending = 0;
+    for (ValueId In : N.Inputs) {
+      if (producer(In) == InvalidNode)
+        continue; // Parameter or graph input: always available.
+      ++Pending;
+      ValueConsumers[static_cast<size_t>(In)].push_back(N.Id);
+    }
+    PendingInputs[static_cast<size_t>(N.Id)] = Pending;
+    if (Pending == 0)
+      Ready.push_back(N.Id);
+  }
+
+  std::vector<NodeId> Order;
+  Order.reserve(LiveCount);
+  while (!Ready.empty()) {
+    NodeId Id = Ready.front();
+    Ready.pop_front();
+    Order.push_back(Id);
+    for (ValueId Out : node(Id).Outputs)
+      for (NodeId Consumer : ValueConsumers[static_cast<size_t>(Out)])
+        if (--PendingInputs[static_cast<size_t>(Consumer)] == 0)
+          Ready.push_back(Consumer);
+  }
+  PF_ASSERT(Order.size() == LiveCount, "graph contains a dataflow cycle");
+  return Order;
+}
+
+std::optional<std::string> Graph::validate() const {
+  for (const Node &N : Nodes) {
+    if (N.Dead)
+      continue;
+    if (N.Outputs.empty())
+      return formatStr("node '%s' has no outputs", N.Name.c_str());
+    for (ValueId In : N.Inputs) {
+      const Value &V = value(In);
+      bool IsGraphInput = false;
+      for (ValueId GIn : Inputs)
+        IsGraphInput |= (GIn == In);
+      if (!V.IsParam && !IsGraphInput && producer(In) == InvalidNode)
+        return formatStr("node '%s' consumes value '%s' with no producer",
+                         N.Name.c_str(), V.Name.c_str());
+    }
+  }
+  for (ValueId Out : Outputs)
+    if (producer(Out) == InvalidNode)
+      return formatStr("graph output '%s' is never produced",
+                       value(Out).Name.c_str());
+  if (Outputs.empty())
+    return std::string("graph has no outputs");
+  // Run the toposort to assert acyclicity (it aborts on cycles in debug;
+  // verify count here for release builds too).
+  if (topoOrder().size() != numNodes())
+    return std::string("graph contains a dataflow cycle");
+  return std::nullopt;
+}
+
+void Graph::setParamData(ValueId Id, Tensor Data) {
+  PF_ASSERT(value(Id).IsParam, "setParamData on a non-parameter value");
+  PF_ASSERT(Data.shape() == value(Id).Shape,
+            "explicit parameter data shape mismatch");
+  ExplicitParamData[Id] = std::move(Data);
+}
+
+const Tensor *Graph::paramData(ValueId Id) const {
+  auto It = ExplicitParamData.find(Id);
+  return It == ExplicitParamData.end() ? nullptr : &It->second;
+}

@@ -1,0 +1,138 @@
+//===- ir/GraphPrinter.cpp - Textual graph dump -----------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/GraphPrinter.h"
+
+#include "support/Format.h"
+
+using namespace pf;
+
+namespace {
+
+std::string attrString(const Node &N) {
+  switch (N.Kind) {
+  case OpKind::Conv2d: {
+    const Conv2dAttrs &A = N.conv();
+    return formatStr(" {k=%lldx%lld s=%lld p=%lld,%lld,%lld,%lld g=%lld}",
+                     static_cast<long long>(A.KernelH),
+                     static_cast<long long>(A.KernelW),
+                     static_cast<long long>(A.StrideH),
+                     static_cast<long long>(A.PadTop),
+                     static_cast<long long>(A.PadBottom),
+                     static_cast<long long>(A.PadLeft),
+                     static_cast<long long>(A.PadRight),
+                     static_cast<long long>(A.Groups));
+  }
+  case OpKind::MaxPool:
+  case OpKind::AvgPool: {
+    const PoolAttrs &A = std::get<PoolAttrs>(N.Attrs);
+    return formatStr(" {k=%lldx%lld s=%lld}",
+                     static_cast<long long>(A.KernelH),
+                     static_cast<long long>(A.KernelW),
+                     static_cast<long long>(A.StrideH));
+  }
+  case OpKind::Pad: {
+    const PadAttrs &A = std::get<PadAttrs>(N.Attrs);
+    return formatStr(" {t=%lld b=%lld l=%lld r=%lld}",
+                     static_cast<long long>(A.Top),
+                     static_cast<long long>(A.Bottom),
+                     static_cast<long long>(A.Left),
+                     static_cast<long long>(A.Right));
+  }
+  case OpKind::Slice: {
+    const SliceAttrs &A = std::get<SliceAttrs>(N.Attrs);
+    return formatStr(" {axis=%lld [%lld,%lld)}",
+                     static_cast<long long>(A.Axis),
+                     static_cast<long long>(A.Begin),
+                     static_cast<long long>(A.End));
+  }
+  case OpKind::Concat: {
+    const ConcatAttrs &A = std::get<ConcatAttrs>(N.Attrs);
+    return formatStr(" {axis=%lld}", static_cast<long long>(A.Axis));
+  }
+  default:
+    return std::string();
+  }
+}
+
+} // namespace
+
+std::string pf::printNode(const Graph &G, NodeId Id) {
+  const Node &N = G.node(Id);
+  std::string Line = formatStr("%%%s = %s(", N.Name.c_str(),
+                               opKindName(N.Kind));
+  for (size_t I = 0; I < N.Inputs.size(); ++I) {
+    if (I != 0)
+      Line += ", ";
+    Line += '%';
+    Line += G.value(N.Inputs[I]).Name;
+  }
+  Line += ')';
+  Line += attrString(N);
+  Line += " : ";
+  Line += G.value(N.Outputs[0]).Shape.toString();
+  if (N.Dev != Device::Any) {
+    Line += " @";
+    Line += deviceName(N.Dev);
+  }
+  return Line;
+}
+
+std::string pf::printDot(const Graph &G) {
+  std::string Out = formatStr("digraph \"%s\" {\n  rankdir=TB;\n"
+                              "  node [shape=box, fontname=\"monospace\"];\n",
+                              G.name().c_str());
+  for (NodeId Id : G.topoOrder()) {
+    const Node &N = G.node(Id);
+    const char *Fill = N.Dev == Device::Pim   ? "lightsalmon"
+                       : N.Dev == Device::Gpu ? "lightsteelblue"
+                                              : "white";
+    Out += formatStr("  n%d [label=\"%s\\n%s\", style=filled, "
+                     "fillcolor=%s];\n",
+                     Id, N.Name.c_str(), opKindName(N.Kind), Fill);
+  }
+  for (NodeId Id : G.topoOrder()) {
+    const Node &N = G.node(Id);
+    for (ValueId In : N.Inputs) {
+      const NodeId Producer = G.producer(In);
+      if (Producer == InvalidNode)
+        continue; // Graph inputs / parameters are omitted for readability.
+      Out += formatStr("  n%d -> n%d [label=\"%s\"];\n", Producer, Id,
+                       G.value(In).Shape.toString().c_str());
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string pf::printGraph(const Graph &G) {
+  std::string Out = formatStr("graph %s (", G.name().c_str());
+  const auto &Ins = G.graphInputs();
+  for (size_t I = 0; I < Ins.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += '%';
+    Out += G.value(Ins[I]).Name;
+    Out += ' ';
+    Out += G.value(Ins[I]).Shape.toString();
+  }
+  Out += ") {\n";
+  for (NodeId Id : G.topoOrder()) {
+    Out += "  ";
+    Out += printNode(G, Id);
+    Out += '\n';
+  }
+  Out += "  return ";
+  const auto &Outs = G.graphOutputs();
+  for (size_t I = 0; I < Outs.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += '%';
+    Out += G.value(Outs[I]).Name;
+  }
+  Out += "\n}\n";
+  return Out;
+}

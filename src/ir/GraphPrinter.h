@@ -1,0 +1,39 @@
+//===- ir/GraphPrinter.h - Textual graph dump -------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable textual rendering of a Graph, one node per line, with
+/// shapes, attributes and device annotations. Used by examples and
+/// debugging; transformation tests diff these dumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_IR_GRAPHPRINTER_H
+#define PIMFLOW_IR_GRAPHPRINTER_H
+
+#include <string>
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// Renders one node as e.g.
+/// "%conv_3 = conv2d(%relu_2.out, %w_1) {k=3x3 s=2 p=1 g=1} : [1x56x56x64]
+///  @gpu".
+std::string printNode(const Graph &G, NodeId Id);
+
+/// Renders the whole graph in topological order with a header naming the
+/// graph inputs and a footer naming the outputs.
+std::string printGraph(const Graph &G);
+
+/// Renders the dataflow as a Graphviz DOT digraph: one box per live node
+/// (colored by device: PIM nodes filled), edges labeled with tensor
+/// shapes. Feed to `dot -Tsvg` to visualize transformed graphs.
+std::string printDot(const Graph &G);
+
+} // namespace pf
+
+#endif // PIMFLOW_IR_GRAPHPRINTER_H

@@ -1,0 +1,418 @@
+//===- ir/GraphSerializer.cpp - Graph save/load -----------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/GraphSerializer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "support/Format.h"
+#include "support/StringUtil.h"
+
+using namespace pf;
+
+namespace {
+
+const char *kMagic = "pimflow-graph v1";
+
+/// Kind <-> mnemonic lookup via opKindName.
+std::optional<OpKind> kindFromName(const std::string &Name) {
+  static const OpKind All[] = {
+      OpKind::Input,   OpKind::Conv2d,  OpKind::Gemm,
+      OpKind::Relu,    OpKind::Relu6,   OpKind::Sigmoid,
+      OpKind::SiLU,    OpKind::Tanh,    OpKind::Gelu,
+      OpKind::Softmax, OpKind::Add,     OpKind::Mul,
+      OpKind::BatchNorm, OpKind::MaxPool, OpKind::AvgPool,
+      OpKind::GlobalAvgPool, OpKind::Pad, OpKind::Slice,
+      OpKind::Concat,  OpKind::Flatten, OpKind::Identity,
+      OpKind::LayerNorm, OpKind::MatMul,
+  };
+  for (OpKind K : All)
+    if (Name == opKindName(K))
+      return K;
+  return std::nullopt;
+}
+
+std::optional<Device> deviceFromName(const std::string &Name) {
+  for (Device D : {Device::Any, Device::Gpu, Device::Pim})
+    if (Name == deviceName(D))
+      return D;
+  return std::nullopt;
+}
+
+/// Emits the attr tokens of \p N.
+std::string attrTokens(const Node &N) {
+  auto LL = [](int64_t V) {
+    return formatStr("%lld", static_cast<long long>(V));
+  };
+  switch (N.Kind) {
+  case OpKind::Conv2d: {
+    const Conv2dAttrs &A = N.conv();
+    return " kh=" + LL(A.KernelH) + " kw=" + LL(A.KernelW) +
+           " sh=" + LL(A.StrideH) + " sw=" + LL(A.StrideW) +
+           " pt=" + LL(A.PadTop) + " pb=" + LL(A.PadBottom) +
+           " pl=" + LL(A.PadLeft) + " pr=" + LL(A.PadRight) +
+           " g=" + LL(A.Groups);
+  }
+  case OpKind::Gemm:
+    return formatStr(" bias=%d", N.gemm().HasBias ? 1 : 0);
+  case OpKind::MaxPool:
+  case OpKind::AvgPool: {
+    const PoolAttrs &A = std::get<PoolAttrs>(N.Attrs);
+    return " kh=" + LL(A.KernelH) + " kw=" + LL(A.KernelW) +
+           " sh=" + LL(A.StrideH) + " sw=" + LL(A.StrideW) +
+           " pt=" + LL(A.PadTop) + " pb=" + LL(A.PadBottom) +
+           " pl=" + LL(A.PadLeft) + " pr=" + LL(A.PadRight);
+  }
+  case OpKind::BatchNorm:
+    return formatStr(" eps=%.9g",
+                     std::get<BatchNormAttrs>(N.Attrs).Epsilon);
+  case OpKind::Pad: {
+    const PadAttrs &A = std::get<PadAttrs>(N.Attrs);
+    return " pt=" + LL(A.Top) + " pb=" + LL(A.Bottom) +
+           " pl=" + LL(A.Left) + " pr=" + LL(A.Right);
+  }
+  case OpKind::Slice: {
+    const SliceAttrs &A = std::get<SliceAttrs>(N.Attrs);
+    return " axis=" + LL(A.Axis) + " begin=" + LL(A.Begin) +
+           " end=" + LL(A.End);
+  }
+  case OpKind::Concat:
+    return " axis=" + LL(std::get<ConcatAttrs>(N.Attrs).Axis);
+  case OpKind::LayerNorm:
+    return formatStr(" eps=%.9g",
+                     std::get<LayerNormAttrs>(N.Attrs).Epsilon);
+  case OpKind::MatMul:
+    return formatStr(" tb=%d",
+                     std::get<MatMulAttrs>(N.Attrs).TransposeB ? 1 : 0);
+  default:
+    return std::string();
+  }
+}
+
+/// Parsed key=value attr map.
+using AttrMap = std::unordered_map<std::string, std::string>;
+
+int64_t attrInt(const AttrMap &M, const char *Key, int64_t Default = 0) {
+  auto It = M.find(Key);
+  return It == M.end() ? Default : std::atoll(It->second.c_str());
+}
+
+OpAttrs attrsFromMap(OpKind Kind, const AttrMap &M) {
+  switch (Kind) {
+  case OpKind::Conv2d: {
+    Conv2dAttrs A;
+    A.KernelH = attrInt(M, "kh", 1);
+    A.KernelW = attrInt(M, "kw", 1);
+    A.StrideH = attrInt(M, "sh", 1);
+    A.StrideW = attrInt(M, "sw", 1);
+    A.PadTop = attrInt(M, "pt");
+    A.PadBottom = attrInt(M, "pb");
+    A.PadLeft = attrInt(M, "pl");
+    A.PadRight = attrInt(M, "pr");
+    A.Groups = attrInt(M, "g", 1);
+    return A;
+  }
+  case OpKind::Gemm: {
+    GemmAttrs A;
+    A.HasBias = attrInt(M, "bias", 1) != 0;
+    return A;
+  }
+  case OpKind::MaxPool:
+  case OpKind::AvgPool: {
+    PoolAttrs A;
+    A.KernelH = attrInt(M, "kh", 2);
+    A.KernelW = attrInt(M, "kw", 2);
+    A.StrideH = attrInt(M, "sh", 2);
+    A.StrideW = attrInt(M, "sw", 2);
+    A.PadTop = attrInt(M, "pt");
+    A.PadBottom = attrInt(M, "pb");
+    A.PadLeft = attrInt(M, "pl");
+    A.PadRight = attrInt(M, "pr");
+    return A;
+  }
+  case OpKind::BatchNorm: {
+    BatchNormAttrs A;
+    auto It = M.find("eps");
+    if (It != M.end())
+      A.Epsilon = static_cast<float>(std::atof(It->second.c_str()));
+    return A;
+  }
+  case OpKind::Pad: {
+    PadAttrs A;
+    A.Top = attrInt(M, "pt");
+    A.Bottom = attrInt(M, "pb");
+    A.Left = attrInt(M, "pl");
+    A.Right = attrInt(M, "pr");
+    return A;
+  }
+  case OpKind::Slice: {
+    SliceAttrs A;
+    A.Axis = attrInt(M, "axis", 1);
+    A.Begin = attrInt(M, "begin");
+    A.End = attrInt(M, "end");
+    return A;
+  }
+  case OpKind::Concat: {
+    ConcatAttrs A;
+    A.Axis = attrInt(M, "axis", 1);
+    return A;
+  }
+  case OpKind::LayerNorm: {
+    LayerNormAttrs A;
+    auto It = M.find("eps");
+    if (It != M.end())
+      A.Epsilon = static_cast<float>(std::atof(It->second.c_str()));
+    return A;
+  }
+  case OpKind::MatMul: {
+    MatMulAttrs A;
+    A.TransposeB = attrInt(M, "tb", 0) != 0;
+    return A;
+  }
+  default:
+    return std::monostate{};
+  }
+}
+
+/// Tokenizer skipping repeated spaces.
+std::vector<std::string> tokens(const std::string &Line) {
+  std::vector<std::string> Out;
+  for (const std::string &T : split(Line, ' '))
+    if (!T.empty())
+      Out.push_back(T);
+  return Out;
+}
+
+} // namespace
+
+std::string pf::serializeGraph(const Graph &G) {
+  std::string Out = formatStr("%s %s\n", kMagic, G.name().c_str());
+
+  // Compact value renumbering: only values referenced by live structure.
+  std::unordered_map<ValueId, int> Renumber;
+  auto Touch = [&Renumber](ValueId Id) {
+    Renumber.emplace(Id, static_cast<int>(Renumber.size()));
+  };
+  for (ValueId In : G.graphInputs())
+    Touch(In);
+  for (NodeId Id : G.topoOrder()) {
+    const Node &N = G.node(Id);
+    for (ValueId In : N.Inputs)
+      Touch(In);
+    for (ValueId O : N.Outputs)
+      Touch(O);
+  }
+  for (ValueId O : G.graphOutputs())
+    Touch(O);
+
+  // Emit values sorted by new id.
+  std::vector<ValueId> Ordered(Renumber.size(), InvalidValue);
+  for (const auto &[Old, New] : Renumber)
+    Ordered[static_cast<size_t>(New)] = Old;
+  for (size_t I = 0; I < Ordered.size(); ++I) {
+    const Value &V = G.value(Ordered[I]);
+    PF_ASSERT(V.Name.find(' ') == std::string::npos,
+              "value names must not contain spaces");
+    Out += formatStr("value %zu %s %s %s", I, V.Name.c_str(),
+                     dataTypeName(V.Type), V.IsParam ? "param" : "flow");
+    if (V.IsParam)
+      Out += formatStr(" %llu",
+                       static_cast<unsigned long long>(V.InitSeed));
+    for (int64_t D : V.Shape.dims())
+      Out += formatStr(" %lld", static_cast<long long>(D));
+    Out += '\n';
+  }
+
+  int NodeIdx = 0;
+  for (NodeId Id : G.topoOrder()) {
+    const Node &N = G.node(Id);
+    PF_ASSERT(N.Name.find(' ') == std::string::npos,
+              "node names must not contain spaces");
+    Out += formatStr("node %d %s %s %s inputs", NodeIdx++,
+                     opKindName(N.Kind), N.Name.c_str(),
+                     deviceName(N.Dev));
+    for (ValueId In : N.Inputs)
+      Out += formatStr(" %d", Renumber.at(In));
+    Out += " outputs";
+    for (ValueId O : N.Outputs)
+      Out += formatStr(" %d", Renumber.at(O));
+    Out += attrTokens(N);
+    Out += '\n';
+  }
+
+  Out += "inputs";
+  for (ValueId In : G.graphInputs())
+    Out += formatStr(" %d", Renumber.at(In));
+  Out += "\noutputs";
+  for (ValueId O : G.graphOutputs())
+    Out += formatStr(" %d", Renumber.at(O));
+  Out += "\nend\n";
+  return Out;
+}
+
+std::variant<Graph, std::string> pf::parseGraph(const std::string &Text) {
+  const std::vector<std::string> Lines = split(Text, '\n');
+  if (Lines.empty() || !startsWith(Lines[0], kMagic))
+    return std::string("missing pimflow-graph header");
+  const std::string Name = trim(Lines[0].substr(std::strlen(kMagic)));
+  Graph G(Name.empty() ? "graph" : Name);
+
+  std::vector<ValueId> ValueIds; // Serialized id -> graph value id.
+  auto ValueAt = [&ValueIds](int64_t I) -> std::optional<ValueId> {
+    if (I < 0 || static_cast<size_t>(I) >= ValueIds.size())
+      return std::nullopt;
+    return ValueIds[static_cast<size_t>(I)];
+  };
+
+  for (size_t LineNo = 1; LineNo < Lines.size(); ++LineNo) {
+    const std::string Line = trim(Lines[LineNo]);
+    if (Line.empty())
+      continue;
+    const std::vector<std::string> T = tokens(Line);
+    auto Err = [&LineNo](const std::string &Why) {
+      return formatStr("line %zu: %s", LineNo + 1, Why.c_str());
+    };
+
+    if (T[0] == "end")
+      break;
+
+    if (T[0] == "value") {
+      if (T.size() < 5)
+        return Err("malformed value line");
+      if (std::atoll(T[1].c_str()) != static_cast<long long>(
+                                          ValueIds.size()))
+        return Err("value ids must be sequential");
+      const std::string &VName = T[2];
+      const DataType Type = T[3] == "f32" ? DataType::F32 : DataType::F16;
+      if (T[3] != "f32" && T[3] != "f16")
+        return Err("unknown data type " + T[3]);
+      const bool IsParam = T[4] == "param";
+      if (T[4] != "param" && T[4] != "flow")
+        return Err("unknown value class " + T[4]);
+      size_t DimStart = 5;
+      uint64_t Seed = 0;
+      if (IsParam) {
+        if (T.size() < 6)
+          return Err("param value missing init seed");
+        Seed = std::strtoull(T[5].c_str(), nullptr, 10);
+        DimStart = 6;
+      }
+      std::vector<int64_t> Dims;
+      for (size_t I = DimStart; I < T.size(); ++I)
+        Dims.push_back(std::atoll(T[I].c_str()));
+      TensorShape Shape(Dims);
+      if (IsParam) {
+        ValueId Id = G.addParam(VName, Shape, Type);
+        G.value(Id).InitSeed = Seed; // Preserve weight materialization.
+        ValueIds.push_back(Id);
+      } else {
+        ValueIds.push_back(G.addValue(VName, Shape, Type));
+      }
+      continue;
+    }
+
+    if (T[0] == "node") {
+      if (T.size() < 6)
+        return Err("malformed node line");
+      const std::optional<OpKind> Kind = kindFromName(T[2]);
+      if (!Kind)
+        return Err("unknown op kind " + T[2]);
+      const std::string &NName = T[3];
+      const std::optional<Device> Dev = deviceFromName(T[4]);
+      if (!Dev)
+        return Err("unknown device " + T[4]);
+      if (T[5] != "inputs")
+        return Err("expected 'inputs'");
+      size_t I = 6;
+      std::vector<ValueId> Ins, Outs;
+      for (; I < T.size() && T[I] != "outputs"; ++I) {
+        auto V = ValueAt(std::atoll(T[I].c_str()));
+        if (!V)
+          return Err("input value id out of range");
+        Ins.push_back(*V);
+      }
+      if (I >= T.size())
+        return Err("expected 'outputs'");
+      for (++I; I < T.size() && T[I].find('=') == std::string::npos; ++I) {
+        auto V = ValueAt(std::atoll(T[I].c_str()));
+        if (!V)
+          return Err("output value id out of range");
+        Outs.push_back(*V);
+      }
+      AttrMap Attrs;
+      for (; I < T.size(); ++I) {
+        const size_t Eq = T[I].find('=');
+        if (Eq == std::string::npos)
+          return Err("malformed attribute " + T[I]);
+        Attrs[T[I].substr(0, Eq)] = T[I].substr(Eq + 1);
+      }
+      if (Outs.empty())
+        return Err("node without outputs");
+      G.addNode(*Kind, NName, attrsFromMap(*Kind, Attrs), std::move(Ins),
+                std::move(Outs));
+      G.node(static_cast<NodeId>(G.numNodesIncludingDead() - 1)).Dev =
+          *Dev;
+      continue;
+    }
+
+    if (T[0] == "inputs" || T[0] == "outputs") {
+      std::vector<ValueId> Ids;
+      for (size_t I = 1; I < T.size(); ++I) {
+        auto V = ValueAt(std::atoll(T[I].c_str()));
+        if (!V)
+          return Err("graph interface value id out of range");
+        Ids.push_back(*V);
+      }
+      if (T[0] == "inputs")
+        G.setGraphInputs(std::move(Ids));
+      else
+        G.setGraphOutputs(std::move(Ids));
+      continue;
+    }
+
+    return Err("unknown directive " + T[0]);
+  }
+
+  if (auto VErr = G.validate())
+    return "parsed graph is invalid: " + *VErr;
+  return G;
+}
+
+bool pf::saveGraph(const Graph &G, const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  const std::string Text = serializeGraph(G);
+  const bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) ==
+                  Text.size();
+  std::fclose(F);
+  return Ok;
+}
+
+std::optional<Graph> pf::loadGraph(const std::string &Path,
+                                   std::string *Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return std::nullopt;
+  }
+  std::string Text;
+  char Buf[4096];
+  size_t Read;
+  while ((Read = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, Read);
+  std::fclose(F);
+  auto Result = parseGraph(Text);
+  if (std::holds_alternative<std::string>(Result)) {
+    if (Error)
+      *Error = std::get<std::string>(Result);
+    return std::nullopt;
+  }
+  return std::get<Graph>(std::move(Result));
+}

@@ -1,0 +1,54 @@
+//===- ir/GraphSerializer.h - Graph save/load -------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented textual serialization of Graphs — the stand-in for the
+/// artifact's ONNX files: the driver saves transformed graphs to disk and
+/// later steps (or other tools) reload them. The format is self-contained
+/// (declares every value with shape/type/param flag before the node list)
+/// and round-trips exactly, including device annotations.
+///
+/// ```
+/// pimflow-graph v1 <name>
+/// value <id> <name> <f16|f32> <flow|param> [d0 d1 ...]
+/// node <id> <kind> <name> <device> inputs <i...> outputs <o...>
+///      [<key>=<value> ...]   (on the same physical line)
+/// inputs <v...>
+/// outputs <v...>
+/// end
+/// ```
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_IR_GRAPHSERIALIZER_H
+#define PIMFLOW_IR_GRAPHSERIALIZER_H
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// Serializes \p G (live nodes only) to the textual format.
+std::string serializeGraph(const Graph &G);
+
+/// Parses a graph previously produced by serializeGraph. Returns the graph
+/// or an error description.
+std::variant<Graph, std::string> parseGraph(const std::string &Text);
+
+/// Writes serializeGraph(G) to \p Path. Returns false on I/O failure.
+bool saveGraph(const Graph &G, const std::string &Path);
+
+/// Reads and parses a graph file. Returns std::nullopt (and fills
+/// \p Error if non-null) on failure.
+std::optional<Graph> loadGraph(const std::string &Path,
+                               std::string *Error = nullptr);
+
+} // namespace pf
+
+#endif // PIMFLOW_IR_GRAPHSERIALIZER_H

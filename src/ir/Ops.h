@@ -1,0 +1,145 @@
+//===- ir/Ops.h - Operator kinds and attributes -----------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operator set of the graph IR. It mirrors the subset of ONNX opset 13
+/// that the paper's transformation passes touch: Conv (including depthwise
+/// via groups), Gemm, elementwise ops, pooling, the data-movement trio
+/// Slice/Pad/Concat that MD-DP splitting and pipelining insert, and the
+/// activation functions appearing in the evaluated models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_IR_OPS_H
+#define PIMFLOW_IR_OPS_H
+
+#include <cstdint>
+#include <variant>
+
+namespace pf {
+
+/// Discriminator for graph node operators.
+enum class OpKind : uint8_t {
+  Input,      ///< Graph input placeholder (no computation).
+  Conv2d,     ///< 2-D convolution, NHWC, weights [KH,KW,Cin/G,Cout].
+  Gemm,       ///< Fully-connected: X[N,K] * W[K,M] + bias[M].
+  Relu,       ///< max(x, 0)
+  Relu6,      ///< min(max(x, 0), 6)
+  Sigmoid,    ///< 1 / (1 + exp(-x))
+  SiLU,       ///< x * sigmoid(x) (a.k.a. swish; EfficientNet)
+  Tanh,       ///< tanh(x)
+  Gelu,       ///< Gaussian error linear unit (BERT)
+  Softmax,    ///< softmax over the last axis
+  Add,        ///< elementwise addition (same shape or channel broadcast)
+  Mul,        ///< elementwise multiplication (same shape or channel bcast)
+  BatchNorm,  ///< per-channel (x - mean)/sqrt(var+eps)*scale + bias
+  MaxPool,    ///< max pooling
+  AvgPool,    ///< average pooling
+  GlobalAvgPool, ///< spatial global average pooling -> [N,1,1,C]
+  Pad,        ///< zero padding of spatial dims
+  Slice,      ///< contiguous slice along one axis
+  Concat,     ///< concatenation along one axis
+  Flatten,    ///< collapse to [N, rest]
+  Identity,   ///< pass-through (used by transforms as a placeholder)
+  LayerNorm,  ///< normalize over the last axis, then scale+bias (BERT)
+  MatMul,     ///< weight-less matrix product A[N,K] x B[K,M] (attention)
+};
+
+/// Returns the mnemonic for \p Kind ("conv2d", "gemm", ...).
+const char *opKindName(OpKind Kind);
+
+/// Attributes for Conv2d.
+struct Conv2dAttrs {
+  int64_t KernelH = 1;
+  int64_t KernelW = 1;
+  int64_t StrideH = 1;
+  int64_t StrideW = 1;
+  /// Spatial zero padding: top/bottom/left/right.
+  int64_t PadTop = 0;
+  int64_t PadBottom = 0;
+  int64_t PadLeft = 0;
+  int64_t PadRight = 0;
+  /// Grouped convolution; depthwise when Groups == Cin == Cout.
+  int64_t Groups = 1;
+  bool operator==(const Conv2dAttrs &) const = default;
+
+  /// True for 1x1 stride-free pointwise convolution, the primary PIM target.
+  bool isPointwise() const {
+    return KernelH == 1 && KernelW == 1 && Groups == 1;
+  }
+};
+
+/// Attributes for Gemm (fully-connected).
+struct GemmAttrs {
+  bool HasBias = true;
+  bool operator==(const GemmAttrs &) const = default;
+};
+
+/// Attributes for MaxPool / AvgPool.
+struct PoolAttrs {
+  int64_t KernelH = 2;
+  int64_t KernelW = 2;
+  int64_t StrideH = 2;
+  int64_t StrideW = 2;
+  int64_t PadTop = 0;
+  int64_t PadBottom = 0;
+  int64_t PadLeft = 0;
+  int64_t PadRight = 0;
+  bool operator==(const PoolAttrs &) const = default;
+};
+
+/// Attributes for BatchNorm.
+struct BatchNormAttrs {
+  float Epsilon = 1e-5f;
+  bool operator==(const BatchNormAttrs &) const = default;
+};
+
+/// Attributes for LayerNorm.
+struct LayerNormAttrs {
+  float Epsilon = 1e-5f;
+  bool operator==(const LayerNormAttrs &) const = default;
+};
+
+/// Attributes for MatMul: optionally transpose the second operand
+/// (attention's Q x K^T).
+struct MatMulAttrs {
+  bool TransposeB = false;
+  bool operator==(const MatMulAttrs &) const = default;
+};
+
+/// Attributes for Pad: zero padding amounts for the spatial dims of an NHWC
+/// tensor.
+struct PadAttrs {
+  int64_t Top = 0;
+  int64_t Bottom = 0;
+  int64_t Left = 0;
+  int64_t Right = 0;
+  bool operator==(const PadAttrs &) const = default;
+};
+
+/// Attributes for Slice: [Begin, End) along Axis.
+struct SliceAttrs {
+  int64_t Axis = 1;
+  int64_t Begin = 0;
+  int64_t End = 0;
+  bool operator==(const SliceAttrs &) const = default;
+};
+
+/// Attributes for Concat.
+struct ConcatAttrs {
+  int64_t Axis = 1;
+  bool operator==(const ConcatAttrs &) const = default;
+};
+
+/// Tagged union of all per-op attribute structs. std::monostate is used for
+/// attribute-free ops (activations, Add, Flatten, ...).
+using OpAttrs = std::variant<std::monostate, Conv2dAttrs, GemmAttrs,
+                             PoolAttrs, BatchNormAttrs, PadAttrs, SliceAttrs,
+                             ConcatAttrs, LayerNormAttrs, MatMulAttrs>;
+
+} // namespace pf
+
+#endif // PIMFLOW_IR_OPS_H

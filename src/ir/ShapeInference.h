@@ -1,0 +1,41 @@
+//===- ir/ShapeInference.h - Shape propagation ------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Propagates tensor shapes from graph inputs/parameters through every live
+/// node. Transformation passes call this after rewriting a graph to refresh
+/// value shapes and to catch malformed rewrites early.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_IR_SHAPEINFERENCE_H
+#define PIMFLOW_IR_SHAPEINFERENCE_H
+
+#include <optional>
+#include <string>
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// Computes the output shape(s) of \p N given its current input shapes and
+/// writes them into the graph. Returns an error string on inconsistent
+/// inputs.
+std::optional<std::string> inferNodeShapes(Graph &G, NodeId Id);
+
+/// Runs inferNodeShapes over all live nodes in topological order.
+/// Returns the first error encountered, or std::nullopt on success.
+std::optional<std::string> inferShapes(Graph &G);
+
+/// Convenience: computes a Conv2d output spatial extent.
+inline int64_t convOutExtent(int64_t In, int64_t Kernel, int64_t Stride,
+                             int64_t PadLo, int64_t PadHi) {
+  return (In + PadLo + PadHi - Kernel) / Stride + 1;
+}
+
+} // namespace pf
+
+#endif // PIMFLOW_IR_SHAPEINFERENCE_H

@@ -1,0 +1,136 @@
+//===- ir/Tensor.h - Tensor shapes and dense tensors ------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tensor shape and dense tensor types. Activations use the NHWC
+/// (channels-last) layout throughout, matching the paper's assumption that
+/// channel-dimension accesses are contiguous (Section 2.2). Functional
+/// execution is always float32; DataType only affects the byte counts seen
+/// by the timing models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_IR_TENSOR_H
+#define PIMFLOW_IR_TENSOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/Assert.h"
+
+namespace pf {
+
+/// Element type of a tensor as seen by the hardware models.
+enum class DataType : uint8_t {
+  F32,
+  F16,
+};
+
+/// Size of one element of \p Type in bytes.
+inline int64_t byteSize(DataType Type) {
+  switch (Type) {
+  case DataType::F32:
+    return 4;
+  case DataType::F16:
+    return 2;
+  }
+  pf_unreachable("unknown data type");
+}
+
+/// Short name ("f32"/"f16") for printing.
+const char *dataTypeName(DataType Type);
+
+/// A dense tensor shape. Activations are rank-4 NHWC; FC activations are
+/// rank-2 [N, K]; weights use [KH, KW, Cin/G, Cout] for convolutions and
+/// [K, M] for GEMM.
+class TensorShape {
+public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<int64_t> Dims) : Dims(Dims) {}
+  explicit TensorShape(std::vector<int64_t> Dims) : Dims(std::move(Dims)) {}
+
+  /// Number of dimensions.
+  int64_t rank() const { return static_cast<int64_t>(Dims.size()); }
+
+  /// Extent of dimension \p I (asserts in range).
+  int64_t dim(int64_t I) const {
+    PF_ASSERT(I >= 0 && I < rank(), "shape dim out of range");
+    return Dims[static_cast<size_t>(I)];
+  }
+
+  /// Mutable extent of dimension \p I.
+  void setDim(int64_t I, int64_t V) {
+    PF_ASSERT(I >= 0 && I < rank(), "shape dim out of range");
+    Dims[static_cast<size_t>(I)] = V;
+  }
+
+  /// Total number of elements (1 for rank-0).
+  int64_t numElements() const {
+    int64_t N = 1;
+    for (int64_t D : Dims)
+      N *= D;
+    return N;
+  }
+
+  const std::vector<int64_t> &dims() const { return Dims; }
+
+  bool operator==(const TensorShape &Other) const = default;
+
+  /// Renders as e.g. "[1x56x56x64]".
+  std::string toString() const;
+
+private:
+  std::vector<int64_t> Dims;
+};
+
+/// A dense float32 tensor used by the functional reference interpreter.
+class Tensor {
+public:
+  Tensor() = default;
+  explicit Tensor(TensorShape Shape)
+      : Shape(std::move(Shape)),
+        Data(static_cast<size_t>(this->Shape.numElements()), 0.0f) {}
+
+  const TensorShape &shape() const { return Shape; }
+  int64_t numElements() const { return Shape.numElements(); }
+
+  float *data() { return Data.data(); }
+  const float *data() const { return Data.data(); }
+
+  float at(int64_t I) const {
+    PF_ASSERT(I >= 0 && I < numElements(), "tensor index out of range");
+    return Data[static_cast<size_t>(I)];
+  }
+  float &at(int64_t I) {
+    PF_ASSERT(I >= 0 && I < numElements(), "tensor index out of range");
+    return Data[static_cast<size_t>(I)];
+  }
+
+  /// NHWC element accessor for rank-4 tensors.
+  float &at4(int64_t N, int64_t H, int64_t W, int64_t C) {
+    return Data[static_cast<size_t>(flatten4(N, H, W, C))];
+  }
+  float at4(int64_t N, int64_t H, int64_t W, int64_t C) const {
+    return Data[static_cast<size_t>(flatten4(N, H, W, C))];
+  }
+
+private:
+  int64_t flatten4(int64_t N, int64_t H, int64_t W, int64_t C) const {
+    PF_ASSERT(Shape.rank() == 4, "at4 requires a rank-4 tensor");
+    PF_ASSERT(N >= 0 && N < Shape.dim(0) && H >= 0 && H < Shape.dim(1) &&
+                  W >= 0 && W < Shape.dim(2) && C >= 0 && C < Shape.dim(3),
+              "NHWC index out of range");
+    return ((N * Shape.dim(1) + H) * Shape.dim(2) + W) * Shape.dim(3) + C;
+  }
+
+  TensorShape Shape;
+  std::vector<float> Data;
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_IR_TENSOR_H

@@ -1,0 +1,86 @@
+//===- models/Zoo.h - Evaluated model architectures -------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constructors for the networks evaluated in the paper: EfficientNet-B0
+/// (and scaled B1..B6 for the Fig. 16 sensitivity study), MobileNetV2,
+/// MnasNet-1.0, ResNet-50, VGG-16, a BERT-base encoder stack (Fig. 16), and
+/// the artifact's Toy network. All CNNs take a single-batch 224x224x3 NHWC
+/// image unless the variant dictates a different resolution; batch norm is
+/// folded into the convolutions, matching inference-time ONNX exports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_MODELS_ZOO_H
+#define PIMFLOW_MODELS_ZOO_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// VGG-16 with two 4096-wide FC layers and a 1000-way classifier.
+Graph buildVgg16();
+
+/// ResNet-50 v1 with bottleneck blocks.
+Graph buildResNet50();
+
+/// MobileNetV2 with inverted residual blocks; \p WidthMult scales every
+/// channel count (Fig. 16's scaled-up variants).
+Graph buildMobileNetV2(double WidthMult = 1.0);
+
+/// MnasNet-B1; \p WidthMult scales every channel count.
+Graph buildMnasNet(double WidthMult = 1.0);
+
+/// EfficientNet-B\p Variant with squeeze-and-excitation blocks; Variant in
+/// [0, 6] applies the published width/depth/resolution scaling.
+Graph buildEfficientNet(int Variant = 0);
+
+/// BERT-base encoder stack (12 layers, hidden 768, FFN 3072) for a batch-1
+/// sequence of length \p SeqLen. FC-dominated; used by Fig. 16.
+Graph buildBertEncoder(int64_t SeqLen, int NumLayers = 12);
+
+/// The artifact's Toy network: a short 1x1 / depthwise chain used by the
+/// quickstart.
+Graph buildToy();
+
+//===----------------------------------------------------------------------===
+// Models beyond the paper's evaluated five (artifact A.7: "other CNN/DNN
+// models ... optimized with PIMFlow").
+//===----------------------------------------------------------------------===
+
+/// AlexNet (FC-heavy classic).
+Graph buildAlexNet();
+/// SqueezeNet 1.1: 1x1-dominated fire modules with real branch parallelism.
+Graph buildSqueezeNet();
+/// ResNet-18 (basic blocks).
+Graph buildResNet18();
+/// ResNet-34 (basic blocks).
+Graph buildResNet34();
+/// DenseNet-121: concat-heavy dense blocks.
+Graph buildDenseNet121();
+
+/// Names of the additional models accepted by buildModel().
+std::vector<std::string> extraModelNames();
+
+/// Names accepted by buildModel(), in the paper's order.
+std::vector<std::string> modelNames();
+
+/// Builds a model by artifact name: "efficientnet-v1-b0" .. "-b6",
+/// "mobilenet-v2", "mnasnet-1.0", "resnet-50", "vgg-16", "bert", "toy",
+/// or any extraModelNames() entry. Aborts on unknown names.
+Graph buildModel(const std::string &Name);
+
+/// Like buildModel but returns std::nullopt for unknown names (for tools
+/// taking user input).
+std::optional<Graph> tryBuildModel(const std::string &Name);
+
+} // namespace pf
+
+#endif // PIMFLOW_MODELS_ZOO_H

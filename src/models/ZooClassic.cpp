@@ -1,0 +1,78 @@
+//===- models/ZooClassic.cpp - VGG-16 and ResNet-50 -------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Zoo.h"
+
+#include "ir/Builder.h"
+
+using namespace pf;
+
+Graph pf::buildVgg16() {
+  GraphBuilder B("vgg-16");
+  ValueId X = B.input("image", TensorShape{1, 224, 224, 3});
+
+  auto ConvBlock = [&B](ValueId In, int64_t Cout, int Repeats) {
+    ValueId V = In;
+    for (int I = 0; I < Repeats; ++I)
+      V = B.relu(B.conv2d(V, Cout, /*Kernel=*/3, /*Stride=*/1, /*Pad=*/1,
+                          /*Groups=*/1, /*WithBias=*/true));
+    return B.maxPool(V, 2, 2);
+  };
+
+  X = ConvBlock(X, 64, 2);
+  X = ConvBlock(X, 128, 2);
+  X = ConvBlock(X, 256, 3);
+  X = ConvBlock(X, 512, 3);
+  X = ConvBlock(X, 512, 3);
+
+  X = B.flatten(X); // [1, 7*7*512]
+  X = B.relu(B.gemm(X, 4096));
+  X = B.relu(B.gemm(X, 4096));
+  X = B.gemm(X, 1000);
+  B.output(X);
+  return B.take();
+}
+
+Graph pf::buildResNet50() {
+  GraphBuilder B("resnet-50");
+  ValueId X = B.input("image", TensorShape{1, 224, 224, 3});
+
+  X = B.relu(B.conv2d(X, 64, /*Kernel=*/7, /*Stride=*/2, /*Pad=*/3));
+  X = B.maxPool(X, 3, 2, /*Pad=*/1);
+
+  // A bottleneck block: 1x1 reduce -> 3x3 -> 1x1 expand, with a projection
+  // shortcut whenever the shape changes.
+  auto Bottleneck = [&B](ValueId In, int64_t Mid, int64_t Out,
+                         int64_t Stride) {
+    ValueId Shortcut = In;
+    const int64_t Cin = B.graph().value(In).Shape.dim(3);
+    if (Stride != 1 || Cin != Out)
+      Shortcut = B.conv2d(In, Out, 1, Stride, 0);
+    ValueId V = B.relu(B.conv2d(In, Mid, 1, 1, 0));
+    V = B.relu(B.conv2d(V, Mid, 3, Stride, 1));
+    V = B.conv2d(V, Out, 1, 1, 0);
+    return B.relu(B.add(V, Shortcut));
+  };
+
+  auto Stage = [&Bottleneck](ValueId In, int64_t Mid, int64_t Out,
+                             int Blocks, int64_t FirstStride) {
+    ValueId V = Bottleneck(In, Mid, Out, FirstStride);
+    for (int I = 1; I < Blocks; ++I)
+      V = Bottleneck(V, Mid, Out, 1);
+    return V;
+  };
+
+  X = Stage(X, 64, 256, 3, 1);
+  X = Stage(X, 128, 512, 4, 2);
+  X = Stage(X, 256, 1024, 6, 2);
+  X = Stage(X, 512, 2048, 3, 2);
+
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  X = B.gemm(X, 1000);
+  B.output(X);
+  return B.take();
+}

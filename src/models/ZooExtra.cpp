@@ -1,0 +1,150 @@
+//===- models/ZooExtra.cpp - Additional CNNs (artifact A.7) -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The artifact's "Experiment Customization" point: "The main execution
+/// script can take as input other CNN/DNN models that were not evaluated
+/// in the paper and optimize them with PIMFlow." These are Torchvision
+/// models beyond the evaluated five: AlexNet, SqueezeNet 1.1 (1x1-heavy
+/// fire modules), ResNet-18/34 (basic blocks), and DenseNet-121
+/// (concat-heavy dense blocks).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "models/Zoo.h"
+#include "support/Format.h"
+
+using namespace pf;
+
+Graph pf::buildAlexNet() {
+  GraphBuilder B("alexnet");
+  ValueId X = B.input("image", TensorShape{1, 224, 224, 3});
+  X = B.relu(B.conv2d(X, 64, 11, 4, 2, 1, /*WithBias=*/true));
+  X = B.maxPool(X, 3, 2);
+  X = B.relu(B.conv2d(X, 192, 5, 1, 2, 1, true));
+  X = B.maxPool(X, 3, 2);
+  X = B.relu(B.conv2d(X, 384, 3, 1, 1, 1, true));
+  X = B.relu(B.conv2d(X, 256, 3, 1, 1, 1, true));
+  X = B.relu(B.conv2d(X, 256, 3, 1, 1, 1, true));
+  X = B.maxPool(X, 3, 2);
+  X = B.flatten(X);
+  X = B.relu(B.gemm(X, 4096));
+  X = B.relu(B.gemm(X, 4096));
+  X = B.gemm(X, 1000);
+  B.output(X);
+  return B.take();
+}
+
+Graph pf::buildSqueezeNet() {
+  GraphBuilder B("squeezenet-1.1");
+  ValueId X = B.input("image", TensorShape{1, 224, 224, 3});
+  X = B.relu(B.conv2d(X, 64, 3, 2, 0, 1, /*WithBias=*/true));
+  X = B.maxPool(X, 3, 2);
+
+  // Fire module: 1x1 squeeze, then parallel 1x1 and 3x3 expands whose
+  // outputs concatenate along channels — inherently 1x1-dominated and,
+  // unusually for a CNN, with real inter-node parallelism.
+  auto Fire = [&B](ValueId In, int64_t Squeeze, int64_t Expand) {
+    ValueId S = B.relu(B.conv2d(In, Squeeze, 1, 1, 0, 1, true));
+    ValueId E1 = B.relu(B.conv2d(S, Expand, 1, 1, 0, 1, true));
+    ValueId E3 = B.relu(B.conv2d(S, Expand, 3, 1, 1, 1, true));
+    return B.concat({E1, E3}, /*Axis=*/3);
+  };
+
+  X = Fire(X, 16, 64);
+  X = Fire(X, 16, 64);
+  X = B.maxPool(X, 3, 2);
+  X = Fire(X, 32, 128);
+  X = Fire(X, 32, 128);
+  X = B.maxPool(X, 3, 2);
+  X = Fire(X, 48, 192);
+  X = Fire(X, 48, 192);
+  X = Fire(X, 64, 256);
+  X = Fire(X, 64, 256);
+  X = B.relu(B.conv2d(X, 1000, 1, 1, 0, 1, true)); // Classifier conv.
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  B.output(X);
+  return B.take();
+}
+
+namespace {
+
+/// ResNet v1 with two-conv basic blocks (ResNet-18/34).
+Graph buildBasicResNet(const char *Name, const int (&Blocks)[4]) {
+  GraphBuilder B(Name);
+  ValueId X = B.input("image", TensorShape{1, 224, 224, 3});
+  X = B.relu(B.conv2d(X, 64, 7, 2, 3));
+  X = B.maxPool(X, 3, 2, 1);
+
+  auto Basic = [&B](ValueId In, int64_t Out, int64_t Stride) {
+    ValueId Shortcut = In;
+    const int64_t Cin = B.graph().value(In).Shape.dim(3);
+    if (Stride != 1 || Cin != Out)
+      Shortcut = B.conv2d(In, Out, 1, Stride, 0);
+    ValueId V = B.relu(B.conv2d(In, Out, 3, Stride, 1));
+    V = B.conv2d(V, Out, 3, 1, 1);
+    return B.relu(B.add(V, Shortcut));
+  };
+
+  const int64_t Channels[4] = {64, 128, 256, 512};
+  for (int Stage = 0; Stage < 4; ++Stage)
+    for (int I = 0; I < Blocks[Stage]; ++I)
+      X = Basic(X, Channels[Stage],
+                I == 0 && Stage > 0 ? 2 : 1);
+
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  X = B.gemm(X, 1000);
+  B.output(X);
+  return B.take();
+}
+
+} // namespace
+
+Graph pf::buildResNet18() {
+  return buildBasicResNet("resnet-18", {2, 2, 2, 2});
+}
+
+Graph pf::buildResNet34() {
+  return buildBasicResNet("resnet-34", {3, 4, 6, 3});
+}
+
+Graph pf::buildDenseNet121() {
+  GraphBuilder B("densenet-121");
+  const int64_t Growth = 32;
+  ValueId X = B.input("image", TensorShape{1, 224, 224, 3});
+  X = B.relu(B.conv2d(X, 64, 7, 2, 3));
+  X = B.maxPool(X, 3, 2, 1);
+
+  // Dense layer: BN-folded 1x1 bottleneck (4k) then 3x3 producing k new
+  // feature maps, concatenated onto the running feature stack.
+  auto DenseLayer = [&B, Growth](ValueId In) {
+    ValueId V = B.relu(B.conv2d(In, 4 * Growth, 1, 1, 0));
+    V = B.conv2d(V, Growth, 3, 1, 1);
+    return B.concat({In, V}, /*Axis=*/3);
+  };
+  auto Transition = [&B](ValueId In) {
+    const int64_t C = B.graph().value(In).Shape.dim(3);
+    ValueId V = B.relu(B.conv2d(In, C / 2, 1, 1, 0));
+    return B.avgPool(V, 2, 2);
+  };
+
+  const int BlockLayers[4] = {6, 12, 24, 16};
+  for (int Block = 0; Block < 4; ++Block) {
+    for (int L = 0; L < BlockLayers[Block]; ++L)
+      X = DenseLayer(X);
+    if (Block != 3)
+      X = Transition(X);
+  }
+  X = B.relu(X);
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  X = B.gemm(X, 1000);
+  B.output(X);
+  return B.take();
+}

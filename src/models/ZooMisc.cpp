@@ -1,0 +1,111 @@
+//===- models/ZooMisc.cpp - BERT encoder, Toy net, registry -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "models/Zoo.h"
+#include "support/Format.h"
+
+using namespace pf;
+
+Graph pf::buildBertEncoder(int64_t SeqLen, int NumLayers) {
+  PF_ASSERT(SeqLen >= 1, "sequence length must be positive");
+  const int64_t Hidden = 768;
+  const int64_t Ffn = 3072;
+
+  GraphBuilder B(formatStr("bert-seq%lld", static_cast<long long>(SeqLen)));
+  ValueId X = B.input("tokens", TensorShape{SeqLen, Hidden});
+
+  for (int L = 0; L < NumLayers; ++L) {
+    // Self-attention: Q/K/V projections (the PIM-candidate FC layers),
+    // scores = softmax(Q x K^T), context = scores x V. The weight-less
+    // matmuls are tiny at the evaluated sequence lengths; the paper treats
+    // BERT as FC-dominated.
+    ValueId Q = B.gemm(X, Hidden);
+    ValueId K = B.gemm(X, Hidden);
+    ValueId V = B.gemm(X, Hidden);
+    ValueId Scores = B.softmax(B.matmul(Q, K, /*TransposeB=*/true));
+    ValueId Context = B.matmul(Scores, V);
+    ValueId AttnOut = B.gemm(Context, Hidden);
+    X = B.layerNorm(B.add(X, AttnOut));
+
+    // Feed-forward network.
+    ValueId F = B.gelu(B.gemm(X, Ffn));
+    F = B.gemm(F, Hidden);
+    X = B.layerNorm(B.add(X, F));
+  }
+  B.output(X);
+  return B.take();
+}
+
+Graph pf::buildToy() {
+  GraphBuilder B("toy");
+  ValueId X = B.input("image", TensorShape{1, 32, 32, 3});
+  X = B.relu(B.conv2d(X, 16, 3, 1, 1));
+  X = B.conv2d(X, 32, 1, 1, 0);          // pointwise (PIM candidate)
+  X = B.relu6(B.dwConv(X, 3, 1, 1));     // depthwise (GPU only)
+  X = B.conv2d(X, 64, 1, 1, 0);          // pointwise (PIM candidate)
+  X = B.relu(X);
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  X = B.gemm(X, 10);
+  B.output(X);
+  return B.take();
+}
+
+std::vector<std::string> pf::modelNames() {
+  return {"efficientnet-v1-b0", "mobilenet-v2", "mnasnet-1.0", "resnet-50",
+          "vgg-16"};
+}
+
+std::vector<std::string> pf::extraModelNames() {
+  return {"alexnet", "squeezenet-1.1", "resnet-18", "resnet-34",
+          "densenet-121"};
+}
+
+std::optional<Graph> pf::tryBuildModel(const std::string &Name) {
+  std::vector<std::string> Known = modelNames();
+  for (const std::string &Extra : extraModelNames())
+    Known.push_back(Extra);
+  for (int V = 0; V <= 6; ++V)
+    Known.push_back(formatStr("efficientnet-v1-b%d", V));
+  Known.push_back("bert");
+  Known.push_back("toy");
+  for (const std::string &K : Known)
+    if (K == Name)
+      return buildModel(Name);
+  return std::nullopt;
+}
+
+Graph pf::buildModel(const std::string &Name) {
+  if (Name == "efficientnet-v1-b0")
+    return buildEfficientNet(0);
+  for (int V = 0; V <= 6; ++V)
+    if (Name == formatStr("efficientnet-v1-b%d", V))
+      return buildEfficientNet(V);
+  if (Name == "mobilenet-v2")
+    return buildMobileNetV2();
+  if (Name == "mnasnet-1.0")
+    return buildMnasNet();
+  if (Name == "resnet-50")
+    return buildResNet50();
+  if (Name == "vgg-16")
+    return buildVgg16();
+  if (Name == "alexnet")
+    return buildAlexNet();
+  if (Name == "squeezenet-1.1")
+    return buildSqueezeNet();
+  if (Name == "resnet-18")
+    return buildResNet18();
+  if (Name == "resnet-34")
+    return buildResNet34();
+  if (Name == "densenet-121")
+    return buildDenseNet121();
+  if (Name == "bert")
+    return buildBertEncoder(64);
+  if (Name == "toy")
+    return buildToy();
+  pf_unreachable("unknown model name");
+}

@@ -1,0 +1,208 @@
+//===- models/ZooMobile.cpp - MobileNetV2 / MnasNet / EfficientNet -------===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The depthwise-separable mobile CNNs whose abundant pointwise (1x1)
+/// convolutions make them the paper's prime PIMFlow targets.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include "ir/Builder.h"
+#include "models/Zoo.h"
+#include "support/Format.h"
+
+using namespace pf;
+
+namespace {
+
+/// Rounds \p Channels * \p Mult to the nearest multiple of 8, never going
+/// below 90% of the unrounded value (the EfficientNet/MobileNet rule).
+int64_t scaleChannels(int64_t Channels, double Mult) {
+  const double Scaled = static_cast<double>(Channels) * Mult;
+  int64_t Rounded =
+      static_cast<int64_t>(std::floor(Scaled / 8.0 + 0.5)) * 8;
+  if (Rounded < 8)
+    Rounded = 8;
+  if (static_cast<double>(Rounded) < 0.9 * Scaled)
+    Rounded += 8;
+  return Rounded;
+}
+
+/// Rounds repeat counts up under a depth multiplier.
+int scaleRepeats(int Repeats, double Mult) {
+  return static_cast<int>(std::ceil(Mult * Repeats));
+}
+
+} // namespace
+
+Graph pf::buildMobileNetV2(double WidthMult) {
+  PF_ASSERT(WidthMult > 0.0, "width multiplier must be positive");
+  GraphBuilder B(WidthMult == 1.0
+                     ? std::string("mobilenet-v2")
+                     : formatStr("mobilenet-v2-w%.2f", WidthMult));
+  ValueId X = B.input("image", TensorShape{1, 224, 224, 3});
+
+  X = B.relu6(B.conv2d(X, scaleChannels(32, WidthMult), 3, 2, 1));
+
+  // Inverted residual: 1x1 expand -> depthwise 3x3 -> 1x1 project (linear),
+  // with a residual when the block keeps shape.
+  auto InvRes = [&B](ValueId In, int64_t Expand, int64_t Cout,
+                     int64_t Stride) {
+    const int64_t Cin = B.graph().value(In).Shape.dim(3);
+    ValueId V = In;
+    if (Expand != 1)
+      V = B.relu6(B.conv2d(V, Cin * Expand, 1, 1, 0));
+    V = B.relu6(B.dwConv(V, 3, Stride, 1));
+    V = B.conv2d(V, Cout, 1, 1, 0);
+    if (Stride == 1 && Cin == Cout)
+      V = B.add(V, In);
+    return V;
+  };
+
+  struct BlockSpec {
+    int64_t Expand;
+    int64_t Cout;
+    int Repeats;
+    int64_t Stride;
+  };
+  const BlockSpec Specs[] = {
+      {1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},  {6, 64, 4, 2},
+      {6, 96, 3, 1},  {6, 160, 3, 2}, {6, 320, 1, 1},
+  };
+  for (const BlockSpec &S : Specs)
+    for (int I = 0; I < S.Repeats; ++I)
+      X = InvRes(X, S.Expand, scaleChannels(S.Cout, WidthMult),
+                 I == 0 ? S.Stride : 1);
+
+  X = B.relu6(B.conv2d(X, scaleChannels(1280, WidthMult), 1, 1, 0));
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  X = B.gemm(X, 1000);
+  B.output(X);
+  return B.take();
+}
+
+Graph pf::buildMnasNet(double WidthMult) {
+  PF_ASSERT(WidthMult > 0.0, "width multiplier must be positive");
+  GraphBuilder B(WidthMult == 1.0
+                     ? std::string("mnasnet-1.0")
+                     : formatStr("mnasnet-w%.2f", WidthMult));
+  ValueId X = B.input("image", TensorShape{1, 224, 224, 3});
+
+  X = B.relu(B.conv2d(X, scaleChannels(32, WidthMult), 3, 2, 1));
+  // SepConv head: depthwise 3x3 + pointwise to 16.
+  X = B.relu(B.dwConv(X, 3, 1, 1));
+  X = B.conv2d(X, scaleChannels(16, WidthMult), 1, 1, 0);
+
+  auto MbConv = [&B](ValueId In, int64_t Expand, int64_t Kernel,
+                     int64_t Cout, int64_t Stride) {
+    const int64_t Cin = B.graph().value(In).Shape.dim(3);
+    ValueId V = B.relu(B.conv2d(In, Cin * Expand, 1, 1, 0));
+    V = B.relu(B.dwConv(V, Kernel, Stride, Kernel / 2));
+    V = B.conv2d(V, Cout, 1, 1, 0);
+    if (Stride == 1 && Cin == Cout)
+      V = B.add(V, In);
+    return V;
+  };
+
+  struct BlockSpec {
+    int64_t Expand;
+    int64_t Kernel;
+    int64_t Cout;
+    int Repeats;
+    int64_t Stride;
+  };
+  const BlockSpec Specs[] = {
+      {3, 3, 24, 3, 2},  {3, 5, 40, 3, 2},  {6, 5, 80, 3, 2},
+      {6, 3, 96, 2, 1},  {6, 5, 192, 4, 2}, {6, 3, 320, 1, 1},
+  };
+  for (const BlockSpec &S : Specs)
+    for (int I = 0; I < S.Repeats; ++I)
+      X = MbConv(X, S.Expand, S.Kernel, scaleChannels(S.Cout, WidthMult),
+                 I == 0 ? S.Stride : 1);
+
+  X = B.relu(B.conv2d(X, scaleChannels(1280, WidthMult), 1, 1, 0));
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  X = B.gemm(X, 1000);
+  B.output(X);
+  return B.take();
+}
+
+Graph pf::buildEfficientNet(int Variant) {
+  PF_ASSERT(Variant >= 0 && Variant <= 6, "EfficientNet variant out of range");
+  // Published compound-scaling coefficients (width, depth, resolution).
+  const double WidthMult[] = {1.0, 1.0, 1.1, 1.2, 1.4, 1.6, 1.8};
+  const double DepthMult[] = {1.0, 1.1, 1.2, 1.4, 1.8, 2.2, 2.6};
+  const int64_t Resolution[] = {224, 240, 260, 300, 380, 456, 528};
+  const double W = WidthMult[Variant];
+  const double D = DepthMult[Variant];
+  const int64_t R = Resolution[Variant];
+
+  GraphBuilder B(formatStr("efficientnet-v1-b%d", Variant));
+  ValueId X = B.input("image", TensorShape{1, R, R, 3});
+
+  X = B.silu(B.conv2d(X, scaleChannels(32, W), 3, 2, 1));
+
+  // Squeeze-and-excitation on an NHWC tensor: global pool -> 1x1 reduce ->
+  // SiLU -> 1x1 expand -> sigmoid -> channel-broadcast multiply.
+  auto SqueezeExcite = [&B](ValueId In, int64_t SeChannels) {
+    const int64_t C = B.graph().value(In).Shape.dim(3);
+    ValueId S = B.globalAvgPool(In);
+    S = B.silu(B.conv2d(S, SeChannels, 1, 1, 0, 1, /*WithBias=*/true));
+    S = B.sigmoid(B.conv2d(S, C, 1, 1, 0, 1, /*WithBias=*/true));
+    return B.mul(In, S);
+  };
+
+  auto MbConv = [&B, &SqueezeExcite](ValueId In, int64_t Expand,
+                                     int64_t Kernel, int64_t Cout,
+                                     int64_t Stride, int64_t SeChannels) {
+    const int64_t Cin = B.graph().value(In).Shape.dim(3);
+    ValueId V = In;
+    if (Expand != 1)
+      V = B.silu(B.conv2d(V, Cin * Expand, 1, 1, 0));
+    V = B.silu(B.dwConv(V, Kernel, Stride, Kernel / 2));
+    V = SqueezeExcite(V, SeChannels);
+    V = B.conv2d(V, Cout, 1, 1, 0);
+    if (Stride == 1 && Cin == Cout)
+      V = B.add(V, In);
+    return V;
+  };
+
+  struct BlockSpec {
+    int64_t Expand;
+    int64_t Kernel;
+    int64_t Cout;
+    int Repeats;
+    int64_t Stride;
+  };
+  // B0 base configuration; SE ratio is 0.25 of the block input channels.
+  const BlockSpec Specs[] = {
+      {1, 3, 16, 1, 1},  {6, 3, 24, 2, 2},  {6, 5, 40, 2, 2},
+      {6, 3, 80, 3, 2},  {6, 5, 112, 3, 1}, {6, 5, 192, 4, 2},
+      {6, 3, 320, 1, 1},
+  };
+  for (const BlockSpec &S : Specs) {
+    const int64_t Cout = scaleChannels(S.Cout, W);
+    const int Repeats = scaleRepeats(S.Repeats, D);
+    for (int I = 0; I < Repeats; ++I) {
+      const int64_t Cin = B.graph().value(X).Shape.dim(3);
+      int64_t Se = Cin / 4;
+      if (Se < 1)
+        Se = 1;
+      X = MbConv(X, S.Expand, S.Kernel, Cout, I == 0 ? S.Stride : 1, Se);
+    }
+  }
+
+  X = B.silu(B.conv2d(X, scaleChannels(1280, W), 1, 1, 0));
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  X = B.gemm(X, 1000);
+  B.output(X);
+  return B.take();
+}

@@ -1,0 +1,237 @@
+//===- pim/PimSimulator.cpp - DRAM-PIM cycle simulator ----------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pim/PimSimulator.h"
+
+#include <algorithm>
+
+using namespace pf;
+
+const char *pf::pimCmdName(PimCmdKind Kind) {
+  switch (Kind) {
+  case PimCmdKind::Gwrite:
+    return "GWRITE";
+  case PimCmdKind::Gwrite2:
+    return "GWRITE_2";
+  case PimCmdKind::Gwrite4:
+    return "GWRITE_4";
+  case PimCmdKind::GAct:
+    return "G_ACT";
+  case PimCmdKind::Comp:
+    return "COMP";
+  case PimCmdKind::ReadRes:
+    return "READRES";
+  }
+  pf_unreachable("unknown PIM command kind");
+}
+
+namespace {
+
+/// Per-channel timing state carried across commands.
+struct ChannelState {
+  int64_t FetchFree = 0;     ///< Fetch engine next-free cycle (GWRITE).
+  int64_t BankFree = 0;      ///< Bank engine next-free cycle.
+  int64_t LastGwriteDone = 0;
+  int64_t LastGactDone = 0;
+  int64_t LastCompDone = 0;
+  int64_t Now = 0;           ///< Completion time of the latest command.
+
+  /// Component-wise difference (per-iteration advance of each cursor).
+  ChannelState minus(const ChannelState &Other) const {
+    return ChannelState{FetchFree - Other.FetchFree,
+                        BankFree - Other.BankFree,
+                        LastGwriteDone - Other.LastGwriteDone,
+                        LastGactDone - Other.LastGactDone,
+                        LastCompDone - Other.LastCompDone,
+                        Now - Other.Now};
+  }
+
+  /// Advances every cursor by \p Times iterations of \p Delta. The cursors
+  /// may advance at *different* rates (e.g. the fetch engine falls behind
+  /// a bank-bound pattern by a growing margin), so the shift is
+  /// per-component.
+  void advance(const ChannelState &Delta, int64_t Times) {
+    FetchFree += Delta.FetchFree * Times;
+    BankFree += Delta.BankFree * Times;
+    LastGwriteDone += Delta.LastGwriteDone * Times;
+    LastGactDone += Delta.LastGactDone * Times;
+    LastCompDone += Delta.LastCompDone * Times;
+    Now += Delta.Now * Times;
+  }
+
+  bool operator==(const ChannelState &) const = default;
+};
+
+/// Applies one command to \p S under \p C's timing rules.
+void step(const PimConfig &C, ChannelState &S, const PimCommand &Cmd) {
+  switch (Cmd.Kind) {
+  case PimCmdKind::Gwrite:
+  case PimCmdKind::Gwrite2:
+  case PimCmdKind::Gwrite4: {
+    const int64_t Buffers = Cmd.Kind == PimCmdKind::Gwrite    ? 1
+                            : Cmd.Kind == PimCmdKind::Gwrite2 ? 2
+                                                              : 4;
+    const int64_t Bursts = Cmd.Count * Buffers;
+    PF_ASSERT(Bursts >= 1, "GWRITE with no bursts");
+    // First burst pays the cross-channel setup latency; the rest stream at
+    // the column-to-column rate.
+    const int64_t Duration = C.TGwrite + (Bursts - 1) * C.TCcdl;
+    int64_t Start = S.FetchFree;
+    if (!C.GwriteLatencyHiding)
+      Start = std::max(Start, S.BankFree);
+    const int64_t Done = Start + Duration;
+    S.FetchFree = Done;
+    S.LastGwriteDone = Done;
+    if (!C.GwriteLatencyHiding)
+      S.BankFree = Done; // Single serialized engine.
+    S.Now = Done;
+    return;
+  }
+  case PimCmdKind::GAct: {
+    const int64_t Duration = C.TGact + (Cmd.Count - 1) * C.TRrd;
+    int64_t Start = S.BankFree;
+    if (!C.GwriteLatencyHiding)
+      Start = std::max(Start, S.LastGwriteDone);
+    const int64_t Done = Start + Duration;
+    S.BankFree = Done;
+    S.LastGactDone = Done;
+    if (!C.GwriteLatencyHiding)
+      S.FetchFree = Done;
+    S.Now = Done;
+    return;
+  }
+  case PimCmdKind::Comp: {
+    // COMP consumes global-buffer data (GWRITE) against an open row
+    // (G_ACT): it waits for both regardless of hiding.
+    const int64_t Start = std::max({S.BankFree, S.LastGwriteDone,
+                                    S.LastGactDone});
+    const int64_t Done = Start + Cmd.Count * C.TComp;
+    S.BankFree = Done;
+    S.LastCompDone = Done;
+    if (!C.GwriteLatencyHiding)
+      S.FetchFree = Done;
+    S.Now = Done;
+    return;
+  }
+  case PimCmdKind::ReadRes: {
+    const int64_t Duration = C.TReadRes + (Cmd.Count - 1) * C.TCcdl;
+    const int64_t Start = std::max(S.BankFree, S.LastCompDone);
+    const int64_t Done = Start + Duration;
+    S.BankFree = Done;
+    if (!C.GwriteLatencyHiding)
+      S.FetchFree = Done;
+    S.Now = Done;
+    return;
+  }
+  }
+  pf_unreachable("unknown PIM command kind");
+}
+
+/// Runs one iteration of \p Pattern.
+void runPattern(const PimConfig &C, ChannelState &S,
+                const std::vector<PimCommand> &Pattern) {
+  for (const PimCommand &Cmd : Pattern)
+    step(C, S, Cmd);
+}
+
+} // namespace
+
+int64_t PimSimulator::simulateChannel(const ChannelTrace &Trace) const {
+  ChannelState S;
+  for (const CommandBlock &B : Trace.Blocks) {
+    if (B.Pattern.empty() || B.Repeats <= 0)
+      continue;
+    // Iterate explicitly until the per-iteration advance of every cursor
+    // repeats (the max-plus dynamics have reached their periodic regime),
+    // then extrapolate the remaining iterations per component. This is
+    // cycle-exact: once the full delta vector is stationary, every later
+    // iteration advances each cursor by exactly that delta.
+    ChannelState Prev = S;
+    ChannelState PrevDelta;
+    bool HaveDelta = false;
+    int StableCount = 0;
+    for (int64_t Iter = 0; Iter < B.Repeats; ++Iter) {
+      runPattern(Config, S, B.Pattern);
+      const ChannelState Delta = S.minus(Prev);
+      StableCount = HaveDelta && Delta == PrevDelta ? StableCount + 1 : 0;
+      if (StableCount >= 2) {
+        S.advance(Delta, B.Repeats - Iter - 1);
+        break;
+      }
+      Prev = S;
+      PrevDelta = Delta;
+      HaveDelta = true;
+    }
+  }
+  return S.Now;
+}
+
+PimRunStats PimSimulator::run(const DeviceTrace &Trace) const {
+  PimRunStats Stats;
+  for (const ChannelTrace &Channel : Trace.Channels) {
+    if (Channel.empty())
+      continue;
+    const int64_t Cycles = simulateChannel(Channel);
+    Stats.Cycles = std::max(Stats.Cycles, Cycles);
+    Stats.BusyCycleSum += Cycles;
+    ++Stats.ActiveChannels;
+    for (const CommandBlock &B : Channel.Blocks) {
+      for (const PimCommand &Cmd : B.Pattern) {
+        switch (Cmd.Kind) {
+        case PimCmdKind::Gwrite:
+          Stats.GwriteCmds += B.Repeats;
+          Stats.GwriteBursts += B.Repeats * Cmd.Count;
+          break;
+        case PimCmdKind::Gwrite2:
+          Stats.GwriteCmds += B.Repeats;
+          Stats.GwriteBursts += B.Repeats * Cmd.Count * 2;
+          break;
+        case PimCmdKind::Gwrite4:
+          Stats.GwriteCmds += B.Repeats;
+          Stats.GwriteBursts += B.Repeats * Cmd.Count * 4;
+          break;
+        case PimCmdKind::GAct:
+          Stats.GActs += B.Repeats * Cmd.Count;
+          break;
+        case PimCmdKind::Comp:
+          Stats.CompCmds += B.Repeats;
+          Stats.CompColumns += B.Repeats * Cmd.Count;
+          break;
+        case PimCmdKind::ReadRes:
+          Stats.ReadResCmds += B.Repeats * Cmd.Count;
+          break;
+        }
+      }
+    }
+  }
+  Stats.Ns = Config.cyclesToNs(Stats.Cycles);
+  // The GWRITE fetch traffic of all channels is supplied by the GPU channel
+  // group through the memory network; its aggregate bandwidth lower-bounds
+  // the kernel's duration.
+  const double FetchBytes = static_cast<double>(Stats.GwriteBursts) *
+                            static_cast<double>(Config.BurstBytes);
+  const double FetchFloorNs = FetchBytes / (Config.FetchSupplyGBs * 1e9) * 1e9;
+  if (FetchFloorNs > Stats.Ns) {
+    Stats.Ns = FetchFloorNs;
+    Stats.Cycles = static_cast<int64_t>(FetchFloorNs * Config.ClockGhz);
+  }
+  return Stats;
+}
+
+double PimSimulator::energyJ(const PimRunStats &Stats,
+                             int64_t EffectiveMacs) const {
+  double Pj = 0.0;
+  Pj += static_cast<double>(Stats.GActs) * Config.ActEnergyPj;
+  Pj += static_cast<double>(Stats.CompColumns) * Config.CompFixedPj;
+  Pj += static_cast<double>(EffectiveMacs) * Config.MacEnergyPj;
+  Pj += static_cast<double>(Stats.GwriteBursts) *
+        static_cast<double>(Config.BurstBytes) * Config.GwriteEnergyPerBytePj;
+  Pj += static_cast<double>(Stats.ReadResCmds) * Config.ReadResEnergyPj;
+  // Static power of every PIM channel over the kernel's lifetime.
+  const double StaticJ = Stats.Ns * 1e-9 * Config.StaticPowerWPerChannel *
+                         static_cast<double>(Config.Channels);
+  return Pj * 1e-12 + StaticJ;
+}

@@ -1,0 +1,76 @@
+//===- pim/PimSimulator.h - DRAM-PIM cycle simulator ------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Ramulator-extension stand-in: executes PIM command traces against the
+/// Table-1 timing parameters and reports cycles, command counts, and energy.
+///
+/// Each channel has two engines:
+///  * the fetch engine serving GWRITE (data moves from GPU channels into the
+///    global buffers), and
+///  * the bank engine serving G_ACT / COMP / READRES.
+/// Without GWRITE latency hiding the two serialize (the paper's baseline,
+/// where a single set of channels cannot fetch and activate at once); with
+/// hiding, G_ACT proceeds under an in-flight GWRITE and only COMP waits for
+/// its input data — the Section 4.1 optimization enabled by the split
+/// GPU/PIM channel groups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_PIM_PIMSIMULATOR_H
+#define PIMFLOW_PIM_PIMSIMULATOR_H
+
+#include "pim/PimCommand.h"
+#include "pim/PimConfig.h"
+
+namespace pf {
+
+/// Aggregate results of executing one device trace.
+struct PimRunStats {
+  /// Makespan over all channels, in PIM clock cycles.
+  int64_t Cycles = 0;
+  /// Makespan in nanoseconds.
+  double Ns = 0.0;
+
+  /// Command counts (expanded over block repeats).
+  int64_t GwriteCmds = 0;
+  int64_t GwriteBursts = 0;
+  int64_t GActs = 0;
+  int64_t CompCmds = 0;
+  int64_t CompColumns = 0;
+  int64_t ReadResCmds = 0;
+
+  /// Busy cycles summed over channels (for utilization reporting).
+  int64_t BusyCycleSum = 0;
+  int ActiveChannels = 0;
+};
+
+/// Executes DeviceTraces under a PimConfig.
+class PimSimulator {
+public:
+  explicit PimSimulator(PimConfig Config) : Config(Config) {}
+
+  const PimConfig &config() const { return Config; }
+
+  /// Cycle count of a single channel's trace.
+  int64_t simulateChannel(const ChannelTrace &Trace) const;
+
+  /// Runs every channel and returns the makespan and aggregate counts.
+  PimRunStats run(const DeviceTrace &Trace) const;
+
+  /// Energy in joules of a run: per-command energies plus the MAC energy of
+  /// \p EffectiveMacs (the codegen knows how many multipliers were actually
+  /// occupied; partially filled banks do not burn MAC energy) plus static
+  /// power over the makespan.
+  double energyJ(const PimRunStats &Stats, int64_t EffectiveMacs) const;
+
+private:
+  PimConfig Config;
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_PIM_PIMSIMULATOR_H

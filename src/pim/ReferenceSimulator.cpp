@@ -1,0 +1,88 @@
+//===- pim/ReferenceSimulator.cpp - Validation-grade simulator --*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pim/ReferenceSimulator.h"
+
+#include <algorithm>
+
+#include "pim/TraceIO.h"
+
+using namespace pf;
+
+int64_t pf::referenceSimulateChannel(const PimConfig &C,
+                                     const ChannelTrace &Trace) {
+  // Explicit engine clocks. Without latency hiding the channel has one
+  // serialized command engine; with hiding the fetch path (GWRITE) runs
+  // beside the bank path (G_ACT / COMP / READRES).
+  int64_t FetchClock = 0;
+  int64_t BankClock = 0;
+  int64_t GwriteDone = 0;
+  int64_t GactDone = 0;
+  int64_t CompDone = 0;
+  int64_t Now = 0;
+
+  auto Serialize = [&](int64_t Done) {
+    if (!C.GwriteLatencyHiding) {
+      FetchClock = Done;
+      BankClock = Done;
+    }
+  };
+
+  for (const PimCommand &Cmd : expandTrace(Trace)) {
+    switch (Cmd.Kind) {
+    case PimCmdKind::Gwrite:
+    case PimCmdKind::Gwrite2:
+    case PimCmdKind::Gwrite4: {
+      const int64_t Buffers = Cmd.Kind == PimCmdKind::Gwrite    ? 1
+                              : Cmd.Kind == PimCmdKind::Gwrite2 ? 2
+                                                                : 4;
+      int64_t T = C.GwriteLatencyHiding
+                      ? FetchClock
+                      : std::max(FetchClock, BankClock);
+      // First burst pays the cross-channel setup; the rest stream.
+      for (int64_t Burst = 0; Burst < Cmd.Count * Buffers; ++Burst)
+        T += Burst == 0 ? C.TGwrite : C.TCcdl;
+      FetchClock = T;
+      GwriteDone = T;
+      Serialize(T);
+      Now = T;
+      break;
+    }
+    case PimCmdKind::GAct: {
+      int64_t T = BankClock;
+      if (!C.GwriteLatencyHiding)
+        T = std::max(T, GwriteDone);
+      for (int64_t Act = 0; Act < Cmd.Count; ++Act)
+        T += Act == 0 ? C.TGact : C.TRrd;
+      BankClock = T;
+      GactDone = T;
+      Serialize(T);
+      Now = T;
+      break;
+    }
+    case PimCmdKind::Comp: {
+      int64_t T = std::max({BankClock, GwriteDone, GactDone});
+      for (int64_t Col = 0; Col < Cmd.Count; ++Col)
+        T += C.TComp;
+      BankClock = T;
+      CompDone = T;
+      Serialize(T);
+      Now = T;
+      break;
+    }
+    case PimCmdKind::ReadRes: {
+      int64_t T = std::max(BankClock, CompDone);
+      for (int64_t R = 0; R < Cmd.Count; ++R)
+        T += R == 0 ? C.TReadRes : C.TCcdl;
+      BankClock = T;
+      Serialize(T);
+      Now = T;
+      break;
+    }
+    }
+  }
+  return Now;
+}

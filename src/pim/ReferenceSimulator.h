@@ -1,0 +1,33 @@
+//===- pim/ReferenceSimulator.h - Validation-grade simulator ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent, command-at-a-time reference implementation of the
+/// DRAM-PIM timing rules, used to validate the fast block simulator (which
+/// extrapolates steady-state iterations). It expands every block, splits
+/// multi-count commands into unit events, and advances explicit
+/// fetch-engine / bank-engine clocks per event. Slower but simpler — the
+/// property tests require the two simulators to agree cycle-for-cycle on
+/// arbitrary traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_PIM_REFERENCESIMULATOR_H
+#define PIMFLOW_PIM_REFERENCESIMULATOR_H
+
+#include "pim/PimCommand.h"
+#include "pim/PimConfig.h"
+
+namespace pf {
+
+/// Cycle count of \p Trace on one channel under \p Config, computed by the
+/// unit-event reference model.
+int64_t referenceSimulateChannel(const PimConfig &Config,
+                                 const ChannelTrace &Trace);
+
+} // namespace pf
+
+#endif // PIMFLOW_PIM_REFERENCESIMULATOR_H

@@ -1,0 +1,190 @@
+//===- pim/TraceIO.cpp - PIM command trace files ----------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pim/TraceIO.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/Format.h"
+#include "support/StringUtil.h"
+
+using namespace pf;
+
+namespace {
+
+const char *kMagic = "pimflow-trace v1";
+
+/// One command as a trace line.
+std::string commandLine(const PimCommand &Cmd) {
+  switch (Cmd.Kind) {
+  case PimCmdKind::Gwrite:
+  case PimCmdKind::Gwrite2:
+  case PimCmdKind::Gwrite4:
+    return formatStr("  %s bursts=%lld\n", pimCmdName(Cmd.Kind),
+                     static_cast<long long>(Cmd.Count));
+  case PimCmdKind::GAct:
+    return formatStr("  G_ACT n=%lld\n",
+                     static_cast<long long>(Cmd.Count));
+  case PimCmdKind::Comp:
+    return formatStr("  COMP cols=%lld\n",
+                     static_cast<long long>(Cmd.Count));
+  case PimCmdKind::ReadRes:
+    return formatStr("  READRES n=%lld\n",
+                     static_cast<long long>(Cmd.Count));
+  }
+  pf_unreachable("unknown PIM command kind");
+}
+
+/// Parses a single command line ("GWRITE_4 bursts=9"). Returns false on
+/// malformed input.
+bool parseCommand(const std::vector<std::string> &T, PimCommand &Out) {
+  if (T.size() != 2)
+    return false;
+  const size_t Eq = T[1].find('=');
+  if (Eq == std::string::npos)
+    return false;
+  const int64_t Count = std::atoll(T[1].c_str() + Eq + 1);
+  if (Count <= 0)
+    return false;
+  Out.Count = Count;
+  if (T[0] == "GWRITE")
+    Out.Kind = PimCmdKind::Gwrite;
+  else if (T[0] == "GWRITE_2")
+    Out.Kind = PimCmdKind::Gwrite2;
+  else if (T[0] == "GWRITE_4")
+    Out.Kind = PimCmdKind::Gwrite4;
+  else if (T[0] == "G_ACT")
+    Out.Kind = PimCmdKind::GAct;
+  else if (T[0] == "COMP")
+    Out.Kind = PimCmdKind::Comp;
+  else if (T[0] == "READRES")
+    Out.Kind = PimCmdKind::ReadRes;
+  else
+    return false;
+  return true;
+}
+
+std::vector<std::string> tokens(const std::string &Line) {
+  std::vector<std::string> Out;
+  for (const std::string &T : split(Line, ' '))
+    if (!T.empty())
+      Out.push_back(T);
+  return Out;
+}
+
+} // namespace
+
+std::vector<PimCommand> pf::expandTrace(const ChannelTrace &Trace,
+                                        int64_t MaxCommands) {
+  PF_ASSERT(Trace.numCommands() <= MaxCommands,
+            "trace expansion exceeds the command cap");
+  std::vector<PimCommand> Out;
+  Out.reserve(static_cast<size_t>(Trace.numCommands()));
+  for (const CommandBlock &B : Trace.Blocks)
+    for (int64_t R = 0; R < B.Repeats; ++R)
+      Out.insert(Out.end(), B.Pattern.begin(), B.Pattern.end());
+  return Out;
+}
+
+std::string pf::dumpTrace(const DeviceTrace &Trace) {
+  std::string Out = formatStr("%s channels=%zu\n", kMagic,
+                              Trace.Channels.size());
+  for (size_t C = 0; C < Trace.Channels.size(); ++C) {
+    const ChannelTrace &Channel = Trace.Channels[C];
+    if (Channel.empty())
+      continue;
+    Out += formatStr("channel %zu\n", C);
+    for (const CommandBlock &B : Channel.Blocks) {
+      Out += formatStr("block repeat=%lld\n",
+                       static_cast<long long>(B.Repeats));
+      for (const PimCommand &Cmd : B.Pattern)
+        Out += commandLine(Cmd);
+      Out += "end\n";
+    }
+  }
+  return Out;
+}
+
+std::variant<DeviceTrace, std::string>
+pf::parseTrace(const std::string &Text) {
+  const std::vector<std::string> Lines = split(Text, '\n');
+  if (Lines.empty() || !startsWith(Lines[0], kMagic))
+    return std::string("missing pimflow-trace header");
+  const size_t Eq = Lines[0].find("channels=");
+  if (Eq == std::string::npos)
+    return std::string("missing channel count");
+  const int Channels = std::atoi(Lines[0].c_str() + Eq + 9);
+  if (Channels <= 0 || Channels > 4096)
+    return std::string("implausible channel count");
+
+  DeviceTrace Trace(Channels);
+  int CurChannel = -1;
+  CommandBlock *CurBlock = nullptr;
+
+  for (size_t LineNo = 1; LineNo < Lines.size(); ++LineNo) {
+    const std::string Line = trim(Lines[LineNo]);
+    if (Line.empty())
+      continue;
+    const std::vector<std::string> T = tokens(Line);
+    auto Err = [&LineNo](const std::string &Why) {
+      return formatStr("line %zu: %s", LineNo + 1, Why.c_str());
+    };
+
+    if (T[0] == "channel") {
+      if (T.size() != 2)
+        return Err("malformed channel line");
+      CurChannel = std::atoi(T[1].c_str());
+      if (CurChannel < 0 || CurChannel >= Channels)
+        return Err("channel index out of range");
+      CurBlock = nullptr;
+      continue;
+    }
+    if (T[0] == "block") {
+      if (CurChannel < 0)
+        return Err("block before any channel");
+      if (T.size() != 2 || !startsWith(T[1], "repeat="))
+        return Err("malformed block line");
+      const int64_t Repeats = std::atoll(T[1].c_str() + 7);
+      if (Repeats <= 0)
+        return Err("non-positive repeat count");
+      auto &Blocks =
+          Trace.Channels[static_cast<size_t>(CurChannel)].Blocks;
+      Blocks.push_back(CommandBlock{{}, Repeats});
+      CurBlock = &Blocks.back();
+      continue;
+    }
+    if (T[0] == "end") {
+      if (!CurBlock)
+        return Err("end outside a block");
+      if (CurBlock->Pattern.empty())
+        return Err("empty block");
+      CurBlock = nullptr;
+      continue;
+    }
+    // Otherwise a command line inside a block.
+    if (!CurBlock)
+      return Err("command outside a block");
+    PimCommand Cmd;
+    if (!parseCommand(T, Cmd))
+      return Err("malformed command " + Line);
+    CurBlock->Pattern.push_back(Cmd);
+  }
+  if (CurBlock)
+    return std::string("unterminated block at end of trace");
+  return Trace;
+}
+
+bool pf::saveTrace(const DeviceTrace &Trace, const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  const std::string Text = dumpTrace(Trace);
+  const bool Ok =
+      std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  std::fclose(F);
+  return Ok;
+}

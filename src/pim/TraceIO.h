@@ -1,0 +1,56 @@
+//===- pim/TraceIO.h - PIM command trace files ------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual PIM command traces, the artifact's interchange format between
+/// the TVM back-end and the DRAM-PIM simulator ("TVM DRAM-PIM back-end
+/// interfaces with this simulator to generate PIM command traces for
+/// PIM-offloaded layers and measures the trace execution time").
+///
+/// The format keeps the block structure (pattern + repeat count) so real
+/// layer traces stay small:
+///
+/// ```
+/// pimflow-trace v1 channels=<N>
+/// channel <c>
+/// block repeat=<R>
+///   GWRITE_4 bursts=9
+///   G_ACT n=2
+///   COMP cols=72
+///   READRES n=4
+/// end
+/// ```
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_PIM_TRACEIO_H
+#define PIMFLOW_PIM_TRACEIO_H
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "pim/PimCommand.h"
+
+namespace pf {
+
+/// Fully expands \p Trace into a flat command list (block repeats
+/// unrolled). Aborts if the expansion would exceed \p MaxCommands.
+std::vector<PimCommand> expandTrace(const ChannelTrace &Trace,
+                                    int64_t MaxCommands = 1 << 24);
+
+/// Serializes a device trace to the textual format.
+std::string dumpTrace(const DeviceTrace &Trace);
+
+/// Parses a textual trace. Returns the trace or an error description.
+std::variant<DeviceTrace, std::string> parseTrace(const std::string &Text);
+
+/// Writes dumpTrace(Trace) to \p Path. Returns false on I/O failure.
+bool saveTrace(const DeviceTrace &Trace, const std::string &Path);
+
+} // namespace pf
+
+#endif // PIMFLOW_PIM_TRACEIO_H

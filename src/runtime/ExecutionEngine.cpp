@@ -1,0 +1,259 @@
+//===- runtime/ExecutionEngine.cpp - GPU/PIM parallel execution -*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ExecutionEngine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "codegen/PimKernelSpec.h"
+#include "pim/PimSimulator.h"
+
+using namespace pf;
+
+const NodeSchedule &Timeline::scheduleOf(NodeId Id) const {
+  for (const NodeSchedule &S : Nodes)
+    if (S.Id == Id)
+      return S;
+  pf_unreachable("node not present in timeline");
+}
+
+ExecutionEngine::ExecutionEngine(const SystemConfig &Config)
+    : Config(Config), Gpu(Config.Gpu), MemOpt(Config.MemoryOptimizer) {}
+
+namespace {
+
+/// Elementwise operators that never run as standalone kernels: the GPU
+/// runtime (TVM + cuDNN/CUTLASS) fuses them into the producing kernel's
+/// epilogue, and for PIM-produced tensors the activation is applied while
+/// results drain through the output path (the GDDR6 AiM device the paper
+/// extends supports "various activation functions" in hardware).
+bool isFusableEpilogue(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Relu:
+  case OpKind::Relu6:
+  case OpKind::Sigmoid:
+  case OpKind::SiLU:
+  case OpKind::Tanh:
+  case OpKind::Gelu:
+  case OpKind::Add:
+  case OpKind::Mul:
+  case OpKind::BatchNorm:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Per-execution cache of PIM kernel plans.
+struct PimPlanCache {
+  std::unordered_map<NodeId, PimKernelPlan> Plans;
+
+  const PimKernelPlan &planFor(const Graph &G, NodeId Id,
+                               const PimCommandGenerator &Gen) {
+    auto It = Plans.find(Id);
+    if (It != Plans.end())
+      return It->second;
+    const PimKernelSpec Spec = lowerToPimSpec(G, Id);
+    return Plans.emplace(Id, Gen.plan(Spec)).first->second;
+  }
+};
+
+} // namespace
+
+double ExecutionEngine::nodeLatencyNs(const Graph &G, NodeId Id,
+                                      Device Dev) const {
+  const Node &N = G.node(Id);
+  if (Dev == Device::Pim) {
+    PF_ASSERT(Config.hasPim(), "PIM node scheduled without PIM channels");
+    PF_ASSERT(isPimCandidate(N), "PIM node is not offloadable");
+    PimCommandGenerator Gen(Config.Pim, Config.Codegen);
+    return Gen.plan(lowerToPimSpec(G, Id)).Ns;
+  }
+  const DataMovementCost DM = MemOpt.classify(G, Id);
+  if (DM == DataMovementCost::Free)
+    return 0.0;
+  if (DM == DataMovementCost::Copy) {
+    const double Bytes = static_cast<double>(MemOpt.copyBytes(G, Id));
+    return Bytes / Config.Gpu.memBandwidth() * 1e9 +
+           Config.Gpu.LightKernelLaunchNs;
+  }
+  return Gpu.nodeTime(G, Id).Ns;
+}
+
+double ExecutionEngine::nodeEnergyJ(const Graph &G, NodeId Id,
+                                    Device Dev) const {
+  const Node &N = G.node(Id);
+  if (Dev == Device::Pim) {
+    PimCommandGenerator Gen(Config.Pim, Config.Codegen);
+    PimSimulator Sim(Config.Pim);
+    const PimKernelPlan Plan = Gen.plan(lowerToPimSpec(G, Id));
+    return Sim.energyJ(Plan.Stats, Plan.EffectiveMacs);
+  }
+  const DataMovementCost DM = MemOpt.classify(G, Id);
+  if (DM == DataMovementCost::Free)
+    return 0.0;
+  if (DM == DataMovementCost::Copy) {
+    // A copy is a pure-bandwidth kernel.
+    GpuKernelTime T;
+    T.Ns = nodeLatencyNs(G, Id, Device::Gpu);
+    T.Utilization = 0.3;
+    return Gpu.kernelEnergyJ(T);
+  }
+  (void)N;
+  return Gpu.kernelEnergyJ(Gpu.nodeTime(G, Id));
+}
+
+Timeline ExecutionEngine::execute(const Graph &G) const {
+  PimPlanCache Cache;
+  PimCommandGenerator Gen(Config.Pim.Channels > 0
+                              ? Config.Pim
+                              : PimConfig::newtonPlus(),
+                          Config.Codegen);
+  PimSimulator Sim(Config.Pim);
+
+  // One scheduling pass; \p GpuScale inflates GPU kernel durations (used by
+  // the contention model's second pass). Nodes are dispatched to their
+  // device queues greedily by earliest start time, so independent GPU and
+  // PIM work (MD-DP halves, pipeline stages) overlaps as the hardware
+  // would run it rather than serializing in topological order.
+  auto SchedulePass = [&](double GpuScale) {
+    Timeline TL;
+    const std::vector<NodeId> Order = G.topoOrder();
+
+    // Static per-node properties (device annotations fix the producing
+    // device of every value up front).
+    struct NodeInfo {
+      Device Dev = Device::Gpu;
+      double Duration = 0.0;
+      double EnergyJ = 0.0;
+      int Pending = 0;      ///< Unscheduled producer nodes.
+      double ReadyNs = 0.0; ///< Max over scheduled deps (incl. handoffs).
+      bool Scheduled = false;
+      size_t TopoIdx = 0;
+    };
+    std::unordered_map<NodeId, NodeInfo> Info;
+
+    for (size_t I = 0; I < Order.size(); ++I) {
+      const Node &N = G.node(Order[I]);
+      NodeInfo NI;
+      NI.TopoIdx = I;
+      NI.Dev = N.Dev == Device::Pim ? Device::Pim : Device::Gpu;
+      if (NI.Dev == Device::Pim) {
+        PF_ASSERT(Config.hasPim(), "PIM node without PIM channels");
+        const PimKernelPlan &Plan = Cache.planFor(G, Order[I], Gen);
+        NI.Duration = Plan.Ns;
+        NI.EnergyJ = Sim.energyJ(Plan.Stats, Plan.EffectiveMacs);
+      } else if (isFusableEpilogue(N.Kind)) {
+        // Elementwise nodes fuse into their producer's epilogue (GPU) or
+        // the PIM drain path: no standalone kernel either way.
+        NI.Duration = 0.0;
+        NI.EnergyJ = 0.0;
+      } else {
+        NI.Duration = nodeLatencyNs(G, Order[I], Device::Gpu) * GpuScale;
+        NI.EnergyJ = nodeEnergyJ(G, Order[I], Device::Gpu);
+      }
+      // Count distinct produced input values (consumers() reports each
+      // consumer once per value, so duplicates must not double-count).
+      std::vector<ValueId> Seen;
+      for (ValueId In : N.Inputs) {
+        if (G.producer(In) == InvalidNode)
+          continue;
+        if (std::find(Seen.begin(), Seen.end(), In) != Seen.end())
+          continue;
+        Seen.push_back(In);
+        ++NI.Pending;
+      }
+      Info.emplace(Order[I], NI);
+    }
+
+    double GpuFree = 0.0, PimFree = 0.0;
+    size_t Remaining = Order.size();
+    while (Remaining > 0) {
+      // Pick the ready node with the earliest achievable start; break ties
+      // by topological index for determinism.
+      NodeId BestId = InvalidNode;
+      double BestStart = 0.0;
+      for (NodeId Id : Order) {
+        NodeInfo &NI = Info.at(Id);
+        if (NI.Scheduled || NI.Pending > 0)
+          continue;
+        const double Free = NI.Dev == Device::Pim ? PimFree : GpuFree;
+        const double Start = std::max(Free, NI.ReadyNs);
+        if (BestId == InvalidNode || Start < BestStart)
+          BestId = Id, BestStart = Start;
+      }
+      PF_ASSERT(BestId != InvalidNode, "scheduler deadlock");
+
+      NodeInfo &NI = Info.at(BestId);
+      const double End = BestStart + NI.Duration;
+      NI.Scheduled = true;
+      --Remaining;
+      // Zero-duration nodes (fused elementwise, free data movement) do not
+      // occupy the device.
+      if (NI.Duration > 0.0) {
+        if (NI.Dev == Device::Pim) {
+          PimFree = End;
+          TL.PimBusyNs += NI.Duration;
+        } else {
+          GpuFree = End;
+          TL.GpuBusyNs += NI.Duration;
+        }
+      }
+      TL.Nodes.push_back(NodeSchedule{BestId, NI.Dev, BestStart, End,
+                                      NI.EnergyJ});
+      TL.TotalNs = std::max(TL.TotalNs, End);
+
+      // Release consumers. Cross-device handoffs cost a synchronization
+      // only: GPU and PIM channels share one physical memory, so a PIM
+      // kernel's input fetch is modeled by its GWRITE commands and a PIM
+      // result is read in place by the consumer through the channel
+      // interconnect.
+      for (ValueId Out : G.node(BestId).Outputs) {
+        for (NodeId Consumer : G.consumers(Out)) {
+          auto It = Info.find(Consumer);
+          if (It == Info.end())
+            continue;
+          NodeInfo &CI = It->second;
+          double Avail = End;
+          if (CI.Dev != NI.Dev)
+            Avail += Config.SyncOverheadNs;
+          CI.ReadyNs = std::max(CI.ReadyNs, Avail);
+          --CI.Pending;
+        }
+      }
+    }
+    return TL;
+  };
+
+  Timeline TL = SchedulePass(1.0);
+
+  if (Config.ModelContention && Config.hasPim() && TL.TotalNs > 0.0) {
+    // PIM fetch traffic occupies the shared memory controller; GPU kernels
+    // overlapping it slow down proportionally to the fetch-busy fraction.
+    double FetchCycles = 0.0;
+    for (const auto &Entry : Cache.Plans)
+      FetchCycles +=
+          static_cast<double>(Entry.second.Stats.GwriteBursts) *
+          static_cast<double>(Config.Pim.TCcdl);
+    const double FetchNs = Config.Pim.cyclesToNs(
+        static_cast<int64_t>(FetchCycles));
+    const double Fraction = std::min(1.0, FetchNs / TL.TotalNs);
+    const double Slowdown = 1.0 + Config.ContentionFactor * Fraction;
+    TL = SchedulePass(Slowdown);
+    TL.ContentionSlowdown = Slowdown;
+  }
+
+  // Kernel energies plus GPU static power while idle within the makespan
+  // (the PIM kernels' energy already folds in their channels' background
+  // power).
+  double Energy = 0.0;
+  for (const NodeSchedule &S : TL.Nodes)
+    Energy += S.EnergyJ;
+  Energy += Gpu.idleEnergyJ(std::max(0.0, TL.TotalNs - TL.GpuBusyNs));
+  TL.EnergyJ = Energy;
+  return TL;
+}

@@ -1,0 +1,479 @@
+//===- runtime/Interpreter.cpp - Functional reference executor --*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include <cmath>
+#include <optional>
+
+#include "support/Random.h"
+
+using namespace pf;
+
+namespace {
+
+/// Evaluation environment: one slot per graph value.
+using Env = std::vector<std::optional<Tensor>>;
+
+const Tensor &get(const Env &E, ValueId Id) {
+  PF_ASSERT(E[static_cast<size_t>(Id)].has_value(),
+            "interpreter read an unevaluated value");
+  return *E[static_cast<size_t>(Id)];
+}
+
+Tensor evalConv2d(const Graph &G, const Node &N, const Env &E) {
+  const Conv2dAttrs &A = N.conv();
+  const Tensor &X = get(E, N.Inputs[0]);
+  const Tensor &W = get(E, N.Inputs[1]);
+  const Tensor *Bias =
+      N.Inputs.size() > 2 ? &get(E, N.Inputs[2]) : nullptr;
+
+  const TensorShape &XS = X.shape();
+  const int64_t Batch = XS.dim(0), Hi = XS.dim(1), Wi = XS.dim(2),
+                Cin = XS.dim(3);
+  const int64_t Cout = W.shape().dim(3);
+  const int64_t CinPerGroup = Cin / A.Groups;
+  const int64_t CoutPerGroup = Cout / A.Groups;
+  const TensorShape &OS = G.value(N.Outputs[0]).Shape;
+  Tensor Out(OS);
+
+  for (int64_t B = 0; B < Batch; ++B)
+    for (int64_t Ho = 0; Ho < OS.dim(1); ++Ho)
+      for (int64_t Wo = 0; Wo < OS.dim(2); ++Wo)
+        for (int64_t Co = 0; Co < Cout; ++Co) {
+          const int64_t Gr = Co / CoutPerGroup;
+          double Acc = Bias ? Bias->at(Co) : 0.0;
+          for (int64_t Kh = 0; Kh < A.KernelH; ++Kh) {
+            const int64_t H = Ho * A.StrideH + Kh - A.PadTop;
+            if (H < 0 || H >= Hi)
+              continue;
+            for (int64_t Kw = 0; Kw < A.KernelW; ++Kw) {
+              const int64_t Wc = Wo * A.StrideW + Kw - A.PadLeft;
+              if (Wc < 0 || Wc >= Wi)
+                continue;
+              for (int64_t Ci = 0; Ci < CinPerGroup; ++Ci) {
+                // Weight layout [KH, KW, Cin/G, Cout].
+                const int64_t WIdx =
+                    ((Kh * A.KernelW + Kw) * CinPerGroup + Ci) * Cout + Co;
+                Acc += static_cast<double>(
+                           X.at4(B, H, Wc, Gr * CinPerGroup + Ci)) *
+                       W.at(WIdx);
+              }
+            }
+          }
+          Out.at4(B, Ho, Wo, Co) = static_cast<float>(Acc);
+        }
+  return Out;
+}
+
+Tensor evalGemm(const Graph &G, const Node &N, const Env &E) {
+  const Tensor &X = get(E, N.Inputs[0]);
+  const Tensor &W = get(E, N.Inputs[1]);
+  const Tensor *Bias =
+      N.Inputs.size() > 2 ? &get(E, N.Inputs[2]) : nullptr;
+  const int64_t Rows = X.shape().dim(0);
+  const int64_t K = X.shape().dim(1);
+  const int64_t M = W.shape().dim(1);
+  Tensor Out(G.value(N.Outputs[0]).Shape);
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < M; ++C) {
+      double Acc = Bias ? Bias->at(C) : 0.0;
+      for (int64_t I = 0; I < K; ++I)
+        Acc += static_cast<double>(X.at(R * K + I)) * W.at(I * M + C);
+      Out.at(R * M + C) = static_cast<float>(Acc);
+    }
+  return Out;
+}
+
+Tensor evalElementwiseUnary(const Node &N, const Env &E) {
+  const Tensor &X = get(E, N.Inputs[0]);
+  Tensor Out(X.shape());
+  const int64_t Count = X.numElements();
+  for (int64_t I = 0; I < Count; ++I) {
+    const float V = X.at(I);
+    float R = V;
+    switch (N.Kind) {
+    case OpKind::Relu:
+      R = V > 0.0f ? V : 0.0f;
+      break;
+    case OpKind::Relu6:
+      R = V > 0.0f ? (V < 6.0f ? V : 6.0f) : 0.0f;
+      break;
+    case OpKind::Sigmoid:
+      R = 1.0f / (1.0f + std::exp(-V));
+      break;
+    case OpKind::SiLU:
+      R = V / (1.0f + std::exp(-V));
+      break;
+    case OpKind::Tanh:
+      R = std::tanh(V);
+      break;
+    case OpKind::Gelu:
+      R = 0.5f * V *
+          (1.0f + std::tanh(0.7978845608f * (V + 0.044715f * V * V * V)));
+      break;
+    case OpKind::Identity:
+      break;
+    default:
+      pf_unreachable("not a unary elementwise op");
+    }
+    Out.at(I) = R;
+  }
+  return Out;
+}
+
+Tensor evalSoftmax(const Node &N, const Env &E) {
+  const Tensor &X = get(E, N.Inputs[0]);
+  Tensor Out(X.shape());
+  const int64_t LastDim = X.shape().dim(X.shape().rank() - 1);
+  const int64_t Rows = X.numElements() / LastDim;
+  for (int64_t R = 0; R < Rows; ++R) {
+    float Max = X.at(R * LastDim);
+    for (int64_t I = 1; I < LastDim; ++I)
+      Max = std::max(Max, X.at(R * LastDim + I));
+    double Sum = 0.0;
+    for (int64_t I = 0; I < LastDim; ++I) {
+      const float Ex = std::exp(X.at(R * LastDim + I) - Max);
+      Out.at(R * LastDim + I) = Ex;
+      Sum += Ex;
+    }
+    for (int64_t I = 0; I < LastDim; ++I)
+      Out.at(R * LastDim + I) =
+          static_cast<float>(Out.at(R * LastDim + I) / Sum);
+  }
+  return Out;
+}
+
+Tensor evalBinary(const Node &N, const Env &E) {
+  const Tensor &A = get(E, N.Inputs[0]);
+  const Tensor &B = get(E, N.Inputs[1]);
+  Tensor Out(A.shape());
+  const int64_t Count = A.numElements();
+  const int64_t BCount = B.numElements();
+  const bool Broadcast = BCount != Count;
+  PF_ASSERT(!Broadcast || Count % BCount == 0,
+            "binary op broadcast mismatch");
+  for (int64_t I = 0; I < Count; ++I) {
+    const float Rhs = Broadcast ? B.at(I % BCount) : B.at(I);
+    Out.at(I) = N.Kind == OpKind::Add ? A.at(I) + Rhs : A.at(I) * Rhs;
+  }
+  return Out;
+}
+
+Tensor evalBatchNorm(const Node &N, const Env &E) {
+  const BatchNormAttrs &A = std::get<BatchNormAttrs>(N.Attrs);
+  const Tensor &X = get(E, N.Inputs[0]);
+  const Tensor &Scale = get(E, N.Inputs[1]);
+  const Tensor &Bias = get(E, N.Inputs[2]);
+  const Tensor &Mean = get(E, N.Inputs[3]);
+  const Tensor &Var = get(E, N.Inputs[4]);
+  Tensor Out(X.shape());
+  const int64_t C = X.shape().dim(3);
+  const int64_t Count = X.numElements();
+  for (int64_t I = 0; I < Count; ++I) {
+    const int64_t Ch = I % C;
+    // Variances are materialized as arbitrary values; use |v| to keep the
+    // square root defined.
+    const float Denominator =
+        std::sqrt(std::fabs(Var.at(Ch)) + A.Epsilon);
+    Out.at(I) =
+        (X.at(I) - Mean.at(Ch)) / Denominator * Scale.at(Ch) + Bias.at(Ch);
+  }
+  return Out;
+}
+
+Tensor evalPool(const Graph &G, const Node &N, const Env &E) {
+  const PoolAttrs &A = std::get<PoolAttrs>(N.Attrs);
+  const Tensor &X = get(E, N.Inputs[0]);
+  const TensorShape &XS = X.shape();
+  Tensor Out(G.value(N.Outputs[0]).Shape);
+  const TensorShape &OS = Out.shape();
+  const bool IsMax = N.Kind == OpKind::MaxPool;
+  for (int64_t B = 0; B < OS.dim(0); ++B)
+    for (int64_t Ho = 0; Ho < OS.dim(1); ++Ho)
+      for (int64_t Wo = 0; Wo < OS.dim(2); ++Wo)
+        for (int64_t C = 0; C < OS.dim(3); ++C) {
+          double Acc = IsMax ? -1e30 : 0.0;
+          int64_t Seen = 0;
+          for (int64_t Kh = 0; Kh < A.KernelH; ++Kh) {
+            const int64_t H = Ho * A.StrideH + Kh - A.PadTop;
+            if (H < 0 || H >= XS.dim(1))
+              continue;
+            for (int64_t Kw = 0; Kw < A.KernelW; ++Kw) {
+              const int64_t Wc = Wo * A.StrideW + Kw - A.PadLeft;
+              if (Wc < 0 || Wc >= XS.dim(2))
+                continue;
+              const float V = X.at4(B, H, Wc, C);
+              if (IsMax)
+                Acc = std::max(Acc, static_cast<double>(V));
+              else
+                Acc += V;
+              ++Seen;
+            }
+          }
+          Out.at4(B, Ho, Wo, C) = static_cast<float>(
+              IsMax ? Acc : (Seen > 0 ? Acc / Seen : 0.0));
+        }
+  return Out;
+}
+
+Tensor evalGlobalAvgPool(const Graph &G, const Node &N, const Env &E) {
+  const Tensor &X = get(E, N.Inputs[0]);
+  const TensorShape &XS = X.shape();
+  Tensor Out(G.value(N.Outputs[0]).Shape);
+  const int64_t Spatial = XS.dim(1) * XS.dim(2);
+  for (int64_t B = 0; B < XS.dim(0); ++B)
+    for (int64_t C = 0; C < XS.dim(3); ++C) {
+      double Acc = 0.0;
+      for (int64_t H = 0; H < XS.dim(1); ++H)
+        for (int64_t W = 0; W < XS.dim(2); ++W)
+          Acc += X.at4(B, H, W, C);
+      Out.at4(B, 0, 0, C) = static_cast<float>(Acc / Spatial);
+    }
+  return Out;
+}
+
+Tensor evalPad(const Graph &G, const Node &N, const Env &E) {
+  const PadAttrs &A = std::get<PadAttrs>(N.Attrs);
+  const Tensor &X = get(E, N.Inputs[0]);
+  const TensorShape &XS = X.shape();
+  Tensor Out(G.value(N.Outputs[0]).Shape); // Zero-initialized.
+  for (int64_t B = 0; B < XS.dim(0); ++B)
+    for (int64_t H = 0; H < XS.dim(1); ++H)
+      for (int64_t W = 0; W < XS.dim(2); ++W)
+        for (int64_t C = 0; C < XS.dim(3); ++C)
+          Out.at4(B, H + A.Top, W + A.Left, C) = X.at4(B, H, W, C);
+  return Out;
+}
+
+Tensor evalSlice(const Graph &G, const Node &N, const Env &E) {
+  const SliceAttrs &A = std::get<SliceAttrs>(N.Attrs);
+  const Tensor &X = get(E, N.Inputs[0]);
+  Tensor Out(G.value(N.Outputs[0]).Shape);
+  const TensorShape &XS = X.shape();
+  const TensorShape &OS = Out.shape();
+  // Generic strided copy over up-to-rank-4 shapes: compute index vectors.
+  const int64_t Rank = XS.rank();
+  std::vector<int64_t> Idx(static_cast<size_t>(Rank), 0);
+  const int64_t Count = Out.numElements();
+  for (int64_t Flat = 0; Flat < Count; ++Flat) {
+    // Decompose Flat into output indices.
+    int64_t Rem = Flat;
+    for (int64_t D = Rank - 1; D >= 0; --D) {
+      Idx[static_cast<size_t>(D)] = Rem % OS.dim(D);
+      Rem /= OS.dim(D);
+    }
+    // Map to input (offset along the sliced axis) and flatten.
+    int64_t SrcFlat = 0;
+    for (int64_t D = 0; D < Rank; ++D) {
+      const int64_t SrcIdx =
+          Idx[static_cast<size_t>(D)] + (D == A.Axis ? A.Begin : 0);
+      SrcFlat = SrcFlat * XS.dim(D) + SrcIdx;
+    }
+    Out.at(Flat) = X.at(SrcFlat);
+  }
+  return Out;
+}
+
+Tensor evalConcat(const Graph &G, const Node &N, const Env &E) {
+  const ConcatAttrs &A = std::get<ConcatAttrs>(N.Attrs);
+  Tensor Out(G.value(N.Outputs[0]).Shape);
+  const TensorShape &OS = Out.shape();
+  const int64_t Rank = OS.rank();
+  int64_t AxisOffset = 0;
+  for (ValueId InId : N.Inputs) {
+    const Tensor &X = get(E, InId);
+    const TensorShape &XS = X.shape();
+    const int64_t Count = X.numElements();
+    std::vector<int64_t> Idx(static_cast<size_t>(Rank), 0);
+    for (int64_t Flat = 0; Flat < Count; ++Flat) {
+      int64_t Rem = Flat;
+      for (int64_t D = Rank - 1; D >= 0; --D) {
+        Idx[static_cast<size_t>(D)] = Rem % XS.dim(D);
+        Rem /= XS.dim(D);
+      }
+      int64_t DstFlat = 0;
+      for (int64_t D = 0; D < Rank; ++D) {
+        const int64_t DstIdx =
+            Idx[static_cast<size_t>(D)] + (D == A.Axis ? AxisOffset : 0);
+        DstFlat = DstFlat * OS.dim(D) + DstIdx;
+      }
+      Out.at(DstFlat) = X.at(Flat);
+    }
+    AxisOffset += XS.dim(A.Axis);
+  }
+  return Out;
+}
+
+Tensor evalLayerNorm(const Node &N, const Env &E) {
+  const LayerNormAttrs &A = std::get<LayerNormAttrs>(N.Attrs);
+  const Tensor &X = get(E, N.Inputs[0]);
+  const Tensor &Scale = get(E, N.Inputs[1]);
+  const Tensor &Bias = get(E, N.Inputs[2]);
+  Tensor Out(X.shape());
+  const int64_t LastDim = X.shape().dim(X.shape().rank() - 1);
+  const int64_t Rows = X.numElements() / LastDim;
+  for (int64_t R = 0; R < Rows; ++R) {
+    double Mean = 0.0;
+    for (int64_t I = 0; I < LastDim; ++I)
+      Mean += X.at(R * LastDim + I);
+    Mean /= LastDim;
+    double Var = 0.0;
+    for (int64_t I = 0; I < LastDim; ++I) {
+      const double D = X.at(R * LastDim + I) - Mean;
+      Var += D * D;
+    }
+    Var /= LastDim;
+    const double Inv = 1.0 / std::sqrt(Var + A.Epsilon);
+    for (int64_t I = 0; I < LastDim; ++I)
+      Out.at(R * LastDim + I) = static_cast<float>(
+          (X.at(R * LastDim + I) - Mean) * Inv * Scale.at(I) +
+          Bias.at(I));
+  }
+  return Out;
+}
+
+Tensor evalMatMul(const Graph &G, const Node &N, const Env &E) {
+  const MatMulAttrs &A = std::get<MatMulAttrs>(N.Attrs);
+  const Tensor &X = get(E, N.Inputs[0]);
+  const Tensor &Y = get(E, N.Inputs[1]);
+  Tensor Out(G.value(N.Outputs[0]).Shape);
+  const int64_t Rows = X.shape().dim(0);
+  const int64_t K = X.shape().dim(1);
+  const int64_t M = Out.shape().dim(1);
+  const int64_t YCols = Y.shape().dim(1);
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < M; ++C) {
+      double Acc = 0.0;
+      for (int64_t I = 0; I < K; ++I) {
+        const float YV =
+            A.TransposeB ? Y.at(C * YCols + I) : Y.at(I * YCols + C);
+        Acc += static_cast<double>(X.at(R * K + I)) * YV;
+      }
+      Out.at(R * M + C) = static_cast<float>(Acc);
+    }
+  return Out;
+}
+
+Tensor evalFlatten(const Graph &G, const Node &N, const Env &E) {
+  const Tensor &X = get(E, N.Inputs[0]);
+  Tensor Out(G.value(N.Outputs[0]).Shape);
+  for (int64_t I = 0; I < X.numElements(); ++I)
+    Out.at(I) = X.at(I);
+  return Out;
+}
+
+} // namespace
+
+Tensor Interpreter::materializeParam(const Graph &G, ValueId Id) {
+  const Value &V = G.value(Id);
+  PF_ASSERT(V.IsParam, "materializing a non-parameter");
+  if (const Tensor *Explicit = G.paramData(Id))
+    return *Explicit;
+  Tensor T(V.Shape);
+  // Fan-in-scaled uniform init keeps activations in a sane range through
+  // deep stacks.
+  const int64_t FanIn =
+      V.Shape.rank() >= 2 ? V.Shape.numElements() / V.Shape.dim(
+                                V.Shape.rank() - 1)
+                          : V.Shape.numElements();
+  const float Scale =
+      1.0f / std::sqrt(static_cast<float>(FanIn > 0 ? FanIn : 1));
+  Rng R(V.InitSeed);
+  for (int64_t I = 0; I < T.numElements(); ++I)
+    T.at(I) = R.nextFloat(-Scale, Scale);
+  return T;
+}
+
+Tensor Interpreter::randomInput(const TensorShape &Shape, uint64_t Seed) {
+  Tensor T(Shape);
+  Rng R(Seed);
+  for (int64_t I = 0; I < T.numElements(); ++I)
+    T.at(I) = R.nextFloat(-1.0f, 1.0f);
+  return T;
+}
+
+std::vector<Tensor> Interpreter::run(const std::vector<Tensor> &Inputs) const {
+  PF_ASSERT(Inputs.size() == G.graphInputs().size(),
+            "interpreter input count mismatch");
+  Env E(G.numValues());
+
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    const ValueId Id = G.graphInputs()[I];
+    PF_ASSERT(Inputs[I].shape() == G.value(Id).Shape,
+              "interpreter input shape mismatch");
+    E[static_cast<size_t>(Id)] = Inputs[I];
+  }
+  for (const Value &V : G.values())
+    if (V.IsParam)
+      E[static_cast<size_t>(V.Id)] = materializeParam(G, V.Id);
+
+  for (NodeId Id : G.topoOrder()) {
+    const Node &N = G.node(Id);
+    Tensor Result;
+    switch (N.Kind) {
+    case OpKind::Input:
+      continue;
+    case OpKind::Conv2d:
+      Result = evalConv2d(G, N, E);
+      break;
+    case OpKind::Gemm:
+      Result = evalGemm(G, N, E);
+      break;
+    case OpKind::Relu:
+    case OpKind::Relu6:
+    case OpKind::Sigmoid:
+    case OpKind::SiLU:
+    case OpKind::Tanh:
+    case OpKind::Gelu:
+    case OpKind::Identity:
+      Result = evalElementwiseUnary(N, E);
+      break;
+    case OpKind::Softmax:
+      Result = evalSoftmax(N, E);
+      break;
+    case OpKind::Add:
+    case OpKind::Mul:
+      Result = evalBinary(N, E);
+      break;
+    case OpKind::BatchNorm:
+      Result = evalBatchNorm(N, E);
+      break;
+    case OpKind::MaxPool:
+    case OpKind::AvgPool:
+      Result = evalPool(G, N, E);
+      break;
+    case OpKind::GlobalAvgPool:
+      Result = evalGlobalAvgPool(G, N, E);
+      break;
+    case OpKind::Pad:
+      Result = evalPad(G, N, E);
+      break;
+    case OpKind::Slice:
+      Result = evalSlice(G, N, E);
+      break;
+    case OpKind::Concat:
+      Result = evalConcat(G, N, E);
+      break;
+    case OpKind::Flatten:
+      Result = evalFlatten(G, N, E);
+      break;
+    case OpKind::LayerNorm:
+      Result = evalLayerNorm(N, E);
+      break;
+    case OpKind::MatMul:
+      Result = evalMatMul(G, N, E);
+      break;
+    }
+    E[static_cast<size_t>(N.Outputs[0])] = std::move(Result);
+  }
+
+  std::vector<Tensor> Outputs;
+  Outputs.reserve(G.graphOutputs().size());
+  for (ValueId Id : G.graphOutputs())
+    Outputs.push_back(get(E, Id));
+  return Outputs;
+}

@@ -1,0 +1,49 @@
+//===- runtime/Interpreter.h - Functional reference executor ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CPU reference interpreter that actually computes tensor values for any
+/// graph. It is the correctness oracle for the PIMFlow transformation
+/// passes: the MD-DP split and pipelining tests run the original and the
+/// transformed graph on identical inputs and require bit-for-bit equal
+/// outputs (the transforms only reorganize computation, never change it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_RUNTIME_INTERPRETER_H
+#define PIMFLOW_RUNTIME_INTERPRETER_H
+
+#include <vector>
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// Functional executor over the reference CPU backend.
+class Interpreter {
+public:
+  explicit Interpreter(const Graph &G) : G(G) {}
+
+  /// Executes the graph on \p Inputs (one tensor per graph input, in
+  /// graphInputs() order) and returns the graph outputs in
+  /// graphOutputs() order.
+  std::vector<Tensor> run(const std::vector<Tensor> &Inputs) const;
+
+  /// Materializes a parameter tensor: explicit data if attached to the
+  /// graph, otherwise deterministic pseudo-random values from the
+  /// parameter's InitSeed (uniform in [-s, s] with s = 1/sqrt(fan-in)).
+  static Tensor materializeParam(const Graph &G, ValueId Id);
+
+  /// Builds a deterministic pseudo-random input tensor for \p Shape.
+  static Tensor randomInput(const TensorShape &Shape, uint64_t Seed);
+
+private:
+  const Graph &G;
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_RUNTIME_INTERPRETER_H

@@ -1,0 +1,62 @@
+//===- runtime/TimelineDump.cpp - ASCII timeline rendering ------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TimelineDump.h"
+
+#include <algorithm>
+
+#include "support/Format.h"
+
+using namespace pf;
+
+std::string pf::renderGantt(const Graph &/*G*/, const Timeline &TL,
+                            int Width) {
+  PF_ASSERT(Width >= 10, "gantt width too small");
+  if (TL.TotalNs <= 0.0)
+    return "(empty timeline)\n";
+
+  const double NsPerCol = TL.TotalNs / Width;
+  std::string Lanes[2];
+  Lanes[0].assign(static_cast<size_t>(Width), '.');
+  Lanes[1].assign(static_cast<size_t>(Width), '.');
+
+  for (const NodeSchedule &S : TL.Nodes) {
+    if (S.durationNs() <= 0.0)
+      continue;
+    const int Lane = S.Dev == Device::Pim ? 1 : 0;
+    int Begin = static_cast<int>(S.StartNs / NsPerCol);
+    int End = static_cast<int>(S.EndNs / NsPerCol);
+    Begin = std::clamp(Begin, 0, Width - 1);
+    End = std::clamp(End, Begin, Width - 1);
+    for (int C = Begin; C <= End; ++C)
+      Lanes[static_cast<size_t>(Lane)][static_cast<size_t>(C)] = '#';
+  }
+
+  std::string Out;
+  Out += formatStr("gpu |%s|\n", Lanes[0].c_str());
+  Out += formatStr("pim |%s|\n", Lanes[1].c_str());
+  Out += formatStr("    0%*s%.1f us\n", Width - 4, "", TL.TotalNs / 1e3);
+  return Out;
+}
+
+std::string pf::renderScheduleList(const Graph &G, const Timeline &TL) {
+  std::vector<const NodeSchedule *> Sorted;
+  for (const NodeSchedule &S : TL.Nodes)
+    if (S.durationNs() > 0.0)
+      Sorted.push_back(&S);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const NodeSchedule *A, const NodeSchedule *B) {
+              if (A->StartNs != B->StartNs)
+                return A->StartNs < B->StartNs;
+              return A->Id < B->Id;
+            });
+  std::string Out;
+  for (const NodeSchedule *S : Sorted)
+    Out += formatStr("[%9.2f .. %9.2f us] %-3s %s\n", S->StartNs / 1e3,
+                     S->EndNs / 1e3, deviceName(S->Dev),
+                     G.node(S->Id).Name.c_str());
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- runtime/TimelineDump.h - ASCII timeline rendering --------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an execution Timeline as a two-lane ASCII Gantt chart (GPU lane
+/// and PIM lane), making mixed-parallel overlap — MD-DP halves executing
+/// simultaneously, pipeline stages interleaving — visible at a glance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_RUNTIME_TIMELINEDUMP_H
+#define PIMFLOW_RUNTIME_TIMELINEDUMP_H
+
+#include <string>
+
+#include "runtime/ExecutionEngine.h"
+
+namespace pf {
+
+/// Renders \p TL as an ASCII Gantt chart of \p Width columns. Each lane
+/// shows busy spans as '#' blocks; a legend lists the nodes occupying each
+/// span (zero-duration nodes are omitted).
+std::string renderGantt(const Graph &G, const Timeline &TL,
+                        int Width = 72);
+
+/// One line per non-trivial node: "[start..end] device name", sorted by
+/// start time.
+std::string renderScheduleList(const Graph &G, const Timeline &TL);
+
+} // namespace pf
+
+#endif // PIMFLOW_RUNTIME_TIMELINEDUMP_H

@@ -1,0 +1,12 @@
+//===- search/CostProvider.cpp - Search cost abstraction --------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/CostProvider.h"
+
+using namespace pf;
+
+// Out-of-line virtual anchor.
+CostProvider::~CostProvider() = default;

@@ -1,0 +1,52 @@
+//===- search/CostProvider.h - Search cost abstraction ----------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cost oracle Algorithm 1 searches over. The production implementation
+/// is Profiler (simulated hardware measurement with memoization); tests
+/// substitute stub providers to pin the dynamic program's decisions against
+/// hand-constructed cost landscapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SEARCH_COSTPROVIDER_H
+#define PIMFLOW_SEARCH_COSTPROVIDER_H
+
+#include <vector>
+
+#include "ir/Graph.h"
+#include "runtime/SystemConfig.h"
+
+namespace pf {
+
+/// Costs of the execution-mode options for graph nodes and chains.
+class CostProvider {
+public:
+  virtual ~CostProvider();
+
+  /// The system configuration the costs describe (the search consults
+  /// hasPim()).
+  virtual const SystemConfig &config() const = 0;
+
+  /// GPU-only time of node \p Id (the ratio-1.0 sample).
+  virtual double gpuNodeNs(const Graph &G, NodeId Id) = 0;
+
+  /// Full-offload time of node \p Id (the ratio-0.0 sample).
+  virtual double pimNodeNs(const Graph &G, NodeId Id) = 0;
+
+  /// MD-DP time at \p RatioGpu in [0, 1].
+  virtual double mdDpNs(const Graph &G, NodeId Id, double RatioGpu) = 0;
+
+  /// Pipelined time of \p Chain with \p Stages stages; negative when the
+  /// chain cannot be pipelined at that stage count.
+  virtual double pipelineNs(const Graph &G,
+                            const std::vector<NodeId> &Chain,
+                            int Stages) = 0;
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_SEARCH_COSTPROVIDER_H

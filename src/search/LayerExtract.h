@@ -1,0 +1,42 @@
+//===- search/LayerExtract.h - Profiling micrograph extraction --*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extracts single layers and linear chains into standalone micrographs for
+/// hardware-measurement-based profiling (Section 4.2.2): the search engine
+/// transforms and times these in isolation, exactly as the artifact's
+/// profiling step runs each candidate through the simulators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SEARCH_LAYEREXTRACT_H
+#define PIMFLOW_SEARCH_LAYEREXTRACT_H
+
+#include <vector>
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// A micrograph plus the ids of the cloned chain nodes inside it.
+struct ExtractedGraph {
+  Graph G{"micro"};
+  std::vector<NodeId> Nodes;
+};
+
+/// Clones node \p Id of \p Src into a fresh graph whose inputs are the
+/// node's non-parameter inputs; parameters are recreated with identical
+/// shapes.
+ExtractedGraph extractLayer(const Graph &Src, NodeId Id);
+
+/// Clones a linear chain (node i's first input is node i-1's output; other
+/// inputs must be parameters) into a fresh graph.
+ExtractedGraph extractChain(const Graph &Src,
+                            const std::vector<NodeId> &Chain);
+
+} // namespace pf
+
+#endif // PIMFLOW_SEARCH_LAYEREXTRACT_H

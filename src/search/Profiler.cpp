@@ -1,0 +1,185 @@
+//===- search/Profiler.cpp - Candidate profiling ----------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/Profiler.h"
+
+#include <cstdio>
+
+#include "search/LayerExtract.h"
+#include "support/Format.h"
+#include "support/StringUtil.h"
+#include "transform/MdDpSplitPass.h"
+#include "transform/PipelinePass.h"
+
+using namespace pf;
+
+namespace {
+
+/// The candidate layer plus its trailing elementwise epilogue (if any):
+/// when the layer stays on the GPU the epilogue fuses for free, but an
+/// offloaded layer turns it into a standalone GPU kernel. Profiling the
+/// pair makes the samples price that asymmetry.
+std::vector<NodeId> withEpilogue(const Graph &G, NodeId Id) {
+  std::vector<NodeId> Chain = {Id};
+  const ValueId Out = G.node(Id).Outputs[0];
+  const std::vector<NodeId> Users = G.consumers(Out);
+  if (Users.size() != 1)
+    return Chain;
+  const Node &U = G.node(Users[0]);
+  switch (U.Kind) {
+  case OpKind::Relu:
+  case OpKind::Relu6:
+  case OpKind::Sigmoid:
+  case OpKind::SiLU:
+  case OpKind::Tanh:
+  case OpKind::Gelu:
+    if (U.Inputs[0] == Out)
+      Chain.push_back(U.Id);
+    break;
+  default:
+    break;
+  }
+  return Chain;
+}
+
+} // namespace
+
+Profiler::Profiler(const SystemConfig &Config)
+    : Config(Config), Engine(Config) {
+  ConfigSig = formatStr(
+      "gc%d/bw%.1f/pc%d/gb%d/lh%d/sg%d/gr%d/mo%d",
+      Config.Gpu.MemChannels, Config.Gpu.ChannelBandwidthGBs,
+      Config.Pim.Channels, Config.Pim.NumGlobalBuffers,
+      Config.Pim.GwriteLatencyHiding ? 1 : 0,
+      Config.Codegen.StridedGwrite ? 1 : 0,
+      static_cast<int>(Config.Codegen.MaxGranularity),
+      Config.MemoryOptimizer ? 1 : 0);
+}
+
+std::string Profiler::signature(const Graph &G,
+                                const std::vector<NodeId> &Chain,
+                                const std::string &Mode) const {
+  std::string Sig = ConfigSig + "|" + Mode + "|";
+  for (NodeId Id : Chain) {
+    const Node &N = G.node(Id);
+    Sig += opKindName(N.Kind);
+    if (N.Kind == OpKind::Conv2d) {
+      const Conv2dAttrs &A = N.conv();
+      Sig += formatStr("[k%lld.%lld s%lld.%lld p%lld.%lld.%lld.%lld g%lld]",
+                       static_cast<long long>(A.KernelH),
+                       static_cast<long long>(A.KernelW),
+                       static_cast<long long>(A.StrideH),
+                       static_cast<long long>(A.StrideW),
+                       static_cast<long long>(A.PadTop),
+                       static_cast<long long>(A.PadBottom),
+                       static_cast<long long>(A.PadLeft),
+                       static_cast<long long>(A.PadRight),
+                       static_cast<long long>(A.Groups));
+    }
+    for (ValueId In : N.Inputs)
+      Sig += G.value(In).Shape.toString();
+    Sig += "->";
+    Sig += G.value(N.Outputs[0]).Shape.toString();
+    Sig += ';';
+  }
+  return Sig;
+}
+
+double Profiler::measure(const std::string &Key,
+                         const std::function<double()> &Compute) {
+  auto It = Cache.find(Key);
+  if (It != Cache.end()) {
+    ++Hits;
+    return It->second;
+  }
+  ++Misses;
+  const double Ns = Compute();
+  Cache.emplace(Key, Ns);
+  return Ns;
+}
+
+double Profiler::gpuNodeNs(const Graph &G, NodeId Id) {
+  const std::vector<NodeId> Chain = withEpilogue(G, Id);
+  return measure(signature(G, Chain, "gpu"), [&] {
+    ExtractedGraph Micro = extractChain(G, Chain);
+    Micro.G.node(Micro.Nodes[0]).Dev = Device::Gpu;
+    return Engine.execute(Micro.G).TotalNs;
+  });
+}
+
+double Profiler::pimNodeNs(const Graph &G, NodeId Id) {
+  PF_ASSERT(Config.hasPim(), "PIM profiling without PIM channels");
+  const std::vector<NodeId> Chain = withEpilogue(G, Id);
+  return measure(signature(G, Chain, "pim"), [&] {
+    ExtractedGraph Micro = extractChain(G, Chain);
+    Micro.G.node(Micro.Nodes[0]).Dev = Device::Pim;
+    return Engine.execute(Micro.G).TotalNs;
+  });
+}
+
+double Profiler::mdDpNs(const Graph &G, NodeId Id, double RatioGpu) {
+  if (RatioGpu <= 0.0)
+    return pimNodeNs(G, Id);
+  if (RatioGpu >= 1.0)
+    return gpuNodeNs(G, Id);
+  const std::string Mode = formatStr("mddp%.2f", RatioGpu);
+  const std::vector<NodeId> Chain = withEpilogue(G, Id);
+  return measure(signature(G, Chain, Mode), [&] {
+    ExtractedGraph Micro = extractChain(G, Chain);
+    auto Result = applyMdDpSplit(Micro.G, Micro.Nodes[0], RatioGpu);
+    // A degenerate ratio (rounds to 0/1) annotated the node instead.
+    (void)Result;
+    return Engine.execute(Micro.G).TotalNs;
+  });
+}
+
+double Profiler::pipelineNs(const Graph &G, const std::vector<NodeId> &Chain,
+                            int Stages) {
+  const std::string Mode = formatStr("pipe%d", Stages);
+  return measure(signature(G, Chain, Mode), [&]() -> double {
+    ExtractedGraph Micro = extractChain(G, Chain);
+    PipelineSpec Spec;
+    Spec.Chain = Micro.Nodes;
+    Spec.NumStages = Stages;
+    if (!applyPipeline(Micro.G, Spec))
+      return -1.0;
+    return Engine.execute(Micro.G).TotalNs;
+  });
+}
+
+double Profiler::chainGpuNs(const Graph &G,
+                            const std::vector<NodeId> &Chain) {
+  double Total = 0.0;
+  for (NodeId Id : Chain)
+    Total += gpuNodeNs(G, Id);
+  return Total;
+}
+
+bool Profiler::saveCache(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  for (const auto &[Key, Ns] : Cache)
+    std::fprintf(F, "%s\t%.6f\n", Key.c_str(), Ns);
+  std::fclose(F);
+  return true;
+}
+
+bool Profiler::loadCache(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  char Line[4096];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    std::string S = trim(Line);
+    const size_t Tab = S.rfind('\t');
+    if (Tab == std::string::npos)
+      continue;
+    Cache[S.substr(0, Tab)] = std::atof(S.c_str() + Tab + 1);
+  }
+  std::fclose(F);
+  return true;
+}

@@ -1,0 +1,212 @@
+//===- search/SearchEngine.cpp - Execution mode & task size search -------===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/SearchEngine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "transform/MdDpSplitPass.h"
+#include "transform/PipelinePass.h"
+
+using namespace pf;
+
+const char *pf::segmentModeName(SegmentMode M) {
+  switch (M) {
+  case SegmentMode::GpuNode:
+    return "gpu";
+  case SegmentMode::FullPim:
+    return "pim";
+  case SegmentMode::MdDp:
+    return "md-dp";
+  case SegmentMode::Pipeline:
+    return "pipeline";
+  }
+  pf_unreachable("unknown segment mode");
+}
+
+ExecutionPlan SearchEngine::search(const Graph &G) {
+  const std::vector<NodeId> Seq = G.topoOrder();
+  const size_t N = Seq.size();
+  std::map<NodeId, size_t> Pos;
+  for (size_t I = 0; I < N; ++I)
+    Pos[Seq[I]] = I;
+
+  ExecutionPlan Plan;
+
+  // Profile the per-node options (lines 1-7 and 16-22 of Algorithm 1).
+  // Per node: the best single-node segment given the allowed option set.
+  struct NodeOption {
+    SegmentMode Mode = SegmentMode::GpuNode;
+    double RatioGpu = 1.0;
+    double Ns = 0.0;
+  };
+  std::vector<NodeOption> BestNode(N);
+
+  for (size_t I = 0; I < N; ++I) {
+    const Node &Nd = G.node(Seq[I]);
+    NodeOption Opt;
+    Opt.Ns = Prof.gpuNodeNs(G, Seq[I]);
+    Opt.Mode = SegmentMode::GpuNode;
+
+    if (isPimCandidate(Nd) && Prof.config().hasPim()) {
+      LayerProfile LP;
+      LP.Id = Seq[I];
+      LP.GpuNs = Opt.Ns;
+      LP.PimNs = Prof.pimNodeNs(G, Seq[I]);
+      LP.BestMdDpNs = LP.GpuNs;
+      LP.BestRatioGpu = 1.0;
+
+      if (Options.AllowFullOffload && LP.PimNs < Opt.Ns) {
+        Opt.Ns = LP.PimNs;
+        Opt.Mode = SegmentMode::FullPim;
+        Opt.RatioGpu = 0.0;
+      }
+      if (LP.PimNs < LP.BestMdDpNs) {
+        LP.BestMdDpNs = LP.PimNs;
+        LP.BestRatioGpu = 0.0;
+      }
+      if (Options.AllowSplit) {
+        auto TrySplit = [&](double R) {
+          const double Ns = Prof.mdDpNs(G, Seq[I], R);
+          if (Ns < LP.BestMdDpNs) {
+            LP.BestMdDpNs = Ns;
+            LP.BestRatioGpu = R;
+          }
+          if (Ns < Opt.Ns) {
+            Opt.Ns = Ns;
+            Opt.Mode = SegmentMode::MdDp;
+            Opt.RatioGpu = R;
+          }
+        };
+        for (double R = Options.RatioStep; R < 1.0 - 1e-9;
+             R += Options.RatioStep)
+          TrySplit(R);
+        // Auto-tuning refinement (the paper's future work): sample around
+        // the coarse optimum at the fine step instead of sweeping the
+        // whole fine grid.
+        if (Options.RefineRatios && Opt.Mode == SegmentMode::MdDp) {
+          const double Center = Opt.RatioGpu;
+          for (double D = Options.RefinedStep;
+               D < Options.RatioStep - 1e-9; D += Options.RefinedStep) {
+            if (Center - D > 1e-9)
+              TrySplit(Center - D);
+            if (Center + D < 1.0 - 1e-9)
+              TrySplit(Center + D);
+          }
+        }
+      }
+      Plan.Layers.push_back(LP);
+    }
+    BestNode[I] = Opt;
+  }
+
+  // Profile the pipelining candidates (lines 8-15) and keep those whose
+  // chain occupies consecutive positions in the sequence (the DP covers the
+  // sequence by contiguous segments).
+  struct PipeOption {
+    PipelineCandidate Cand;
+    size_t Begin = 0;
+    size_t Len = 0;
+    double Ns = 0.0;
+  };
+  std::vector<PipeOption> Pipes;
+  if (Options.AllowPipeline && Prof.config().hasPim()) {
+    for (const PipelineCandidate &Cand : findPipelineCandidates(G)) {
+      const size_t Begin = Pos.at(Cand.Chain.front());
+      bool Consecutive = true;
+      for (size_t I = 0; I < Cand.Chain.size(); ++I)
+        Consecutive &= Begin + I < N && Seq[Begin + I] == Cand.Chain[I];
+      if (!Consecutive)
+        continue;
+      const double Ns =
+          Prof.pipelineNs(G, Cand.Chain, Options.PipelineStages);
+      if (Ns < 0.0)
+        continue; // Not pipelineable at this stage count.
+      Pipes.push_back(PipeOption{Cand, Begin, Cand.Chain.size(), Ns});
+    }
+  }
+
+  // Dynamic program over the sequence (lines 23-29): Best[I] = cheapest
+  // covering of Seq[I..N).
+  constexpr double Inf = 1e300;
+  std::vector<double> Best(N + 1, Inf);
+  struct Choice {
+    bool IsPipe = false;
+    size_t PipeIdx = 0;
+  };
+  std::vector<Choice> Chosen(N);
+  Best[N] = 0.0;
+  for (size_t I = N; I-- > 0;) {
+    Best[I] = BestNode[I].Ns + Best[I + 1];
+    Chosen[I] = Choice{};
+    for (size_t P = 0; P < Pipes.size(); ++P) {
+      if (Pipes[P].Begin != I)
+        continue;
+      const double Cost = Pipes[P].Ns + Best[I + Pipes[P].Len];
+      if (Cost < Best[I]) {
+        Best[I] = Cost;
+        Chosen[I] = Choice{true, P};
+      }
+    }
+  }
+
+  // Reconstruct the segment covering.
+  for (size_t I = 0; I < N;) {
+    if (Chosen[I].IsPipe) {
+      const PipeOption &P = Pipes[Chosen[I].PipeIdx];
+      SegmentPlan S;
+      S.Mode = SegmentMode::Pipeline;
+      S.Nodes = P.Cand.Chain;
+      S.Stages = Options.PipelineStages;
+      S.Pattern = P.Cand.Pattern;
+      S.PredictedNs = P.Ns;
+      Plan.Segments.push_back(std::move(S));
+      I += P.Len;
+      continue;
+    }
+    const NodeOption &O = BestNode[I];
+    SegmentPlan S;
+    S.Mode = O.Mode;
+    S.Nodes = {Seq[I]};
+    S.RatioGpu = O.RatioGpu;
+    S.PredictedNs = O.Ns;
+    Plan.Segments.push_back(std::move(S));
+    ++I;
+  }
+  Plan.PredictedNs = Best[0];
+  return Plan;
+}
+
+void SearchEngine::apply(Graph &G, const ExecutionPlan &Plan) {
+  for (const SegmentPlan &S : Plan.Segments) {
+    switch (S.Mode) {
+    case SegmentMode::GpuNode:
+      G.node(S.Nodes[0]).Dev = Device::Gpu;
+      break;
+    case SegmentMode::FullPim:
+      G.node(S.Nodes[0]).Dev = Device::Pim;
+      break;
+    case SegmentMode::MdDp: {
+      auto Result = applyMdDpSplit(G, S.Nodes[0], S.RatioGpu);
+      PF_ASSERT(Result.has_value(),
+                "planned MD-DP ratio degenerated during apply");
+      (void)Result;
+      break;
+    }
+    case SegmentMode::Pipeline: {
+      PipelineSpec Spec;
+      Spec.Chain = S.Nodes;
+      Spec.NumStages = S.Stages;
+      const bool Ok = applyPipeline(G, Spec);
+      PF_ASSERT(Ok, "planned pipeline failed to apply");
+      (void)Ok;
+      break;
+    }
+    }
+  }
+}

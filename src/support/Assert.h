@@ -1,0 +1,41 @@
+//===- support/Assert.h - Assertion and unreachable helpers ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion macros used throughout the library. We follow the LLVM
+/// convention of asserting liberally with a message, and of marking
+/// impossible control flow with pf_unreachable so that release builds can
+/// treat it as an optimization hint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SUPPORT_ASSERT_H
+#define PIMFLOW_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Asserts \p Cond with an explanatory message. Thin wrapper over assert()
+/// so call sites read uniformly and the macro can later grow logging.
+#define PF_ASSERT(Cond, Msg) assert((Cond) && (Msg))
+
+namespace pf {
+
+/// Marks a point in the program that cannot be reached. Prints the message
+/// and aborts; in NDEBUG builds this still aborts (we never want to run past
+/// broken invariants in a simulator whose output is the experiment).
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace pf
+
+#define pf_unreachable(Msg) ::pf::unreachableImpl(Msg, __FILE__, __LINE__)
+
+#endif // PIMFLOW_SUPPORT_ASSERT_H

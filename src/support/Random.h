@@ -1,0 +1,72 @@
+//===- support/Random.h - Deterministic PRNG --------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic xorshift-based PRNG. Every simulator and weight
+/// materializer in the repository seeds from fixed constants so that test
+/// results and benchmark tables are reproducible run-to-run and
+/// platform-to-platform (no dependence on libstdc++'s distribution
+/// implementations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SUPPORT_RANDOM_H
+#define PIMFLOW_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace pf {
+
+/// xorshift128+ generator with splitmix64 seeding. Fast, decent quality, and
+/// fully deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 to expand the seed into two non-zero state words.
+    auto Next = [&Seed]() {
+      Seed += 0x9E3779B97F4A7C15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Next();
+    S1 = Next();
+    if (S0 == 0 && S1 == 0)
+      S1 = 1;
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform float in [Lo, Hi).
+  float nextFloat(float Lo, float Hi) {
+    return Lo + static_cast<float>(nextDouble()) * (Hi - Lo);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be non-zero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+private:
+  uint64_t S0 = 0;
+  uint64_t S1 = 0;
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_SUPPORT_RANDOM_H

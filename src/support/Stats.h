@@ -1,0 +1,66 @@
+//===- support/Stats.h - Summary statistics ---------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / geomean / min / max helpers used when aggregating per-layer and
+/// per-model results into the paper's "on average" numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SUPPORT_STATS_H
+#define PIMFLOW_SUPPORT_STATS_H
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/Assert.h"
+
+namespace pf {
+
+/// Arithmetic mean of \p Values; 0 for an empty vector.
+inline double mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+/// Geometric mean of \p Values; all entries must be positive.
+inline double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    PF_ASSERT(V > 0.0, "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Minimum of \p Values; requires a non-empty vector.
+inline double minOf(const std::vector<double> &Values) {
+  PF_ASSERT(!Values.empty(), "minOf requires values");
+  double M = Values.front();
+  for (double V : Values)
+    M = V < M ? V : M;
+  return M;
+}
+
+/// Maximum of \p Values; requires a non-empty vector.
+inline double maxOf(const std::vector<double> &Values) {
+  PF_ASSERT(!Values.empty(), "maxOf requires values");
+  double M = Values.front();
+  for (double V : Values)
+    M = V > M ? V : M;
+  return M;
+}
+
+} // namespace pf
+
+#endif // PIMFLOW_SUPPORT_STATS_H

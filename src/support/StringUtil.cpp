@@ -1,0 +1,56 @@
+//===- support/StringUtil.cpp - String helpers ------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <cctype>
+
+using namespace pf;
+
+std::vector<std::string> pf::split(const std::string &S, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string::npos) {
+      Parts.push_back(S.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string pf::join(const std::vector<std::string> &Parts,
+                     const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string pf::trim(const std::string &S) {
+  size_t Begin = 0;
+  size_t End = S.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+bool pf::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool pf::endsWith(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}

@@ -1,0 +1,39 @@
+//===- support/StringUtil.h - String helpers --------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string utilities (split / join / trim / prefix tests) shared by the
+/// graph printer, the profile cache, and the bench command-line handling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SUPPORT_STRINGUTIL_H
+#define PIMFLOW_SUPPORT_STRINGUTIL_H
+
+#include <string>
+#include <vector>
+
+namespace pf {
+
+/// Splits \p S on \p Sep; empty fields are kept.
+std::vector<std::string> split(const std::string &S, char Sep);
+
+/// Joins \p Parts with \p Sep between elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(const std::string &S);
+
+/// Returns true if \p S begins with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Returns true if \p S ends with \p Suffix.
+bool endsWith(const std::string &S, const std::string &Suffix);
+
+} // namespace pf
+
+#endif // PIMFLOW_SUPPORT_STRINGUTIL_H

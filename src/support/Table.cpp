@@ -1,0 +1,86 @@
+//===- support/Table.cpp - ASCII table printer ------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace pf;
+
+void Table::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+/// Returns true if \p S looks like a number (possibly signed/decimal/x-suffix)
+/// and should be right-aligned.
+static bool looksNumeric(const std::string &S) {
+  if (S.empty())
+    return false;
+  size_t Digits = 0;
+  for (char C : S) {
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      ++Digits;
+    else if (C != '.' && C != '-' && C != '+' && C != '%' && C != 'x' &&
+             C != 'e' && C != 'E')
+      return false;
+  }
+  return Digits > 0;
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto RenderRow = [&Widths](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      const size_t Pad = Widths[I] - Cell.size();
+      if (I != 0)
+        Line += "  ";
+      if (looksNumeric(Cell)) {
+        Line.append(Pad, ' ');
+        Line += Cell;
+      } else {
+        Line += Cell;
+        Line.append(Pad, ' ');
+      }
+    }
+    // Trim trailing spaces for clean diffs.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line;
+  };
+
+  std::string Out;
+  if (!Header.empty()) {
+    Out += RenderRow(Header);
+    Out += '\n';
+    size_t Total = 0;
+    for (size_t I = 0; I < Widths.size(); ++I)
+      Total += Widths[I] + (I != 0 ? 2 : 0);
+    Out.append(Total, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows) {
+    Out += RenderRow(Row);
+    Out += '\n';
+  }
+  return Out;
+}

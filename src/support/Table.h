@@ -1,0 +1,42 @@
+//===- support/Table.h - ASCII table printer --------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned ASCII table used by the bench binaries to print the rows
+/// and series of the paper's tables and figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SUPPORT_TABLE_H
+#define PIMFLOW_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pf {
+
+/// Accumulates rows of cells and renders them with per-column alignment.
+/// The first row added via setHeader() is underlined in the output.
+class Table {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table; every column is padded to its widest cell. Numeric
+  /// cells (heuristically detected) are right-aligned, text left-aligned.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_SUPPORT_TABLE_H

@@ -1,0 +1,52 @@
+//===- transform/Canonicalize.h - Graph cleanup passes ----------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cleanup passes run after the PIMFlow transformations: dead-code
+/// elimination for nodes whose results are never consumed, folding of
+/// Identity nodes, and cancellation of Slice-of-Concat pairs that
+/// reconstruct an original piece (pipelining's gather logic can emit
+/// these at stage boundaries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_TRANSFORM_CANONICALIZE_H
+#define PIMFLOW_TRANSFORM_CANONICALIZE_H
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// Statistics of one canonicalization run.
+struct CanonicalizeStats {
+  int DeadNodesRemoved = 0;
+  int IdentitiesFolded = 0;
+  int SlicesCancelled = 0;
+
+  int total() const {
+    return DeadNodesRemoved + IdentitiesFolded + SlicesCancelled;
+  }
+};
+
+/// Removes live nodes none of whose outputs are consumed or graph outputs,
+/// iterating to a fixed point.
+int eliminateDeadNodes(Graph &G);
+
+/// Rewrites consumers of Identity results to use the Identity's input and
+/// removes the Identity. Identities producing graph outputs are kept.
+int foldIdentities(Graph &G);
+
+/// Cancels `Slice(axis, [b,e))` whose input is a `Concat(axis)` when the
+/// sliced range corresponds exactly to one concat operand: consumers read
+/// the operand directly.
+int cancelSliceOfConcat(Graph &G);
+
+/// Runs all cleanups to a fixed point.
+CanonicalizeStats canonicalize(Graph &G);
+
+} // namespace pf
+
+#endif // PIMFLOW_TRANSFORM_CANONICALIZE_H

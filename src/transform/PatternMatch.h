@@ -1,0 +1,55 @@
+//===- transform/PatternMatch.h - Pipelining pattern matcher ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finds the paper's pipelining candidate subgraphs: sequences of 1x1
+/// (pointwise, PIM-offloadable) and depthwise (GPU-only) convolutions, with
+/// optional interposed activations. Three patterns are used in the
+/// evaluation (Fig. 11):
+///
+///   Type 1: 1x1 -> DW
+///   Type 2: DW  -> 1x1
+///   Type 3: 1x1 -> DW -> 1x1
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_TRANSFORM_PATTERNMATCH_H
+#define PIMFLOW_TRANSFORM_PATTERNMATCH_H
+
+#include <vector>
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// The three evaluated subgraph patterns.
+enum class PipelinePattern : uint8_t {
+  PwDw,   ///< Type 1: 1x1 -> DW
+  DwPw,   ///< Type 2: DW -> 1x1
+  PwDwPw, ///< Type 3: 1x1 -> DW -> 1x1
+};
+
+/// Returns "1x1-dw", "dw-1x1" or "1x1-dw-1x1".
+const char *pipelinePatternName(PipelinePattern P);
+
+/// One matched candidate: the node chain (convs plus any interposed
+/// activations, in dataflow order) and which pattern it instantiates.
+struct PipelineCandidate {
+  std::vector<NodeId> Chain;
+  PipelinePattern Pattern = PipelinePattern::PwDw;
+
+  /// The conv nodes of the chain (activations filtered out).
+  std::vector<NodeId> convNodes(const Graph &G) const;
+};
+
+/// Enumerates all pipelining candidates of \p G, longest patterns first at
+/// each anchor. Candidates may overlap; the search engine's DP resolves
+/// conflicts.
+std::vector<PipelineCandidate> findPipelineCandidates(const Graph &G);
+
+} // namespace pf
+
+#endif // PIMFLOW_TRANSFORM_PATTERNMATCH_H

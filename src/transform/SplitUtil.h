@@ -1,0 +1,80 @@
+//===- transform/SplitUtil.h - H-dimension splitting helpers ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the MD-DP and pipelining passes: computing which
+/// input rows (and residual padding) a convolution needs to produce a range
+/// of output rows, and materializing sub-range views of piecewise-produced
+/// tensors with Slice/Concat nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_TRANSFORM_SPLITUTIL_H
+#define PIMFLOW_TRANSFORM_SPLITUTIL_H
+
+#include <vector>
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// Input requirement of a convolution computing output rows [OutBegin,
+/// OutEnd): the input row range to read and the zero padding that survives
+/// at the top/bottom of the part.
+struct ConvInputReq {
+  int64_t InBegin = 0;  ///< First input row needed (clamped to 0).
+  int64_t InEnd = 0;    ///< One past the last input row needed (clamped).
+  int64_t PadTop = 0;   ///< Zero padding remaining above the part.
+  int64_t PadBottom = 0; ///< Zero padding remaining below the part.
+};
+
+/// Computes the input rows conv \p A over an input of height \p InH must
+/// read to produce output rows [\p OutBegin, \p OutEnd).
+ConvInputReq convInputRowsFor(const Conv2dAttrs &A, int64_t InH,
+                              int64_t OutBegin, int64_t OutEnd);
+
+/// A tensor produced piecewise along the H axis: each piece covers rows
+/// [Begin, End) of the logical tensor.
+struct HPiece {
+  int64_t Begin = 0;
+  int64_t End = 0;
+  ValueId Id = InvalidValue;
+};
+
+/// A logical tensor assembled from H-pieces, with helpers to materialize
+/// sub-ranges (inserting Slice/Concat nodes into \p G as needed). The
+/// inserted nodes are H-axis data movement, which the memory optimizer
+/// eliminates at code generation.
+class PiecewiseTensor {
+public:
+  /// A single piece covering the whole tensor.
+  PiecewiseTensor(Graph &G, ValueId Whole);
+
+  /// An explicitly piecewise tensor; pieces must be sorted, contiguous from
+  /// row 0, and non-overlapping.
+  PiecewiseTensor(Graph &G, std::vector<HPiece> Pieces);
+
+  /// Total height covered.
+  int64_t height() const;
+
+  /// Returns a value covering rows [Begin, End), emitting Slice/Concat
+  /// nodes with device annotation \p Dev when a direct piece match is not
+  /// available.
+  ValueId range(int64_t Begin, int64_t End, Device Dev = Device::Gpu);
+
+private:
+  Graph *G;
+  std::vector<HPiece> Pieces;
+  int Counter = 0;
+};
+
+/// Splits [0, Total) into \p Parts nearly equal contiguous ranges.
+std::vector<std::pair<int64_t, int64_t>> splitRange(int64_t Total,
+                                                    int64_t Parts);
+
+} // namespace pf
+
+#endif // PIMFLOW_TRANSFORM_SPLITUTIL_H

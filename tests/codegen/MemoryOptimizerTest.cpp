@@ -1,0 +1,127 @@
+//===- tests/codegen/MemoryOptimizerTest.cpp - layout opt tests -*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MemoryOptimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+
+using namespace pf;
+
+TEST(MemoryOptimizerTest, HSliceIsFree) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 56, 56, 24});
+  B.output(B.slice(X, 1, 0, 28));
+  Graph G = B.take();
+  MemoryOptimizer M(true);
+  EXPECT_EQ(M.classify(G, G.topoOrder().front()), DataMovementCost::Free);
+  EXPECT_EQ(M.copyBytes(G, G.topoOrder().front()), 0);
+}
+
+TEST(MemoryOptimizerTest, WSliceCopies) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 56, 56, 24});
+  B.output(B.slice(X, 2, 0, 28));
+  Graph G = B.take();
+  MemoryOptimizer M(true);
+  EXPECT_EQ(M.classify(G, G.topoOrder().front()), DataMovementCost::Copy);
+  EXPECT_GT(M.copyBytes(G, G.topoOrder().front()), 0);
+}
+
+TEST(MemoryOptimizerTest, ChannelSliceCopies) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 64});
+  B.output(B.slice(X, 3, 0, 32));
+  Graph G = B.take();
+  MemoryOptimizer M(true);
+  EXPECT_EQ(M.classify(G, G.topoOrder().front()), DataMovementCost::Copy);
+}
+
+TEST(MemoryOptimizerTest, HConcatIsFree) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 28, 56, 24});
+  ValueId Y = B.input("y", TensorShape{1, 28, 56, 24});
+  B.output(B.concat({X, Y}, 1));
+  Graph G = B.take();
+  MemoryOptimizer M(true);
+  EXPECT_EQ(M.classify(G, G.topoOrder().front()), DataMovementCost::Free);
+}
+
+TEST(MemoryOptimizerTest, PadFoldsIntoAllocation) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 28, 28, 24});
+  B.output(B.pad(X, 1, 1, 1, 1));
+  Graph G = B.take();
+  EXPECT_EQ(MemoryOptimizer(true).classify(G, G.topoOrder().front()),
+            DataMovementCost::Free);
+}
+
+TEST(MemoryOptimizerTest, DisabledOptimizerCopiesEverything) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 28, 28, 24});
+  ValueId S = B.slice(X, 1, 0, 14);
+  ValueId P = B.pad(S, 1, 1, 1, 1);
+  B.output(P);
+  Graph G = B.take();
+  MemoryOptimizer Off(false);
+  for (NodeId Id : G.topoOrder()) {
+    EXPECT_EQ(Off.classify(G, Id), DataMovementCost::Copy);
+    EXPECT_GT(Off.copyBytes(G, Id), 0);
+  }
+}
+
+TEST(MemoryOptimizerTest, ParamSliceAlwaysFree) {
+  // MD-DP output-feature splits slice the weight matrix; weights are
+  // placed at compile time, so even a strided slice costs nothing.
+  Graph G("t");
+  ValueId W = G.addParam("w", TensorShape{512, 1000});
+  ValueId O = G.addValue("o", TensorShape{});
+  SliceAttrs A;
+  A.Axis = 1;
+  A.Begin = 0;
+  A.End = 500;
+  NodeId N = G.addNode(OpKind::Slice, "s", A, {W}, {O});
+  EXPECT_EQ(MemoryOptimizer(true).classify(G, N), DataMovementCost::Free);
+}
+
+TEST(MemoryOptimizerTest, Rank2RowSliceFree) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{64, 768});
+  B.output(B.slice(X, 0, 0, 32));
+  Graph G = B.take();
+  EXPECT_EQ(MemoryOptimizer(true).classify(G, G.topoOrder().front()),
+            DataMovementCost::Free);
+}
+
+TEST(MemoryOptimizerTest, Rank2FeatureConcatOfBatch1Free) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 500});
+  ValueId Y = B.input("y", TensorShape{1, 500});
+  B.output(B.concat({X, Y}, 1));
+  Graph G = B.take();
+  EXPECT_EQ(MemoryOptimizer(true).classify(G, G.topoOrder().front()),
+            DataMovementCost::Free);
+}
+
+TEST(MemoryOptimizerTest, ComputeNodesNotDataMovement) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 4});
+  B.output(B.conv2d(X, 8, 1, 1, 0));
+  Graph G = B.take();
+  EXPECT_EQ(MemoryOptimizer(true).classify(G, G.topoOrder().front()),
+            DataMovementCost::NotDataMovement);
+}
+
+TEST(MemoryOptimizerTest, FlattenAlwaysFree) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 7, 7, 512});
+  B.output(B.flatten(X));
+  Graph G = B.take();
+  for (bool Enabled : {true, false})
+    EXPECT_EQ(MemoryOptimizer(Enabled).classify(G, G.topoOrder().front()),
+              DataMovementCost::Free);
+}

@@ -1,0 +1,163 @@
+//===- tests/core/PimFlowTest.cpp - facade tests ----------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PimFlow.h"
+
+#include <gtest/gtest.h>
+
+#include "models/Zoo.h"
+
+using namespace pf;
+
+TEST(PimFlowTest, PolicyNames) {
+  EXPECT_STREQ(policyName(OffloadPolicy::GpuOnly), "Baseline");
+  EXPECT_STREQ(policyName(OffloadPolicy::NewtonPlus), "Newton+");
+  EXPECT_STREQ(policyName(OffloadPolicy::NewtonPlusPlus), "Newton++");
+  EXPECT_STREQ(policyName(OffloadPolicy::PimFlow), "PIMFlow");
+  EXPECT_EQ(allPolicies().size(), 6u);
+}
+
+TEST(PimFlowTest, SystemConfigPerPolicy) {
+  PimFlowOptions O;
+  SystemConfig Base = systemConfigFor(OffloadPolicy::GpuOnly, O);
+  EXPECT_EQ(Base.Gpu.MemChannels, 32);
+  EXPECT_FALSE(Base.hasPim());
+
+  SystemConfig NPlus = systemConfigFor(OffloadPolicy::NewtonPlus, O);
+  EXPECT_EQ(NPlus.Gpu.MemChannels, 16);
+  EXPECT_EQ(NPlus.Pim.Channels, 16);
+  EXPECT_EQ(NPlus.Pim.NumGlobalBuffers, 1);
+  EXPECT_FALSE(NPlus.Pim.GwriteLatencyHiding);
+  EXPECT_FALSE(NPlus.Codegen.StridedGwrite);
+
+  SystemConfig NPlusPlus = systemConfigFor(OffloadPolicy::NewtonPlusPlus, O);
+  EXPECT_EQ(NPlusPlus.Pim.NumGlobalBuffers, 4);
+  EXPECT_TRUE(NPlusPlus.Pim.GwriteLatencyHiding);
+  EXPECT_TRUE(NPlusPlus.Codegen.StridedGwrite);
+}
+
+TEST(PimFlowTest, AblationOverrides) {
+  PimFlowOptions O;
+  O.NumGlobalBuffers = 2;
+  O.GwriteLatencyHiding = true;
+  SystemConfig C = systemConfigFor(OffloadPolicy::NewtonPlus, O);
+  EXPECT_EQ(C.Pim.NumGlobalBuffers, 2);
+  EXPECT_TRUE(C.Pim.GwriteLatencyHiding);
+}
+
+TEST(PimFlowTest, SearchOptionsPerPolicy) {
+  PimFlowOptions O;
+  SearchOptions NP = searchOptionsFor(OffloadPolicy::NewtonPlusPlus, O);
+  EXPECT_FALSE(NP.AllowSplit);
+  EXPECT_FALSE(NP.AllowPipeline);
+  EXPECT_TRUE(NP.AllowFullOffload);
+  SearchOptions Md = searchOptionsFor(OffloadPolicy::PimFlowMd, O);
+  EXPECT_TRUE(Md.AllowSplit);
+  EXPECT_FALSE(Md.AllowPipeline);
+  SearchOptions Pl = searchOptionsFor(OffloadPolicy::PimFlowPl, O);
+  EXPECT_FALSE(Pl.AllowSplit);
+  EXPECT_TRUE(Pl.AllowPipeline);
+  SearchOptions Full = searchOptionsFor(OffloadPolicy::PimFlow, O);
+  EXPECT_TRUE(Full.AllowSplit && Full.AllowPipeline);
+}
+
+TEST(PimFlowTest, ToyEndToEndAllPolicies) {
+  const Graph Model = buildToy();
+  double BaselineNs = 0.0;
+  for (OffloadPolicy Policy : allPolicies()) {
+    PimFlow Flow(Policy);
+    CompileResult R = Flow.compileAndRun(Model);
+    EXPECT_GT(R.endToEndNs(), 0.0);
+    EXPECT_GT(R.energyJ(), 0.0);
+    EXPECT_FALSE(R.Transformed.validate().has_value());
+    if (Policy == OffloadPolicy::GpuOnly)
+      BaselineNs = R.endToEndNs();
+    else
+      EXPECT_LT(R.endToEndNs(), 1.2 * BaselineNs);
+  }
+}
+
+TEST(PimFlowTest, MechanismOrderingOnMobileNet) {
+  // Fig. 9's qualitative ordering on a mobile CNN: PIMFlow is best, and
+  // every PIM mechanism beats or matches Newton+ on CONV layers.
+  const Graph Model = buildMobileNetV2();
+  std::map<OffloadPolicy, CompileResult> R;
+  for (OffloadPolicy P : allPolicies())
+    R.emplace(P, PimFlow(P).compileAndRun(Model));
+
+  const double Base = R.at(OffloadPolicy::GpuOnly).ConvLayerNs;
+  EXPECT_LT(R.at(OffloadPolicy::NewtonPlusPlus).ConvLayerNs,
+            R.at(OffloadPolicy::NewtonPlus).ConvLayerNs * 1.001);
+  EXPECT_LT(R.at(OffloadPolicy::PimFlowMd).ConvLayerNs,
+            R.at(OffloadPolicy::NewtonPlusPlus).ConvLayerNs * 1.001);
+  EXPECT_LT(R.at(OffloadPolicy::PimFlowMd).ConvLayerNs, Base);
+
+  const double BaseE2e = R.at(OffloadPolicy::GpuOnly).endToEndNs();
+  EXPECT_LT(R.at(OffloadPolicy::PimFlow).endToEndNs(), BaseE2e);
+  // Algorithm 1 optimizes the sum of isolated segment profiles, so the
+  // combined policy can trail a variant by a small end-to-end margin when
+  // cross-segment interactions differ from the profiles.
+  EXPECT_LE(R.at(OffloadPolicy::PimFlow).endToEndNs(),
+            R.at(OffloadPolicy::PimFlowMd).endToEndNs() * 1.02);
+  EXPECT_LE(R.at(OffloadPolicy::PimFlow).endToEndNs(),
+            R.at(OffloadPolicy::PimFlowPl).endToEndNs() * 1.02);
+}
+
+TEST(PimFlowTest, VggGainsFromFcOffload) {
+  // VGG's huge FC layers are memory-bound: every PIM mechanism must
+  // offload them and gain end-to-end.
+  const Graph Model = buildVgg16();
+  CompileResult Base = PimFlow(OffloadPolicy::GpuOnly).compileAndRun(Model);
+  CompileResult NPlus =
+      PimFlow(OffloadPolicy::NewtonPlus).compileAndRun(Model);
+  EXPECT_LT(NPlus.FcLayerNs, 0.3 * Base.FcLayerNs);
+  EXPECT_LT(NPlus.endToEndNs(), Base.endToEndNs());
+}
+
+TEST(PimFlowTest, MemoryOptimizerAblation) {
+  // Section 4.3.2: without the layout optimization most splitting attempts
+  // are futile.
+  const Graph Model = buildMobileNetV2();
+  PimFlowOptions On, Off;
+  Off.MemoryOptimizer = false;
+  CompileResult ROn =
+      PimFlow(OffloadPolicy::PimFlowMd, On).compileAndRun(Model);
+  CompileResult ROff =
+      PimFlow(OffloadPolicy::PimFlowMd, Off).compileAndRun(Model);
+  EXPECT_LT(ROn.endToEndNs(), ROff.endToEndNs());
+}
+
+TEST(PimFlowTest, ChannelRatioAffectsPerformance) {
+  // Fig. 13: very few PIM channels must be worse than the 16/16 split for
+  // a PIM-friendly model.
+  const Graph Model = buildMnasNet();
+  PimFlowOptions Few, Even;
+  Few.PimChannels = 4;
+  Even.PimChannels = 16;
+  const double TFew =
+      PimFlow(OffloadPolicy::PimFlow, Few).compileAndRun(Model).endToEndNs();
+  const double TEven =
+      PimFlow(OffloadPolicy::PimFlow, Even).compileAndRun(Model)
+          .endToEndNs();
+  EXPECT_LT(TEven, TFew);
+}
+
+TEST(PimFlowTest, ContentionIsNegligible) {
+  const Graph Model = buildToy();
+  PimFlowOptions O;
+  O.ModelContention = true;
+  CompileResult R = PimFlow(OffloadPolicy::PimFlow, O).compileAndRun(Model);
+  EXPECT_LT(R.Schedule.ContentionSlowdown, 1.01);
+}
+
+TEST(PimFlowTest, TransformedGraphKeepsInterface) {
+  const Graph Model = buildToy();
+  CompileResult R = PimFlow(OffloadPolicy::PimFlow).compileAndRun(Model);
+  ASSERT_EQ(R.Transformed.graphOutputs().size(),
+            Model.graphOutputs().size());
+  EXPECT_EQ(R.Transformed.value(R.Transformed.graphOutputs()[0]).Shape,
+            Model.value(Model.graphOutputs()[0]).Shape);
+}

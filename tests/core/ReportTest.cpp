@@ -1,0 +1,80 @@
+//===- tests/core/ReportTest.cpp - report generator tests -------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+
+#include <gtest/gtest.h>
+
+#include "models/Zoo.h"
+
+using namespace pf;
+
+TEST(ReportTest, StatsCoverAllScheduledNodes) {
+  CompileResult R = PimFlow(OffloadPolicy::PimFlow).compileAndRun(buildToy());
+  ExecutionStats S = computeStats(R);
+  EXPECT_EQ(static_cast<size_t>(S.GpuKernels + S.PimKernels +
+                                S.FusedOrFreeNodes),
+            R.Schedule.Nodes.size());
+  EXPECT_GT(S.PimKernels, 0);
+  EXPECT_GT(S.GpuKernels, 0);
+}
+
+TEST(ReportTest, PimCommandCountsPositiveWhenOffloaded) {
+  CompileResult R =
+      PimFlow(OffloadPolicy::NewtonPlusPlus).compileAndRun(buildToy());
+  ExecutionStats S = computeStats(R);
+  if (S.PimKernels > 0) {
+    EXPECT_GT(S.PimGwriteBursts, 0);
+    EXPECT_GT(S.PimCompColumns, 0);
+    EXPECT_GT(S.PimWeightBytes, 0);
+  }
+}
+
+TEST(ReportTest, GpuOnlyHasNoPimActivity) {
+  CompileResult R = PimFlow(OffloadPolicy::GpuOnly).compileAndRun(buildToy());
+  ExecutionStats S = computeStats(R);
+  EXPECT_EQ(S.PimKernels, 0);
+  EXPECT_EQ(S.PimCompColumns, 0);
+  EXPECT_EQ(S.PimWeightBytes, 0);
+  EXPECT_EQ(S.PimBusyFraction, 0.0);
+}
+
+TEST(ReportTest, BusyFractionsBounded) {
+  CompileResult R =
+      PimFlow(OffloadPolicy::PimFlow).compileAndRun(buildMobileNetV2());
+  ExecutionStats S = computeStats(R);
+  EXPECT_GE(S.GpuBusyFraction, 0.0);
+  EXPECT_LE(S.GpuBusyFraction, 1.0 + 1e-9);
+  EXPECT_GE(S.PimBusyFraction, 0.0);
+  EXPECT_LE(S.PimBusyFraction, 1.0 + 1e-9);
+}
+
+TEST(ReportTest, RenderedReportHasSections) {
+  CompileResult R = PimFlow(OffloadPolicy::PimFlow).compileAndRun(buildToy());
+  const std::string Text = renderReport(R);
+  EXPECT_NE(Text.find("PIMFlow report"), std::string::npos);
+  EXPECT_NE(Text.find("segments:"), std::string::npos);
+  EXPECT_NE(Text.find("COMP columns"), std::string::npos);
+  EXPECT_NE(Text.find("gpu |"), std::string::npos);
+  EXPECT_NE(Text.find("pim |"), std::string::npos);
+}
+
+TEST(ReportTest, WeightPlacementSplitsByDevice) {
+  // VGG's FC weights (~270 MB) move to PIM under Newton+.
+  CompileResult R =
+      PimFlow(OffloadPolicy::NewtonPlus).compileAndRun(buildVgg16());
+  ExecutionStats S = computeStats(R);
+  EXPECT_GT(S.PimWeightBytes, 200'000'000);
+  EXPECT_GT(S.GpuWeightBytes, 10'000'000); // Conv weights stay.
+}
+
+TEST(ReportTest, HbmPimPresetDiffers) {
+  const PimConfig Hbm = PimConfig::hbmPim();
+  const PimConfig Aim = PimConfig::newtonPlusPlus();
+  EXPECT_NE(Hbm.BanksPerChannel, Aim.BanksPerChannel);
+  EXPECT_LT(Hbm.ClockGhz, Aim.ClockGhz);
+  EXPECT_LT(Hbm.macsPerComp(), Aim.macsPerComp());
+}

@@ -1,0 +1,172 @@
+//===- tests/gpu/GpuModelTest.cpp - GPU timing model tests ------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/GpuModel.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "runtime/SystemConfig.h"
+
+using namespace pf;
+
+namespace {
+
+Graph singleConv(int64_t H, int64_t Cin, int64_t Cout, int64_t K,
+                 int64_t Stride = 1) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, H, H, Cin});
+  B.output(B.conv2d(X, Cout, K, Stride, K / 2));
+  return B.take();
+}
+
+} // namespace
+
+TEST(GpuConfigTest, PeakFlops) {
+  GpuConfig C;
+  const double Fp32 = C.peakFlops(false);
+  EXPECT_NEAR(Fp32, 30 * 64 * 2 * 1.68e9, 1e6);
+  EXPECT_DOUBLE_EQ(C.peakFlops(true), Fp32 * C.Fp16Multiplier);
+}
+
+TEST(GpuConfigTest, BandwidthScalesWithChannels) {
+  GpuConfig C;
+  C.MemChannels = 16;
+  const double Bw16 = C.memBandwidth();
+  C.MemChannels = 32;
+  EXPECT_DOUBLE_EQ(C.memBandwidth(), 2.0 * Bw16);
+}
+
+TEST(GpuModelTest, LargeConvIsComputeBound) {
+  // A dense 3x3 conv with high reuse: compute >> memory (Fig. 1 premise).
+  Graph G = singleConv(56, 256, 256, 3);
+  GpuModel M((GpuConfig()));
+  GpuKernelTime T = M.nodeTime(G, G.topoOrder().front());
+  EXPECT_GT(T.ComputeNs, T.MemoryNs);
+}
+
+TEST(GpuModelTest, FcIsMemoryBound) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 25088});
+  B.output(B.gemm(X, 4096));
+  Graph G = B.take();
+  GpuModel M((GpuConfig()));
+  GpuKernelTime T = M.nodeTime(G, G.topoOrder().front());
+  EXPECT_GT(T.MemoryNs, 10.0 * T.ComputeNs);
+}
+
+TEST(GpuModelTest, MemoryBoundKernelScalesWithChannels) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 25088});
+  B.output(B.gemm(X, 4096));
+  Graph G = B.take();
+  GpuConfig C32;
+  GpuConfig C16 = C32;
+  C16.MemChannels = 16;
+  const double T32 = GpuModel(C32).nodeTime(G, G.topoOrder().front()).Ns;
+  const double T16 = GpuModel(C16).nodeTime(G, G.topoOrder().front()).Ns;
+  EXPECT_GT(T16, 1.8 * T32);
+}
+
+TEST(GpuModelTest, ComputeBoundKernelInsensitiveToChannels) {
+  // Fig. 3: compute-intensive layers barely notice halved channels.
+  Graph G = singleConv(56, 256, 256, 3);
+  GpuConfig C32;
+  GpuConfig C16 = C32;
+  C16.MemChannels = 16;
+  const double T32 = GpuModel(C32).nodeTime(G, G.topoOrder().front()).Ns;
+  const double T16 = GpuModel(C16).nodeTime(G, G.topoOrder().front()).Ns;
+  EXPECT_LT(T16, 1.1 * T32);
+}
+
+TEST(GpuModelTest, SmallKernelsAreLaunchDominated) {
+  Graph G = singleConv(4, 8, 8, 1);
+  GpuConfig C;
+  GpuModel M(C);
+  GpuKernelTime T = M.nodeTime(G, G.topoOrder().front());
+  EXPECT_GT(C.KernelLaunchNs, 0.5 * T.Ns);
+}
+
+TEST(GpuModelTest, FreeOps) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 8});
+  B.output(B.flatten(X));
+  Graph G = B.take();
+  GpuModel M((GpuConfig()));
+  EXPECT_EQ(M.nodeTime(G, G.topoOrder().front()).Ns, 0.0);
+}
+
+TEST(GpuModelTest, MoreWorkTakesLongerWhenSaturated) {
+  // Above the occupancy saturation point, 4x the work takes ~4x the time.
+  GpuModel M((GpuConfig()));
+  Graph Small = singleConv(56, 128, 128, 3);
+  Graph Large = singleConv(112, 128, 128, 3);
+  const double TSmall = M.nodeTime(Small, Small.topoOrder().front()).Ns;
+  const double TLarge = M.nodeTime(Large, Large.topoOrder().front()).Ns;
+  EXPECT_GT(TLarge, 2.0 * TSmall);
+}
+
+TEST(GpuModelTest, LatencyBoundPlateauBelowSaturation) {
+  // Below saturation a batch-1 conv is latency-bound: throughput scales
+  // with occupancy, so doubling the spatial size does not double the time.
+  GpuModel M((GpuConfig()));
+  Graph Small = singleConv(14, 64, 64, 3);
+  Graph Large = singleConv(28, 64, 64, 3);
+  const double TSmall = M.nodeTime(Small, Small.topoOrder().front()).Ns;
+  const double TLarge = M.nodeTime(Large, Large.topoOrder().front()).Ns;
+  EXPECT_LT(TLarge, 2.0 * TSmall);
+  EXPECT_GE(TLarge, TSmall - 1e-9);
+}
+
+TEST(GpuModelTest, EnergyIncludesStaticAndDynamic) {
+  GpuConfig C;
+  GpuModel M(C);
+  GpuKernelTime Idle;
+  Idle.Ns = 1e6; // 1 ms at zero utilization.
+  Idle.Utilization = 0.0;
+  EXPECT_NEAR(M.kernelEnergyJ(Idle), C.IdlePowerW * 1e-3, 1e-9);
+  GpuKernelTime Busy = Idle;
+  Busy.Utilization = 1.0;
+  EXPECT_NEAR(M.kernelEnergyJ(Busy),
+              (C.IdlePowerW + C.DynamicPowerW) * 1e-3, 1e-9);
+  EXPECT_NEAR(M.idleEnergyJ(1e6), C.IdlePowerW * 1e-3, 1e-9);
+}
+
+TEST(GpuModelTest, UtilizationBounded) {
+  GpuModel M((GpuConfig()));
+  for (Graph G : {singleConv(8, 16, 16, 1), singleConv(112, 64, 128, 3)}) {
+    GpuKernelTime T = M.nodeTime(G, G.topoOrder().front());
+    EXPECT_GE(T.Utilization, 0.0);
+    EXPECT_LE(T.Utilization, 1.0);
+  }
+}
+
+TEST(GpuModelTest, CoherenceSlowdownScalesKernelBody) {
+  // Section 5 footnote 2: write-through caches cost ~2.8% in the dual
+  // GPU/PIM configuration.
+  Graph G = singleConv(56, 256, 256, 3);
+  GpuConfig WriteBack;
+  GpuConfig WriteThrough = WriteBack;
+  WriteThrough.CoherenceSlowdown = 1.028;
+  const GpuKernelTime A =
+      GpuModel(WriteBack).nodeTime(G, G.topoOrder().front());
+  const GpuKernelTime B =
+      GpuModel(WriteThrough).nodeTime(G, G.topoOrder().front());
+  const double BodyA = A.Ns - WriteBack.KernelLaunchNs;
+  const double BodyB = B.Ns - WriteThrough.KernelLaunchNs;
+  EXPECT_NEAR(BodyB / BodyA, 1.028, 1e-9);
+}
+
+TEST(GpuModelTest, DualConfigEnablesWriteThrough) {
+  EXPECT_DOUBLE_EQ(SystemConfig::dual().Gpu.CoherenceSlowdown, 1.028);
+  EXPECT_DOUBLE_EQ(SystemConfig::gpuOnly().Gpu.CoherenceSlowdown, 1.0);
+}
+
+TEST(GpuModelTest, PresetConfigsDiffer) {
+  EXPECT_GT(GpuConfig::titanVLike().memBandwidth(),
+            GpuConfig().memBandwidth());
+  EXPECT_GT(GpuConfig::rtx2080TiLike().NumSms, GpuConfig().NumSms);
+}

@@ -1,0 +1,178 @@
+//===- tests/integration/EndToEndTest.cpp - evaluation shapes ---*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression tests pinning the qualitative shapes of the paper's
+/// evaluation: who wins, by roughly what factor, and where the crossovers
+/// fall. These guard the calibration that the bench binaries report.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "codegen/CommandGenerator.h"
+#include "ir/Builder.h"
+#include "core/PimFlow.h"
+#include "models/Zoo.h"
+#include "search/Profiler.h"
+
+using namespace pf;
+
+namespace {
+
+CompileResult run(const std::string &Model, OffloadPolicy Policy,
+                  PimFlowOptions Options = {}) {
+  Graph G = buildModel(Model);
+  return PimFlow(Policy, Options).compileAndRun(G);
+}
+
+} // namespace
+
+TEST(EndToEndShapes, PimFlowBeatsBaselineOnEveryModel) {
+  // Fig. 9: PIMFlow end-to-end < GPU baseline for all five CNNs.
+  for (const std::string &Model : modelNames()) {
+    const double Base = run(Model, OffloadPolicy::GpuOnly).endToEndNs();
+    const double Flow = run(Model, OffloadPolicy::PimFlow).endToEndNs();
+    EXPECT_LT(Flow, Base) << Model;
+    // The paper's end-to-end speedups are below ~2.2x.
+    EXPECT_GT(Flow, Base / 2.5) << Model;
+  }
+}
+
+TEST(EndToEndShapes, MobileNetsGainMostOnConvLayers) {
+  // "The performance gain is more significant with ENetB0, MBNetV2 and
+  // MnasNet than ResNet50 and VGG16."
+  auto ConvRatio = [](const std::string &Model) {
+    const double Base = run(Model, OffloadPolicy::GpuOnly).ConvLayerNs;
+    const double Flow = run(Model, OffloadPolicy::PimFlowMd).ConvLayerNs;
+    return Flow / Base;
+  };
+  const double Mobile = ConvRatio("mobilenet-v2");
+  const double Vgg = ConvRatio("vgg-16");
+  EXPECT_LT(Mobile, Vgg);
+  EXPECT_LT(Mobile, 0.8);  // Large CONV-layer gains on mobile nets.
+  EXPECT_GT(Vgg, 0.6);     // Compute-heavy convs gain less.
+}
+
+TEST(EndToEndShapes, NewtonPlusPlusBeatsNewtonPlus) {
+  // The PIM-command optimizations alone boost CONV layers (Fig. 9/14).
+  for (const std::string Model : {"mobilenet-v2", "efficientnet-v1-b0"}) {
+    const double NPlus = run(Model, OffloadPolicy::NewtonPlus).ConvLayerNs;
+    const double NPlusPlus =
+        run(Model, OffloadPolicy::NewtonPlusPlus).ConvLayerNs;
+    EXPECT_LT(NPlusPlus, NPlus) << Model;
+    EXPECT_GT(NPlusPlus, 0.6 * NPlus) << Model;
+  }
+}
+
+TEST(EndToEndShapes, PipeliningHelpsMobileNetsOnly) {
+  // Fig. 9/11: PIMFlow-pl gains on mobile nets; ResNet50/VGG16 have no
+  // pipeline patterns, so PIMFlow-pl == Newton++ there.
+  const double MobilePl =
+      run("mobilenet-v2", OffloadPolicy::PimFlowPl).endToEndNs();
+  const double MobileNpp =
+      run("mobilenet-v2", OffloadPolicy::NewtonPlusPlus).endToEndNs();
+  EXPECT_LT(MobilePl, MobileNpp);
+
+  const double ResPl =
+      run("resnet-50", OffloadPolicy::PimFlowPl).endToEndNs();
+  const double ResNpp =
+      run("resnet-50", OffloadPolicy::NewtonPlusPlus).endToEndNs();
+  EXPECT_NEAR(ResPl, ResNpp, 1e-3 * ResNpp);
+}
+
+TEST(EndToEndShapes, CombinedPimFlowAtLeastMatchesVariants) {
+  for (const std::string Model : {"mobilenet-v2", "mnasnet-1.0"}) {
+    const double Md = run(Model, OffloadPolicy::PimFlowMd).endToEndNs();
+    const double Pl = run(Model, OffloadPolicy::PimFlowPl).endToEndNs();
+    const double Full = run(Model, OffloadPolicy::PimFlow).endToEndNs();
+    // Within the DP's isolated-profiling approximation (see
+    // PimFlowTest.MechanismOrderingOnMobileNet).
+    EXPECT_LE(Full, Md * 1.02) << Model;
+    EXPECT_LE(Full, Pl * 1.02) << Model;
+  }
+}
+
+TEST(EndToEndShapes, EnergyDropsWithPimFlow) {
+  // Fig. 12: PIM mechanisms consume less energy than the GPU baseline on
+  // the compute-heavy models; the paper reports 26% on average for
+  // PIMFlow.
+  double RatioSum = 0.0;
+  int Count = 0;
+  for (const std::string &Model : modelNames()) {
+    const double Base = run(Model, OffloadPolicy::GpuOnly).energyJ();
+    const double Flow = run(Model, OffloadPolicy::PimFlow).energyJ();
+    RatioSum += Flow / Base;
+    ++Count;
+  }
+  EXPECT_LT(RatioSum / Count, 0.95); // Average energy reduction.
+}
+
+TEST(EndToEndShapes, GemvValidationAnchor) {
+  // Fig. 8: at batch 1 a large GEMV is an order of magnitude faster on PIM
+  // than on the GPU, and the gap narrows as the batch grows.
+  SystemConfig C;
+  C.Gpu = GpuConfig::titanVLike();
+  C.Pim = PimConfig::newtonPlusPlus();
+  Profiler P(C);
+
+  auto Speedup = [&P](int64_t Batch) {
+    GraphBuilder B("gemv");
+    ValueId X = B.input("x", TensorShape{Batch, 4096});
+    B.output(B.gemm(X, 4096));
+    Graph G = B.take();
+    NodeId N = G.topoOrder().front();
+    return P.gpuNodeNs(G, N) / P.pimNodeNs(G, N);
+  };
+
+  const double S1 = Speedup(1);
+  EXPECT_GT(S1, 8.0);
+  EXPECT_LT(S1, 40.0);
+  const double S16 = Speedup(16);
+  EXPECT_LT(S16, S1);
+}
+
+TEST(EndToEndShapes, BertSequenceLengthSensitivity) {
+  // Fig. 16: for short sequences PIMFlow matches Newton++ (nothing to
+  // split); for longer sequences MD-DP over FC rows adds a speedup.
+  Graph Short = buildBertEncoder(3, 4);
+  Graph Long = buildBertEncoder(64, 4);
+  const double ShortNpp =
+      PimFlow(OffloadPolicy::NewtonPlusPlus).compileAndRun(Short)
+          .endToEndNs();
+  const double ShortFlow =
+      PimFlow(OffloadPolicy::PimFlow).compileAndRun(Short).endToEndNs();
+  EXPECT_NEAR(ShortFlow, ShortNpp, 0.05 * ShortNpp);
+
+  const double LongNpp =
+      PimFlow(OffloadPolicy::NewtonPlusPlus).compileAndRun(Long)
+          .endToEndNs();
+  const double LongFlow =
+      PimFlow(OffloadPolicy::PimFlow).compileAndRun(Long).endToEndNs();
+  EXPECT_LT(LongFlow, LongNpp);
+}
+
+TEST(EndToEndShapes, CommandOptimizationAblation) {
+  // Fig. 14: GWRITE latency hiding and multiple global buffers each help
+  // on their own and compose.
+  const Graph Model = buildMobileNetV2();
+  auto ConvNs = [&Model](std::optional<int> Buffers,
+                         std::optional<bool> Hiding) {
+    PimFlowOptions O;
+    O.NumGlobalBuffers = Buffers.value_or(1);
+    O.GwriteLatencyHiding = Hiding.value_or(false);
+    return PimFlow(OffloadPolicy::NewtonPlus, O).compileAndRun(Model)
+        .ConvLayerNs;
+  };
+  const double Neither = ConvNs(1, false);
+  const double HidingOnly = ConvNs(1, true);
+  const double BuffersOnly = ConvNs(4, false);
+  const double Both = ConvNs(4, true);
+  EXPECT_LT(HidingOnly, Neither);
+  EXPECT_LT(BuffersOnly, Neither);
+  EXPECT_LE(Both, HidingOnly);
+  EXPECT_LE(Both, BuffersOnly);
+}

@@ -1,0 +1,136 @@
+//===- tests/integration/EquivalenceTest.cpp - whole-flow checks -*- C++ -*-=//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler-correctness contract: for any model and any offloading
+/// mechanism, the graph PIMFlow produces must compute exactly what the
+/// original model computes. These tests run the full search + transform
+/// pipeline and compare reference-interpreter outputs element by element.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/PimFlow.h"
+#include "ir/Builder.h"
+#include "models/Zoo.h"
+#include "runtime/Interpreter.h"
+
+using namespace pf;
+
+namespace {
+
+std::vector<Tensor> runGraph(const Graph &G, uint64_t Seed) {
+  std::vector<Tensor> Inputs;
+  for (ValueId In : G.graphInputs())
+    Inputs.push_back(Interpreter::randomInput(G.value(In).Shape, Seed));
+  return Interpreter(G).run(Inputs);
+}
+
+void expectEquivalent(const Graph &Original, const Graph &Transformed,
+                      uint64_t Seed) {
+  auto A = runGraph(Original, Seed);
+  auto B = runGraph(Transformed, Seed);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    ASSERT_EQ(A[I].shape(), B[I].shape());
+    for (int64_t E = 0; E < A[I].numElements(); ++E)
+      ASSERT_EQ(A[I].at(E), B[I].at(E))
+          << "output " << I << " element " << E;
+  }
+}
+
+/// A small but structurally rich CNN: stem conv, two inverted-residual
+/// blocks (pipeline patterns), residual add, classifier.
+Graph miniMobileNet() {
+  GraphBuilder B("mini-mobile");
+  ValueId X = B.input("x", TensorShape{1, 24, 24, 3});
+  X = B.relu6(B.conv2d(X, 8, 3, 2, 1));
+  // Block 1 (stride 1, residual).
+  {
+    ValueId In = X;
+    ValueId V = B.relu6(B.conv2d(In, 24, 1, 1, 0));
+    V = B.relu6(B.dwConv(V, 3, 1, 1));
+    V = B.conv2d(V, 8, 1, 1, 0);
+    X = B.add(V, In);
+  }
+  // Block 2 (stride 2).
+  {
+    ValueId V = B.relu6(B.conv2d(X, 24, 1, 1, 0));
+    V = B.relu6(B.dwConv(V, 3, 2, 1));
+    X = B.conv2d(V, 12, 1, 1, 0);
+  }
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  X = B.gemm(X, 10);
+  B.output(X);
+  return B.take();
+}
+
+} // namespace
+
+class PolicyEquivalence : public ::testing::TestWithParam<OffloadPolicy> {};
+
+TEST_P(PolicyEquivalence, MiniMobileNet) {
+  const Graph Model = miniMobileNet();
+  PimFlow Flow(GetParam());
+  CompileResult R = Flow.compileAndRun(Model);
+  expectEquivalent(Model, R.Transformed, 1234);
+}
+
+TEST_P(PolicyEquivalence, ToyNetwork) {
+  const Graph Model = buildToy();
+  PimFlow Flow(GetParam());
+  CompileResult R = Flow.compileAndRun(Model);
+  expectEquivalent(Model, R.Transformed, 77);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyEquivalence,
+    ::testing::Values(OffloadPolicy::GpuOnly, OffloadPolicy::NewtonPlus,
+                      OffloadPolicy::NewtonPlusPlus,
+                      OffloadPolicy::PimFlowMd, OffloadPolicy::PimFlowPl,
+                      OffloadPolicy::PimFlow),
+    [](const auto &Info) {
+      std::string Out;
+      for (char C : std::string(policyName(Info.param))) {
+        if (isalnum(static_cast<unsigned char>(C)))
+          Out += C;
+        else if (C == '+')
+          Out += 'P'; // Keep Newton+ / Newton++ distinct.
+      }
+      return Out;
+    });
+
+TEST(EquivalenceTest, PipelineStagesSweep) {
+  // The stage-count sensitivity study must not change results either.
+  const Graph Model = miniMobileNet();
+  for (int Stages : {2, 3, 4}) {
+    PimFlowOptions O;
+    O.PipelineStages = Stages;
+    PimFlow Flow(OffloadPolicy::PimFlowPl, O);
+    CompileResult R = Flow.compileAndRun(Model);
+    expectEquivalent(Model, R.Transformed, 55 + Stages);
+  }
+}
+
+TEST(EquivalenceTest, ChannelRatioSweep) {
+  const Graph Model = miniMobileNet();
+  for (int PimChannels : {4, 8, 24}) {
+    PimFlowOptions O;
+    O.PimChannels = PimChannels;
+    PimFlow Flow(OffloadPolicy::PimFlow, O);
+    CompileResult R = Flow.compileAndRun(Model);
+    expectEquivalent(Model, R.Transformed, 900 + PimChannels);
+  }
+}
+
+TEST(EquivalenceTest, BertEncoderUnderPimFlow) {
+  const Graph Model = buildBertEncoder(8, /*NumLayers=*/2);
+  PimFlow Flow(OffloadPolicy::PimFlow);
+  CompileResult R = Flow.compileAndRun(Model);
+  expectEquivalent(Model, R.Transformed, 4242);
+}

@@ -1,0 +1,97 @@
+//===- tests/ir/ApiContractTest.cpp - assertion contracts -------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Death tests pinning the library's programmatic-error contracts: misusing
+/// the graph API must abort with a diagnostic (assertions stay enabled in
+/// optimized builds — the simulators' invariants are the experiment).
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "pim/PimCommand.h"
+#include "transform/MdDpSplitPass.h"
+
+using namespace pf;
+
+namespace {
+
+Graph tinyGraph() {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  B.output(B.relu(X));
+  return B.take();
+}
+
+} // namespace
+
+using ApiContractDeathTest = ::testing::Test;
+
+TEST(ApiContractDeathTest, DoubleProducerAborts) {
+  Graph G = tinyGraph();
+  const ValueId Produced = G.node(G.topoOrder().front()).Outputs[0];
+  const ValueId In = G.graphInputs()[0];
+  EXPECT_DEATH(G.addNode(OpKind::Relu6, "dup", std::monostate{}, {In},
+                         {Produced}),
+               "producer");
+}
+
+TEST(ApiContractDeathTest, ParamAsOutputAborts) {
+  Graph G("t");
+  ValueId In = G.addValue("x", TensorShape{4});
+  ValueId W = G.addParam("w", TensorShape{4});
+  EXPECT_DEATH(
+      G.addNode(OpKind::Relu, "bad", std::monostate{}, {In}, {W}),
+      "parameters");
+}
+
+TEST(ApiContractDeathTest, OutOfRangeValueAborts) {
+  Graph G = tinyGraph();
+  EXPECT_DEATH(G.value(999), "out of range");
+  EXPECT_DEATH(G.node(999), "out of range");
+}
+
+TEST(ApiContractDeathTest, DoubleRemoveAborts) {
+  Graph G = tinyGraph();
+  const NodeId N = G.topoOrder().front();
+  G.removeNode(N);
+  EXPECT_DEATH(G.removeNode(N), "already removed");
+}
+
+TEST(ApiContractDeathTest, ShapeIndexOutOfRangeAborts) {
+  TensorShape S{2, 3};
+  EXPECT_DEATH(S.dim(5), "out of range");
+  Tensor T(TensorShape{2, 2});
+  EXPECT_DEATH(T.at(99), "out of range");
+}
+
+TEST(ApiContractDeathTest, WrongAttrAccessAborts) {
+  Graph G = tinyGraph();
+  const Node &N = G.node(G.topoOrder().front()); // A relu.
+  EXPECT_DEATH((void)N.conv(), "not a conv");
+  EXPECT_DEATH((void)N.gemm(), "not a gemm");
+}
+
+TEST(ApiContractDeathTest, SplittingNonCandidateAborts) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 4});
+  B.output(B.dwConv(X, 3, 1, 1)); // Depthwise: not a PIM candidate.
+  Graph G = B.take();
+  EXPECT_DEATH(applyMdDpSplit(G, G.topoOrder().front(), 0.5),
+               "candidate");
+}
+
+TEST(ApiContractDeathTest, InvalidGwriteBufferCountAborts) {
+  EXPECT_DEATH(PimCommand::gwrite(4, 3), "1/2/4");
+}
+
+TEST(ApiContractDeathTest, BadParamDataShapeAborts) {
+  Graph G("t");
+  ValueId W = G.addParam("w", TensorShape{4});
+  EXPECT_DEATH(G.setParamData(W, Tensor(TensorShape{5})), "mismatch");
+}

@@ -1,0 +1,77 @@
+//===- tests/ir/BuilderTest.cpp - graph builder tests -----------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace pf;
+
+TEST(BuilderTest, ConvCreatesWeightParam) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 3});
+  B.output(B.conv2d(X, 16, 3, 1, 1));
+  Graph G = B.take();
+  int Params = 0;
+  for (const Value &V : G.values())
+    Params += V.IsParam;
+  EXPECT_EQ(Params, 1);
+  // Weight layout [KH, KW, Cin/G, Cout].
+  for (const Value &V : G.values())
+    if (V.IsParam) {
+      EXPECT_EQ(V.Shape, (TensorShape{3, 3, 3, 16}));
+    }
+}
+
+TEST(BuilderTest, ConvWithBias) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 3});
+  B.output(B.conv2d(X, 4, 1, 1, 0, 1, /*WithBias=*/true));
+  Graph G = B.take();
+  const Node &N = G.node(G.topoOrder().front());
+  EXPECT_EQ(N.Inputs.size(), 3u);
+  EXPECT_EQ(G.value(N.Inputs[2]).Shape, (TensorShape{4}));
+}
+
+TEST(BuilderTest, DepthwiseGroups) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 12});
+  B.output(B.dwConv(X, 3, 1, 1));
+  Graph G = B.take();
+  const Node &N = G.node(G.topoOrder().front());
+  EXPECT_EQ(N.conv().Groups, 12);
+  EXPECT_TRUE(isDepthwiseConv(N));
+}
+
+TEST(BuilderTest, BatchNormHasFourParams) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 8});
+  B.output(B.batchNorm(X));
+  Graph G = B.take();
+  const Node &N = G.node(G.topoOrder().front());
+  EXPECT_EQ(N.Inputs.size(), 5u);
+}
+
+TEST(BuilderTest, TakeValidates) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  B.output(B.relu(X));
+  Graph G = B.take();
+  EXPECT_FALSE(G.validate().has_value());
+  EXPECT_EQ(G.graphInputs().size(), 1u);
+  EXPECT_EQ(G.graphOutputs().size(), 1u);
+}
+
+TEST(BuilderTest, NamesAreUnique) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  X = B.relu(X);
+  X = B.relu(X);
+  B.output(X);
+  Graph G = B.take();
+  const auto Order = G.topoOrder();
+  EXPECT_NE(G.node(Order[0]).Name, G.node(Order[1]).Name);
+}

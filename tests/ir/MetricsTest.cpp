@@ -1,0 +1,95 @@
+//===- tests/ir/MetricsTest.cpp - cost metric tests -------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+
+using namespace pf;
+
+TEST(MetricsTest, ConvMacs) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 56, 56, 24});
+  B.output(B.conv2d(X, 144, 1, 1, 0));
+  Graph G = B.take();
+  NodeMetrics M = computeMetrics(G, G.topoOrder().front());
+  EXPECT_EQ(M.Macs, 56 * 56 * 144 * 24);
+  EXPECT_EQ(M.flops(), 2 * M.Macs);
+}
+
+TEST(MetricsTest, DepthwiseMacs) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 14, 14, 96});
+  B.output(B.dwConv(X, 3, 1, 1));
+  Graph G = B.take();
+  NodeMetrics M = computeMetrics(G, G.topoOrder().front());
+  // Depthwise: one input channel per output.
+  EXPECT_EQ(M.Macs, 14 * 14 * 96 * 9);
+}
+
+TEST(MetricsTest, GemmMacsAndWeights) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 512});
+  B.output(B.gemm(X, 1000));
+  Graph G = B.take();
+  NodeMetrics M = computeMetrics(G, G.topoOrder().front());
+  EXPECT_EQ(M.Macs, 512 * 1000);
+  // Weight + bias bytes at f16.
+  EXPECT_EQ(M.WeightBytes, (512 * 1000 + 1000) * 2);
+}
+
+TEST(MetricsTest, ArithmeticIntensityOrdering) {
+  // Fig. 1's premise: a 3x3 conv has much higher arithmetic intensity than
+  // an FC layer, with pointwise conv in between.
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 28, 28, 128});
+  ValueId C3 = B.conv2d(X, 128, 3, 1, 1);
+  ValueId C1 = B.conv2d(X, 128, 1, 1, 0);
+  B.output(C3);
+  B.output(C1);
+  ValueId F = B.input("f", TensorShape{1, 4096});
+  B.output(B.gemm(F, 4096));
+  Graph G = B.take();
+  double I3 = 0, I1 = 0, IFc = 0;
+  for (NodeId Id : G.topoOrder()) {
+    const Node &N = G.node(Id);
+    const double AI = computeMetrics(G, Id).arithmeticIntensity();
+    if (N.Kind == OpKind::Gemm)
+      IFc = AI;
+    else if (N.conv().KernelH == 3)
+      I3 = AI;
+    else
+      I1 = AI;
+  }
+  EXPECT_GT(I3, I1);
+  EXPECT_GT(I1, IFc);
+  EXPECT_LT(IFc, 2.0); // FC at batch 1: ~1 MAC per weight element.
+}
+
+TEST(MetricsTest, DataMovementHasNoOps) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 4});
+  B.output(B.slice(X, 1, 0, 4));
+  Graph G = B.take();
+  NodeMetrics M = computeMetrics(G, G.topoOrder().front());
+  EXPECT_EQ(M.Macs, 0);
+  EXPECT_EQ(M.OtherOps, 0);
+  EXPECT_GT(M.BytesIn, 0);
+}
+
+TEST(MetricsTest, GraphAggregation) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 4});
+  X = B.conv2d(X, 8, 1, 1, 0);
+  X = B.relu(X);
+  B.output(X);
+  Graph G = B.take();
+  NodeMetrics Total = computeGraphMetrics(G);
+  EXPECT_EQ(Total.Macs, 8 * 8 * 8 * 4);
+  EXPECT_EQ(Total.OtherOps, 8 * 8 * 8);
+}

@@ -1,0 +1,111 @@
+//===- tests/ir/NewOpsTest.cpp - LayerNorm/MatMul coverage ------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "ir/GraphSerializer.h"
+#include "ir/Metrics.h"
+#include "models/Zoo.h"
+#include "runtime/Interpreter.h"
+
+using namespace pf;
+
+TEST(NewOpsTest, MatMulShapeInference) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{3, 5});
+  ValueId Y = B.input("y", TensorShape{5, 7});
+  ValueId Z = B.input("z", TensorShape{7, 5});
+  EXPECT_EQ(B.graph().value(B.matmul(X, Y)).Shape, (TensorShape{3, 7}));
+  EXPECT_EQ(B.graph().value(B.matmul(X, Z, /*TransposeB=*/true)).Shape,
+            (TensorShape{3, 7}));
+}
+
+TEST(NewOpsTest, MatMulMetrics) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{64, 768});
+  ValueId Y = B.input("y", TensorShape{64, 768});
+  B.output(B.matmul(X, Y, /*TransposeB=*/true)); // [64, 64] scores.
+  Graph G = B.take();
+  NodeMetrics M = computeMetrics(G, G.topoOrder().front());
+  EXPECT_EQ(M.Macs, 64 * 768 * 64);
+}
+
+TEST(NewOpsTest, MatMulIsNotPimCandidate) {
+  // Weight-less matmuls stay on the GPU (no resident matrix to place).
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{4, 8});
+  B.output(B.matmul(X, X, true));
+  Graph G = B.take();
+  EXPECT_FALSE(isPimCandidate(G.node(G.topoOrder().front())));
+}
+
+TEST(NewOpsTest, LayerNormMetricsAndShapes) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{8, 768});
+  B.output(B.layerNorm(X));
+  Graph G = B.take();
+  const Node &N = G.node(G.topoOrder().front());
+  EXPECT_EQ(N.Inputs.size(), 3u); // x, scale, bias.
+  EXPECT_EQ(G.value(N.Outputs[0]).Shape, (TensorShape{8, 768}));
+  EXPECT_EQ(computeMetrics(G, N.Id).Macs, 0);
+  EXPECT_GT(computeMetrics(G, N.Id).OtherOps, 0);
+}
+
+TEST(NewOpsTest, BertRoundTripsThroughSerializer) {
+  Graph G = buildBertEncoder(8, /*NumLayers=*/2);
+  auto Parsed = parseGraph(serializeGraph(G));
+  ASSERT_TRUE(std::holds_alternative<Graph>(Parsed))
+      << std::get<std::string>(Parsed);
+  Graph &R = std::get<Graph>(Parsed);
+  EXPECT_EQ(R.numNodes(), G.numNodes());
+  // Functional equality incl. the new ops (seeds survive).
+  const Tensor In = Interpreter::randomInput(
+      G.value(G.graphInputs()[0]).Shape, 12345);
+  const Tensor A = Interpreter(G).run({In}).front();
+  const Tensor Bt = Interpreter(R).run({In}).front();
+  for (int64_t I = 0; I < A.numElements(); ++I)
+    ASSERT_EQ(A.at(I), Bt.at(I));
+}
+
+TEST(NewOpsTest, BertAttentionProducesSaneDistributions) {
+  // The softmax(Q K^T) rows of the real attention structure sum to one.
+  GraphBuilder B("attn");
+  ValueId X = B.input("x", TensorShape{4, 16});
+  ValueId Q = B.gemm(X, 16);
+  ValueId K = B.gemm(X, 16);
+  ValueId Scores = B.softmax(B.matmul(Q, K, /*TransposeB=*/true));
+  B.output(Scores);
+  Graph G = B.take();
+  const Tensor In =
+      Interpreter::randomInput(TensorShape{4, 16}, 77);
+  const Tensor S = Interpreter(G).run({In}).front();
+  ASSERT_EQ(S.shape(), (TensorShape{4, 4}));
+  for (int64_t R = 0; R < 4; ++R) {
+    float Sum = 0.0f;
+    for (int64_t C = 0; C < 4; ++C) {
+      Sum += S.at(R * 4 + C);
+      EXPECT_GE(S.at(R * 4 + C), 0.0f);
+    }
+    EXPECT_NEAR(Sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(NewOpsTest, LayerNormInvariantToInputShift) {
+  // Property: layernorm(x + c) == layernorm(x) for constant row shifts.
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{2, 8});
+  B.output(B.layerNorm(X));
+  Graph G = B.take();
+  Tensor In = Interpreter::randomInput(TensorShape{2, 8}, 5);
+  Tensor Shifted = In;
+  for (int64_t I = 0; I < Shifted.numElements(); ++I)
+    Shifted.at(I) += 3.25f;
+  const Tensor A = Interpreter(G).run({In}).front();
+  const Tensor Bt = Interpreter(G).run({Shifted}).front();
+  for (int64_t I = 0; I < A.numElements(); ++I)
+    EXPECT_NEAR(A.at(I), Bt.at(I), 1e-4);
+}

@@ -1,0 +1,79 @@
+//===- tests/ir/ParallelismTest.cpp - parallelism analysis ------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parallelism.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "models/Zoo.h"
+#include "transform/MdDpSplitPass.h"
+
+using namespace pf;
+
+TEST(ParallelismTest, StraightLineHasNone) {
+  GraphBuilder B("line");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 2});
+  X = B.relu(X);
+  X = B.relu6(X);
+  X = B.sigmoid(X);
+  B.output(X);
+  Graph G = B.take();
+  ParallelismStats S = analyzeParallelism(G);
+  EXPECT_EQ(S.NumNodes, 3);
+  EXPECT_EQ(S.NodesWithIndependentPeer, 0);
+  EXPECT_EQ(S.CriticalPathLength, 3);
+  EXPECT_DOUBLE_EQ(S.independentFraction(), 0.0);
+}
+
+TEST(ParallelismTest, DiamondHasTwoIndependent) {
+  GraphBuilder B("diamond");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 2});
+  ValueId A = B.relu(X);
+  ValueId C = B.relu6(X);
+  B.output(B.add(A, C));
+  Graph G = B.take();
+  ParallelismStats S = analyzeParallelism(G);
+  EXPECT_EQ(S.NumNodes, 3);
+  EXPECT_EQ(S.NodesWithIndependentPeer, 2); // The two branches.
+  EXPECT_EQ(S.CriticalPathLength, 2);
+}
+
+TEST(ParallelismTest, EmptyGraph) {
+  Graph G("empty");
+  ParallelismStats S = analyzeParallelism(G);
+  EXPECT_EQ(S.NumNodes, 0);
+  EXPECT_DOUBLE_EQ(S.independentFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(S.averageWidth(), 0.0);
+}
+
+TEST(ParallelismTest, VggIsStraightLine) {
+  // Section 3 observation 1: VGG-16 has no inherent inter-node
+  // parallelism at all.
+  ParallelismStats S = analyzeParallelism(buildVgg16());
+  EXPECT_EQ(S.NodesWithIndependentPeer, 0);
+  EXPECT_EQ(S.CriticalPathLength, S.NumNodes);
+}
+
+TEST(ParallelismTest, ResNetHasSomeFromShortcuts) {
+  ParallelismStats S = analyzeParallelism(buildResNet50());
+  EXPECT_GT(S.independentFraction(), 0.0);
+  // Shortcut convs are a small minority: still mostly sequential.
+  EXPECT_LT(S.independentFraction(), 0.5);
+  EXPECT_GT(S.CriticalPathLength, 50);
+}
+
+TEST(ParallelismTest, MdDpSplitCreatesParallelism) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  B.output(B.conv2d(X, 8, 1, 1, 0));
+  Graph G = B.take();
+  EXPECT_DOUBLE_EQ(analyzeParallelism(G).independentFraction(), 0.0);
+  applyMdDpSplit(G, G.topoOrder().front(), 0.5);
+  // The two halves are mutually independent.
+  ParallelismStats After = analyzeParallelism(G);
+  EXPECT_GT(After.NodesWithIndependentPeer, 0);
+}

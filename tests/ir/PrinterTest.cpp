@@ -1,0 +1,63 @@
+//===- tests/ir/PrinterTest.cpp - graph printer tests -----------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/GraphPrinter.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+
+using namespace pf;
+
+TEST(PrinterTest, NodeLine) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 3});
+  B.output(B.conv2d(X, 16, 3, 2, 1));
+  Graph G = B.take();
+  const std::string Line = printNode(G, G.topoOrder().front());
+  EXPECT_NE(Line.find("conv2d"), std::string::npos);
+  EXPECT_NE(Line.find("k=3x3"), std::string::npos);
+  EXPECT_NE(Line.find("s=2"), std::string::npos);
+  EXPECT_NE(Line.find("[1x4x4x16]"), std::string::npos);
+}
+
+TEST(PrinterTest, DeviceAnnotation) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 3});
+  B.output(B.conv2d(X, 4, 1, 1, 0));
+  Graph G = B.take();
+  NodeId N = G.topoOrder().front();
+  EXPECT_EQ(printNode(G, N).find("@"), std::string::npos);
+  G.node(N).Dev = Device::Pim;
+  EXPECT_NE(printNode(G, N).find("@pim"), std::string::npos);
+}
+
+TEST(PrinterTest, WholeGraphStructure) {
+  GraphBuilder B("mini");
+  ValueId X = B.input("img", TensorShape{1, 4, 4, 2});
+  B.output(B.relu(X));
+  Graph G = B.take();
+  const std::string Out = printGraph(G);
+  EXPECT_NE(Out.find("graph mini ("), std::string::npos);
+  EXPECT_NE(Out.find("%img"), std::string::npos);
+  EXPECT_NE(Out.find("return"), std::string::npos);
+  EXPECT_NE(Out.find("}\n"), std::string::npos);
+}
+
+TEST(PrinterTest, DeadNodesOmitted) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  ValueId R = B.relu(X);
+  B.output(B.relu6(R));
+  Graph G = B.take();
+  const NodeId First = G.topoOrder().front();
+  const std::string Before = printGraph(G);
+  EXPECT_NE(Before.find("relu("), std::string::npos);
+  Graph G2 = G;
+  G2.removeNode(G2.topoOrder().back());
+  G2.removeNode(First);
+  EXPECT_EQ(printGraph(G2).find("relu("), std::string::npos);
+}

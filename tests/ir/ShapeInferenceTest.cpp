@@ -1,0 +1,146 @@
+//===- tests/ir/ShapeInferenceTest.cpp - shape inference tests --*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ShapeInference.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+
+using namespace pf;
+
+TEST(ShapeInferenceTest, ConvOutExtent) {
+  // 224 -> stride-2 3x3 pad-1 -> 112.
+  EXPECT_EQ(convOutExtent(224, 3, 2, 1, 1), 112);
+  // Same-padding 1x1.
+  EXPECT_EQ(convOutExtent(56, 1, 1, 0, 0), 56);
+  // 7x7 stride 2 pad 3 on 224 -> 112.
+  EXPECT_EQ(convOutExtent(224, 7, 2, 3, 3), 112);
+  // VGG pool: 224 -> 112.
+  EXPECT_EQ(convOutExtent(224, 2, 2, 0, 0), 112);
+}
+
+TEST(ShapeInferenceTest, ConvShapes) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 32, 32, 3});
+  ValueId C = B.conv2d(X, 16, 3, 2, 1);
+  EXPECT_EQ(B.graph().value(C).Shape, (TensorShape{1, 16, 16, 16}));
+}
+
+TEST(ShapeInferenceTest, DepthwiseConvShapes) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 14, 14, 96});
+  ValueId C = B.dwConv(X, 5, 1, 2);
+  EXPECT_EQ(B.graph().value(C).Shape, (TensorShape{1, 14, 14, 96}));
+}
+
+TEST(ShapeInferenceTest, AsymmetricPadding) {
+  Graph G("asym");
+  ValueId X = G.addValue("x", TensorShape{1, 10, 10, 4});
+  ValueId W = G.addParam("w", TensorShape{3, 3, 4, 8});
+  ValueId O = G.addValue("o", TensorShape{});
+  Conv2dAttrs A;
+  A.KernelH = A.KernelW = 3;
+  A.PadTop = 1;
+  A.PadBottom = 0; // Asymmetric: as produced by H-splitting.
+  A.PadLeft = A.PadRight = 1;
+  NodeId N = G.addNode(OpKind::Conv2d, "c", A, {X, W}, {O});
+  EXPECT_FALSE(inferNodeShapes(G, N).has_value());
+  EXPECT_EQ(G.value(O).Shape, (TensorShape{1, 9, 10, 8}));
+}
+
+TEST(ShapeInferenceTest, GemmShapes) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{4, 128});
+  ValueId Y = B.gemm(X, 64);
+  EXPECT_EQ(B.graph().value(Y).Shape, (TensorShape{4, 64}));
+}
+
+TEST(ShapeInferenceTest, GemmMismatchRejected) {
+  Graph G("bad");
+  ValueId X = G.addValue("x", TensorShape{1, 10});
+  ValueId W = G.addParam("w", TensorShape{11, 5});
+  ValueId O = G.addValue("o", TensorShape{});
+  NodeId N = G.addNode(OpKind::Gemm, "g", GemmAttrs{}, {X, W}, {O});
+  EXPECT_TRUE(inferNodeShapes(G, N).has_value());
+}
+
+TEST(ShapeInferenceTest, SliceShapes) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 56, 56, 24});
+  ValueId S = B.slice(X, 1, 10, 30);
+  EXPECT_EQ(B.graph().value(S).Shape, (TensorShape{1, 20, 56, 24}));
+}
+
+TEST(ShapeInferenceTest, SliceRangeValidation) {
+  Graph G("bad");
+  ValueId X = G.addValue("x", TensorShape{1, 8, 8, 2});
+  ValueId O = G.addValue("o", TensorShape{});
+  SliceAttrs A;
+  A.Axis = 1;
+  A.Begin = 4;
+  A.End = 12; // Out of range.
+  NodeId N = G.addNode(OpKind::Slice, "s", A, {X}, {O});
+  EXPECT_TRUE(inferNodeShapes(G, N).has_value());
+}
+
+TEST(ShapeInferenceTest, ConcatShapes) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 10, 8, 4});
+  ValueId Y = B.input("y", TensorShape{1, 6, 8, 4});
+  ValueId C = B.concat({X, Y}, 1);
+  EXPECT_EQ(B.graph().value(C).Shape, (TensorShape{1, 16, 8, 4}));
+}
+
+TEST(ShapeInferenceTest, ConcatMismatchRejected) {
+  Graph G("bad");
+  ValueId X = G.addValue("x", TensorShape{1, 4, 8, 2});
+  ValueId Y = G.addValue("y", TensorShape{1, 4, 9, 2});
+  ValueId O = G.addValue("o", TensorShape{});
+  ConcatAttrs A;
+  A.Axis = 1;
+  NodeId N = G.addNode(OpKind::Concat, "c", A, {X, Y}, {O});
+  EXPECT_TRUE(inferNodeShapes(G, N).has_value());
+}
+
+TEST(ShapeInferenceTest, PadShapes) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 10, 12, 3});
+  ValueId P = B.pad(X, 1, 2, 3, 4);
+  EXPECT_EQ(B.graph().value(P).Shape, (TensorShape{1, 13, 19, 3}));
+}
+
+TEST(ShapeInferenceTest, PoolAndFlatten) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 7, 7, 512});
+  ValueId P = B.globalAvgPool(X);
+  EXPECT_EQ(B.graph().value(P).Shape, (TensorShape{1, 1, 1, 512}));
+  ValueId F = B.flatten(P);
+  EXPECT_EQ(B.graph().value(F).Shape, (TensorShape{1, 512}));
+}
+
+TEST(ShapeInferenceTest, BroadcastMul) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 14, 14, 96});
+  ValueId S = B.input("s", TensorShape{1, 1, 1, 96});
+  ValueId M = B.mul(X, S);
+  EXPECT_EQ(B.graph().value(M).Shape, (TensorShape{1, 14, 14, 96}));
+}
+
+TEST(ShapeInferenceTest, WholeGraphInference) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 32, 32, 3});
+  X = B.relu(B.conv2d(X, 8, 3, 1, 1));
+  X = B.maxPool(X, 2, 2);
+  X = B.flatten(X);
+  X = B.gemm(X, 10);
+  B.output(X);
+  Graph G = B.take();
+  // Perturb a shape, re-run inference, expect it restored.
+  G.value(G.graphOutputs()[0]).Shape = TensorShape{9, 9};
+  EXPECT_FALSE(inferShapes(G).has_value());
+  EXPECT_EQ(G.value(G.graphOutputs()[0]).Shape, (TensorShape{1, 10}));
+}

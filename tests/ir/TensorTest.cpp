@@ -1,0 +1,63 @@
+//===- tests/ir/TensorTest.cpp - tensor and shape tests ---------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Tensor.h"
+
+#include <gtest/gtest.h>
+
+using namespace pf;
+
+TEST(TensorShapeTest, Basics) {
+  TensorShape S{1, 56, 56, 64};
+  EXPECT_EQ(S.rank(), 4);
+  EXPECT_EQ(S.dim(0), 1);
+  EXPECT_EQ(S.dim(3), 64);
+  EXPECT_EQ(S.numElements(), 1 * 56 * 56 * 64);
+}
+
+TEST(TensorShapeTest, ToString) {
+  EXPECT_EQ(TensorShape({1, 2, 3}).toString(), "[1x2x3]");
+  EXPECT_EQ(TensorShape({7}).toString(), "[7]");
+  EXPECT_EQ(TensorShape{}.toString(), "[]");
+}
+
+TEST(TensorShapeTest, Equality) {
+  EXPECT_EQ(TensorShape({1, 2}), TensorShape({1, 2}));
+  EXPECT_FALSE(TensorShape({1, 2}) == TensorShape({2, 1}));
+}
+
+TEST(TensorShapeTest, SetDim) {
+  TensorShape S{4, 5};
+  S.setDim(1, 9);
+  EXPECT_EQ(S.dim(1), 9);
+  EXPECT_EQ(S.numElements(), 36);
+}
+
+TEST(TensorShapeTest, EmptyShapeHasOneElement) {
+  EXPECT_EQ(TensorShape{}.numElements(), 1);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor T(TensorShape{2, 3});
+  for (int64_t I = 0; I < T.numElements(); ++I)
+    EXPECT_EQ(T.at(I), 0.0f);
+}
+
+TEST(TensorTest, At4Layout) {
+  // NHWC: channel is fastest varying.
+  Tensor T(TensorShape{1, 2, 2, 3});
+  T.at4(0, 1, 0, 2) = 5.0f;
+  EXPECT_EQ(T.at(1 * 2 * 3 + 0 * 3 + 2), 5.0f);
+  T.at4(0, 0, 1, 0) = 7.0f;
+  EXPECT_EQ(T.at(3), 7.0f);
+}
+
+TEST(TensorTest, ByteSizes) {
+  EXPECT_EQ(byteSize(DataType::F32), 4);
+  EXPECT_EQ(byteSize(DataType::F16), 2);
+  EXPECT_STREQ(dataTypeName(DataType::F16), "f16");
+  EXPECT_STREQ(dataTypeName(DataType::F32), "f32");
+}

@@ -1,0 +1,94 @@
+//===- tests/models/ZooExtraTest.cpp - additional model tests ---*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "ir/Metrics.h"
+#include "ir/Parallelism.h"
+#include "ir/ShapeInference.h"
+#include "models/Zoo.h"
+
+using namespace pf;
+
+namespace {
+
+int64_t paramCount(const Graph &G) {
+  int64_t N = 0;
+  for (const Value &V : G.values())
+    if (V.IsParam)
+      N += V.Shape.numElements();
+  return N;
+}
+
+} // namespace
+
+class ZooExtraModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooExtraModelTest, ValidatesAndClassifies) {
+  Graph G = buildModel(GetParam());
+  EXPECT_FALSE(G.validate().has_value());
+  EXPECT_FALSE(inferShapes(G).has_value());
+  EXPECT_EQ(G.value(G.graphOutputs()[0]).Shape, (TensorShape{1, 1000}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Extras, ZooExtraModelTest,
+                         ::testing::ValuesIn(extraModelNames()),
+                         [](const auto &Info) {
+                           std::string N = Info.param;
+                           for (char &C : N)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return N;
+                         });
+
+TEST(ZooExtraTest, AlexNetParamCount) {
+  // ~61M parameters, dominated by the FC layers.
+  const int64_t P = paramCount(buildAlexNet());
+  EXPECT_GT(P, 55'000'000);
+  EXPECT_LT(P, 65'000'000);
+}
+
+TEST(ZooExtraTest, SqueezeNetIsTiny) {
+  // ~1.2M parameters: the 1x1-heavy design.
+  const int64_t P = paramCount(buildSqueezeNet());
+  EXPECT_GT(P, 900'000);
+  EXPECT_LT(P, 1'600'000);
+}
+
+TEST(ZooExtraTest, SqueezeNetHasInherentParallelism) {
+  // Fire modules' parallel 1x1/3x3 expands: one of the few CNNs with
+  // real inter-node parallelism (Section 3, observation 1's exception).
+  ParallelismStats S = analyzeParallelism(buildSqueezeNet());
+  EXPECT_GT(S.independentFraction(), 0.3);
+}
+
+TEST(ZooExtraTest, ResNetFamilyOrdering) {
+  const int64_t P18 = paramCount(buildResNet18());
+  const int64_t P34 = paramCount(buildResNet34());
+  const int64_t P50 = paramCount(buildResNet50());
+  EXPECT_GT(P18, 10'000'000);
+  EXPECT_LT(P18, 13'000'000); // ~11.7M
+  EXPECT_GT(P34, P18);
+  EXPECT_GT(P50, P34);
+  const int64_t M18 = computeGraphMetrics(buildResNet18()).Macs;
+  const int64_t M34 = computeGraphMetrics(buildResNet34()).Macs;
+  EXPECT_GT(M34, M18);
+}
+
+TEST(ZooExtraTest, DenseNetChannelGrowth) {
+  Graph G = buildDenseNet121();
+  // ~8M parameters (BN folded).
+  const int64_t P = paramCount(G);
+  EXPECT_GT(P, 6'000'000);
+  EXPECT_LT(P, 9'000'000);
+  // The final dense block ends at 64 + sum(growth) channels per the
+  // published architecture: 1024 before the classifier.
+  int64_t MaxChannels = 0;
+  for (const Value &V : G.values())
+    if (!V.IsParam && V.Shape.rank() == 4)
+      MaxChannels = std::max(MaxChannels, V.Shape.dim(3));
+  EXPECT_EQ(MaxChannels, 1024);
+}

@@ -1,0 +1,198 @@
+//===- tests/models/ZooTest.cpp - model zoo tests ---------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Metrics.h"
+#include "ir/ShapeInference.h"
+
+using namespace pf;
+
+namespace {
+
+int64_t paramCount(const Graph &G) {
+  int64_t N = 0;
+  for (const Value &V : G.values())
+    if (V.IsParam)
+      N += V.Shape.numElements();
+  return N;
+}
+
+int convCount(const Graph &G, bool Depthwise) {
+  int N = 0;
+  for (const Node &Nd : G.nodes())
+    if (!Nd.Dead && Nd.Kind == OpKind::Conv2d &&
+        isDepthwiseConv(Nd) == Depthwise)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+class ZooModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooModelTest, ValidatesAndInfers) {
+  Graph G = buildModel(GetParam());
+  EXPECT_FALSE(G.validate().has_value());
+  EXPECT_FALSE(inferShapes(G).has_value());
+  EXPECT_EQ(G.graphInputs().size(), 1u);
+  EXPECT_EQ(G.graphOutputs().size(), 1u);
+}
+
+TEST_P(ZooModelTest, ClassifierOutputIs1000Way) {
+  Graph G = buildModel(GetParam());
+  EXPECT_EQ(G.value(G.graphOutputs()[0]).Shape, (TensorShape{1, 1000}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooModelTest,
+                         ::testing::ValuesIn(modelNames()),
+                         [](const auto &Info) {
+                           std::string N = Info.param;
+                           for (char &C : N)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return N;
+                         });
+
+TEST(ZooTest, Vgg16ParameterCount) {
+  // ~138M parameters.
+  const int64_t P = paramCount(buildVgg16());
+  EXPECT_GT(P, 130'000'000);
+  EXPECT_LT(P, 145'000'000);
+}
+
+TEST(ZooTest, ResNet50ParameterCount) {
+  // ~25.5M parameters (ours folds batch norm: slightly fewer).
+  const int64_t P = paramCount(buildResNet50());
+  EXPECT_GT(P, 23'000'000);
+  EXPECT_LT(P, 27'000'000);
+}
+
+TEST(ZooTest, MobileNetV2ParameterCount) {
+  // ~3.5M parameters.
+  const int64_t P = paramCount(buildMobileNetV2());
+  EXPECT_GT(P, 3'000'000);
+  EXPECT_LT(P, 4'000'000);
+}
+
+TEST(ZooTest, MnasNetParameterCount) {
+  // ~4.4M parameters (torchvision mnasnet1_0 w/o BN).
+  const int64_t P = paramCount(buildMnasNet());
+  EXPECT_GT(P, 3'500'000);
+  EXPECT_LT(P, 5'500'000);
+}
+
+TEST(ZooTest, EfficientNetB0ParameterCount) {
+  // ~5.3M parameters.
+  const int64_t P = paramCount(buildEfficientNet(0));
+  EXPECT_GT(P, 4'000'000);
+  EXPECT_LT(P, 6'500'000);
+}
+
+TEST(ZooTest, ResNet50MacCount) {
+  // ~4.1 GMACs at 224x224.
+  const int64_t Macs = computeGraphMetrics(buildResNet50()).Macs;
+  EXPECT_GT(Macs, 3'500'000'000);
+  EXPECT_LT(Macs, 4'500'000'000);
+}
+
+TEST(ZooTest, MobileNetV2MacCount) {
+  // ~0.3 GMACs.
+  const int64_t Macs = computeGraphMetrics(buildMobileNetV2()).Macs;
+  EXPECT_GT(Macs, 250'000'000);
+  EXPECT_LT(Macs, 400'000'000);
+}
+
+TEST(ZooTest, Vgg16MacCount) {
+  // ~15.5 GMACs.
+  const int64_t Macs = computeGraphMetrics(buildVgg16()).Macs;
+  EXPECT_GT(Macs, 14'000'000'000);
+  EXPECT_LT(Macs, 17'000'000'000);
+}
+
+TEST(ZooTest, MobileNetV2HasDepthwiseLayers) {
+  Graph G = buildMobileNetV2();
+  EXPECT_EQ(convCount(G, /*Depthwise=*/true), 17);
+  EXPECT_GT(convCount(G, /*Depthwise=*/false), 30);
+}
+
+TEST(ZooTest, Vgg16HasNoDepthwiseLayers) {
+  EXPECT_EQ(convCount(buildVgg16(), /*Depthwise=*/true), 0);
+}
+
+TEST(ZooTest, ResNet50HasNoDepthwiseLayers) {
+  EXPECT_EQ(convCount(buildResNet50(), /*Depthwise=*/true), 0);
+}
+
+TEST(ZooTest, EfficientNetScalingGrowsModel) {
+  const int64_t P0 = paramCount(buildEfficientNet(0));
+  const int64_t P3 = paramCount(buildEfficientNet(3));
+  const int64_t P6 = paramCount(buildEfficientNet(6));
+  EXPECT_GT(P3, P0);
+  EXPECT_GT(P6, P3);
+  const int64_t M0 = computeGraphMetrics(buildEfficientNet(0)).Macs;
+  const int64_t M6 = computeGraphMetrics(buildEfficientNet(6)).Macs;
+  EXPECT_GT(M6, 8 * M0); // Compound scaling explodes compute.
+}
+
+TEST(ZooTest, EfficientNetResolution) {
+  Graph B0 = buildEfficientNet(0);
+  Graph B6 = buildEfficientNet(6);
+  EXPECT_EQ(B0.value(B0.graphInputs()[0]).Shape.dim(1), 224);
+  EXPECT_EQ(B6.value(B6.graphInputs()[0]).Shape.dim(1), 528);
+}
+
+TEST(ZooTest, BertIsFcDominated) {
+  Graph G = buildBertEncoder(64);
+  EXPECT_FALSE(G.validate().has_value());
+  int Gemms = 0;
+  for (const Node &N : G.nodes())
+    Gemms += !N.Dead && N.Kind == OpKind::Gemm;
+  EXPECT_EQ(Gemms, 12 * 6); // 6 projections per layer.
+  // ~85M encoder parameters.
+  const int64_t P = paramCount(G);
+  EXPECT_GT(P, 80'000'000);
+  EXPECT_LT(P, 95'000'000);
+}
+
+TEST(ZooTest, BertSequenceLengthPropagates) {
+  Graph G = buildBertEncoder(3);
+  EXPECT_EQ(G.value(G.graphOutputs()[0]).Shape, (TensorShape{3, 768}));
+}
+
+TEST(ZooTest, ToyIsSmall) {
+  Graph G = buildToy();
+  EXPECT_FALSE(G.validate().has_value());
+  EXPECT_LT(G.numNodes(), 15u);
+  EXPECT_EQ(convCount(G, /*Depthwise=*/true), 1);
+}
+
+TEST(ZooTest, MobileNetWidthScaling) {
+  const int64_t P10 = paramCount(buildMobileNetV2(1.0));
+  const int64_t P14 = paramCount(buildMobileNetV2(1.4));
+  const int64_t P20 = paramCount(buildMobileNetV2(2.0));
+  EXPECT_GT(P14, 1.5 * P10); // Params grow ~quadratically in width.
+  EXPECT_GT(P20, 3.0 * P10);
+  Graph G = buildMobileNetV2(1.4);
+  EXPECT_FALSE(G.validate().has_value());
+  EXPECT_EQ(G.name(), "mobilenet-v2-w1.40");
+}
+
+TEST(ZooTest, MnasNetWidthScaling) {
+  const int64_t P10 = paramCount(buildMnasNet(1.0));
+  const int64_t P20 = paramCount(buildMnasNet(2.0));
+  EXPECT_GT(P20, 3.0 * P10);
+  EXPECT_FALSE(buildMnasNet(0.5).validate().has_value());
+}
+
+TEST(ZooTest, ModelNamesRoundTrip) {
+  for (const std::string &Name : modelNames()) {
+    Graph G = buildModel(Name);
+    EXPECT_EQ(G.name(), Name);
+  }
+}

@@ -1,0 +1,198 @@
+//===- tests/runtime/ExecutionEngineTest.cpp - engine tests -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ExecutionEngine.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+
+using namespace pf;
+
+namespace {
+
+SystemConfig dualConfig() { return SystemConfig::dual(16, true); }
+
+/// Two independent convs feeding a concat; one can go to PIM.
+Graph parallelPair() {
+  GraphBuilder B("pair");
+  ValueId X = B.input("x", TensorShape{1, 32, 32, 16});
+  ValueId A = B.conv2d(X, 32, 1, 1, 0);
+  ValueId C = B.conv2d(X, 32, 1, 1, 0);
+  B.output(B.concat({A, C}, 1));
+  return B.take();
+}
+
+} // namespace
+
+TEST(ExecutionEngineTest, TimelineRespectsDependencies) {
+  Graph G = parallelPair();
+  ExecutionEngine E(dualConfig());
+  Timeline TL = E.execute(G);
+  for (const NodeSchedule &S : TL.Nodes) {
+    EXPECT_GE(S.StartNs, 0.0);
+    EXPECT_GE(S.EndNs, S.StartNs);
+    for (ValueId In : G.node(S.Id).Inputs) {
+      NodeId P = G.producer(In);
+      if (P == InvalidNode)
+        continue;
+      EXPECT_GE(S.StartNs, TL.scheduleOf(P).EndNs - 1e-9);
+    }
+  }
+  EXPECT_GT(TL.TotalNs, 0.0);
+}
+
+TEST(ExecutionEngineTest, IndependentNodesOverlapAcrossDevices) {
+  Graph G = parallelPair();
+  // Annotate one conv for PIM.
+  for (NodeId Id : G.topoOrder())
+    if (G.node(Id).Kind == OpKind::Conv2d) {
+      G.node(Id).Dev = Device::Pim;
+      break;
+    }
+  ExecutionEngine E(dualConfig());
+  Timeline TL = E.execute(G);
+  // Find the two conv schedules; their intervals must overlap.
+  std::vector<const NodeSchedule *> Convs;
+  for (const NodeSchedule &S : TL.Nodes)
+    if (G.node(S.Id).Kind == OpKind::Conv2d)
+      Convs.push_back(&S);
+  ASSERT_EQ(Convs.size(), 2u);
+  const double OverlapStart =
+      std::max(Convs[0]->StartNs, Convs[1]->StartNs);
+  const double OverlapEnd = std::min(Convs[0]->EndNs, Convs[1]->EndNs);
+  EXPECT_GT(OverlapEnd, OverlapStart);
+  // And the makespan beats serial execution.
+  EXPECT_LT(TL.TotalNs,
+            Convs[0]->durationNs() + Convs[1]->durationNs() + 1000.0);
+}
+
+TEST(ExecutionEngineTest, SameDeviceSerializes) {
+  Graph G = parallelPair();
+  ExecutionEngine E(dualConfig());
+  Timeline TL = E.execute(G);
+  std::vector<const NodeSchedule *> Convs;
+  for (const NodeSchedule &S : TL.Nodes)
+    if (G.node(S.Id).Kind == OpKind::Conv2d)
+      Convs.push_back(&S);
+  ASSERT_EQ(Convs.size(), 2u);
+  const double OverlapStart =
+      std::max(Convs[0]->StartNs, Convs[1]->StartNs);
+  const double OverlapEnd = std::min(Convs[0]->EndNs, Convs[1]->EndNs);
+  EXPECT_LE(OverlapEnd - OverlapStart, 1e-9);
+}
+
+TEST(ExecutionEngineTest, FusedElementwiseIsFree) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 32, 32, 16});
+  ValueId C = B.conv2d(X, 32, 1, 1, 0);
+  B.output(B.relu(C));
+  Graph G = B.take();
+  ExecutionEngine E(dualConfig());
+  Timeline TL = E.execute(G);
+  for (const NodeSchedule &S : TL.Nodes)
+    if (G.node(S.Id).Kind == OpKind::Relu) {
+      EXPECT_EQ(S.durationNs(), 0.0);
+      EXPECT_EQ(S.EnergyJ, 0.0);
+    }
+}
+
+TEST(ExecutionEngineTest, CrossDeviceHandoffCostsSync) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 32, 32, 16});
+  ValueId C = B.conv2d(X, 32, 1, 1, 0);
+  B.output(B.maxPool(C, 2, 2));
+  Graph G = B.take();
+  NodeId Conv = G.topoOrder()[0];
+  NodeId Pool = G.topoOrder()[1];
+  SystemConfig Cfg = dualConfig();
+
+  G.node(Conv).Dev = Device::Pim;
+  Timeline TL = ExecutionEngine(Cfg).execute(G);
+  const double Gap =
+      TL.scheduleOf(Pool).StartNs - TL.scheduleOf(Conv).EndNs;
+  EXPECT_NEAR(Gap, Cfg.SyncOverheadNs, 1.0);
+}
+
+TEST(ExecutionEngineTest, PimLatencyMatchesIsolatedQuery) {
+  Graph G = parallelPair();
+  NodeId Conv = InvalidNode;
+  for (NodeId Id : G.topoOrder())
+    if (G.node(Id).Kind == OpKind::Conv2d) {
+      Conv = Id;
+      break;
+    }
+  SystemConfig Cfg = dualConfig();
+  ExecutionEngine E(Cfg);
+  const double Gpu = E.nodeLatencyNs(G, Conv, Device::Gpu);
+  const double Pim = E.nodeLatencyNs(G, Conv, Device::Pim);
+  EXPECT_GT(Gpu, 0.0);
+  EXPECT_GT(Pim, 0.0);
+  G.node(Conv).Dev = Device::Pim;
+  Timeline TL = E.execute(G);
+  EXPECT_NEAR(TL.scheduleOf(Conv).durationNs(), Pim, 1e-6);
+}
+
+TEST(ExecutionEngineTest, GpuOnlyConfigRejectsNothing) {
+  Graph G = parallelPair();
+  ExecutionEngine E(SystemConfig::gpuOnly());
+  Timeline TL = E.execute(G);
+  for (const NodeSchedule &S : TL.Nodes)
+    EXPECT_EQ(S.Dev, Device::Gpu);
+}
+
+TEST(ExecutionEngineTest, FreeSliceConcatDoNotOccupyDevice) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 32, 32, 16});
+  ValueId Lo = B.slice(X, 1, 0, 16);
+  ValueId Hi = B.slice(X, 1, 16, 32);
+  B.output(B.concat({Lo, Hi}, 1));
+  Graph G = B.take();
+  ExecutionEngine E(dualConfig());
+  Timeline TL = E.execute(G);
+  EXPECT_EQ(TL.GpuBusyNs, 0.0);
+  EXPECT_EQ(TL.TotalNs, 0.0);
+}
+
+TEST(ExecutionEngineTest, DisabledMemOptMakesCopiesCostly) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 32, 32, 16});
+  ValueId Lo = B.slice(X, 1, 0, 16);
+  B.output(B.relu6(Lo));
+  Graph G = B.take();
+  SystemConfig On = dualConfig();
+  SystemConfig Off = dualConfig();
+  Off.MemoryOptimizer = false;
+  const double TOn = ExecutionEngine(On).execute(G).TotalNs;
+  const double TOff = ExecutionEngine(Off).execute(G).TotalNs;
+  EXPECT_GT(TOff, TOn);
+}
+
+TEST(ExecutionEngineTest, ContentionSlowdownIsTiny) {
+  // Section 7: the measured slowdown is a fraction of a percent.
+  Graph G = parallelPair();
+  for (NodeId Id : G.topoOrder())
+    if (G.node(Id).Kind == OpKind::Conv2d) {
+      G.node(Id).Dev = Device::Pim;
+      break;
+    }
+  SystemConfig Cfg = dualConfig();
+  Cfg.ModelContention = true;
+  Timeline TL = ExecutionEngine(Cfg).execute(G);
+  EXPECT_GE(TL.ContentionSlowdown, 1.0);
+  EXPECT_LT(TL.ContentionSlowdown, 1.02);
+}
+
+TEST(ExecutionEngineTest, EnergyPositiveAndDecomposes) {
+  Graph G = parallelPair();
+  ExecutionEngine E(dualConfig());
+  Timeline TL = E.execute(G);
+  EXPECT_GT(TL.EnergyJ, 0.0);
+  double KernelSum = 0.0;
+  for (const NodeSchedule &S : TL.Nodes)
+    KernelSum += S.EnergyJ;
+  EXPECT_GE(TL.EnergyJ, KernelSum); // Plus idle power.
+}

@@ -1,0 +1,116 @@
+//===- tests/runtime/InterpreterCrossCheckTest.cpp - conv oracle -*- C++ -*-=//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-validates the interpreter's direct convolution against an
+/// independently written im2col + GEMM implementation — the same lowering
+/// the DRAM-PIM back-end performs (Section 2.2), so this doubles as a
+/// check that the lowering's matrix view of convolution is faithful.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "runtime/Interpreter.h"
+#include "support/Random.h"
+
+using namespace pf;
+
+namespace {
+
+/// Convolution via explicit convolution lowering: build the im2col matrix
+/// [Ho*Wo, KH*KW*Cin] and multiply by the filter matrix [KH*KW*Cin, Cout].
+/// Groups == 1 only (the PIM-candidate case).
+Tensor convViaIm2col(const Tensor &X, const Tensor &W,
+                     const Conv2dAttrs &A) {
+  const TensorShape &XS = X.shape();
+  const int64_t Hi = XS.dim(1), Wi = XS.dim(2), Cin = XS.dim(3);
+  const int64_t Cout = W.shape().dim(3);
+  const int64_t Ho = (Hi + A.PadTop + A.PadBottom - A.KernelH) / A.StrideH + 1;
+  const int64_t Wo = (Wi + A.PadLeft + A.PadRight - A.KernelW) / A.StrideW + 1;
+  const int64_t K = A.KernelH * A.KernelW * Cin;
+
+  // im2col: one row per output position.
+  std::vector<float> Col(static_cast<size_t>(Ho * Wo * K), 0.0f);
+  for (int64_t P = 0; P < Ho * Wo; ++P) {
+    const int64_t Oy = P / Wo, Ox = P % Wo;
+    for (int64_t Kh = 0; Kh < A.KernelH; ++Kh)
+      for (int64_t Kw = 0; Kw < A.KernelW; ++Kw)
+        for (int64_t C = 0; C < Cin; ++C) {
+          const int64_t Y = Oy * A.StrideH + Kh - A.PadTop;
+          const int64_t Xc = Ox * A.StrideW + Kw - A.PadLeft;
+          const int64_t Idx =
+              P * K + (Kh * A.KernelW + Kw) * Cin + C;
+          if (Y >= 0 && Y < Hi && Xc >= 0 && Xc < Wi)
+            Col[static_cast<size_t>(Idx)] = X.at4(0, Y, Xc, C);
+        }
+  }
+
+  // GEMM: [Ho*Wo, K] x [K, Cout]. The weight tensor's layout
+  // [KH, KW, Cin, Cout] flattens to exactly the [K, Cout] matrix.
+  Tensor Out(TensorShape{1, Ho, Wo, Cout});
+  for (int64_t P = 0; P < Ho * Wo; ++P)
+    for (int64_t M = 0; M < Cout; ++M) {
+      double Acc = 0.0;
+      for (int64_t I = 0; I < K; ++I)
+        Acc += static_cast<double>(Col[static_cast<size_t>(P * K + I)]) *
+               W.at(I * Cout + M);
+      Out.at(P * Cout + M) = static_cast<float>(Acc);
+    }
+  return Out;
+}
+
+struct ConvShape {
+  int64_t H, Cin, Cout, Kernel, Stride, Pad;
+};
+
+} // namespace
+
+class ConvCrossCheck : public ::testing::TestWithParam<ConvShape> {};
+
+TEST_P(ConvCrossCheck, DirectMatchesIm2colGemm) {
+  const ConvShape S = GetParam();
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, S.H, S.H, S.Cin});
+  B.output(B.conv2d(X, S.Cout, S.Kernel, S.Stride, S.Pad));
+  Graph G = B.take();
+
+  const Tensor In =
+      Interpreter::randomInput(TensorShape{1, S.H, S.H, S.Cin}, 17);
+  const Tensor Direct = Interpreter(G).run({In}).front();
+
+  // Materialize the same weights the interpreter used.
+  ValueId WId = InvalidValue;
+  for (const Value &V : G.values())
+    if (V.IsParam)
+      WId = V.Id;
+  const Tensor W = Interpreter::materializeParam(G, WId);
+
+  Conv2dAttrs A;
+  A.KernelH = A.KernelW = S.Kernel;
+  A.StrideH = A.StrideW = S.Stride;
+  A.PadTop = A.PadBottom = A.PadLeft = A.PadRight = S.Pad;
+  const Tensor Lowered = convViaIm2col(In, W, A);
+
+  ASSERT_EQ(Direct.shape(), Lowered.shape());
+  for (int64_t I = 0; I < Direct.numElements(); ++I)
+    // Both implementations accumulate in double over the same operands;
+    // the summation order differs, so allow tiny drift.
+    ASSERT_NEAR(Direct.at(I), Lowered.at(I),
+                1e-4 * (1.0 + std::fabs(Direct.at(I))))
+        << "element " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvCrossCheck,
+    ::testing::Values(ConvShape{8, 3, 5, 1, 1, 0},   // pointwise
+                      ConvShape{8, 3, 5, 3, 1, 1},   // 3x3 same
+                      ConvShape{9, 4, 6, 3, 2, 1},   // strided odd
+                      ConvShape{7, 2, 4, 5, 1, 2},   // 5x5
+                      ConvShape{11, 3, 3, 7, 2, 3},  // 7x7 stride 2
+                      ConvShape{6, 8, 8, 3, 3, 0})); // stride 3 no pad

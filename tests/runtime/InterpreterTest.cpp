@@ -1,0 +1,307 @@
+//===- tests/runtime/InterpreterTest.cpp - reference executor ---*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "models/Zoo.h"
+
+using namespace pf;
+
+namespace {
+
+/// Sets explicit weights on the single (first) parameter of \p G.
+void setWeights(Graph &G, std::vector<float> Data) {
+  for (const Value &V : G.values()) {
+    if (!V.IsParam)
+      continue;
+    Tensor T(V.Shape);
+    ASSERT_EQ(static_cast<size_t>(T.numElements()), Data.size());
+    for (size_t I = 0; I < Data.size(); ++I)
+      T.at(static_cast<int64_t>(I)) = Data[I];
+    G.setParamData(V.Id, std::move(T));
+    return;
+  }
+  FAIL() << "graph has no parameter";
+}
+
+Tensor makeTensor(TensorShape Shape, std::vector<float> Data) {
+  Tensor T(std::move(Shape));
+  EXPECT_EQ(static_cast<size_t>(T.numElements()), Data.size());
+  for (size_t I = 0; I < Data.size(); ++I)
+    T.at(static_cast<int64_t>(I)) = Data[I];
+  return T;
+}
+
+} // namespace
+
+TEST(InterpreterTest, IdentityConv1x1) {
+  // 1x1 conv with identity weights on 2 channels.
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 2, 2, 2});
+  B.output(B.conv2d(X, 2, 1, 1, 0));
+  Graph G = B.take();
+  setWeights(G, {1, 0, 0, 1}); // [1,1,2,2]: W[ci][co] identity.
+  Tensor In = makeTensor(TensorShape{1, 2, 2, 2},
+                         {1, 2, 3, 4, 5, 6, 7, 8});
+  auto Out = Interpreter(G).run({In});
+  ASSERT_EQ(Out.size(), 1u);
+  for (int64_t I = 0; I < 8; ++I)
+    EXPECT_FLOAT_EQ(Out[0].at(I), In.at(I));
+}
+
+TEST(InterpreterTest, Conv1x1MixesChannels) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 1, 1, 2});
+  B.output(B.conv2d(X, 1, 1, 1, 0));
+  Graph G = B.take();
+  setWeights(G, {2, 3}); // out = 2*c0 + 3*c1
+  auto Out = Interpreter(G).run({makeTensor(TensorShape{1, 1, 1, 2},
+                                            {10, 100})});
+  EXPECT_FLOAT_EQ(Out[0].at(0), 320.0f);
+}
+
+TEST(InterpreterTest, Conv3x3SumFilter) {
+  // All-ones 3x3 filter = neighborhood sum with zero padding.
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 3, 3, 1});
+  B.output(B.conv2d(X, 1, 3, 1, 1));
+  Graph G = B.take();
+  setWeights(G, std::vector<float>(9, 1.0f));
+  auto Out = Interpreter(G).run(
+      {makeTensor(TensorShape{1, 3, 3, 1}, {1, 2, 3, 4, 5, 6, 7, 8, 9})});
+  // Center output = sum of all = 45; corner (0,0) = 1+2+4+5 = 12.
+  EXPECT_FLOAT_EQ(Out[0].at4(0, 1, 1, 0), 45.0f);
+  EXPECT_FLOAT_EQ(Out[0].at4(0, 0, 0, 0), 12.0f);
+  EXPECT_FLOAT_EQ(Out[0].at4(0, 2, 2, 0), 5.0f + 6 + 8 + 9);
+}
+
+TEST(InterpreterTest, ConvStride2) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 1});
+  B.output(B.conv2d(X, 1, 1, 2, 0));
+  Graph G = B.take();
+  setWeights(G, {1});
+  std::vector<float> In(16);
+  for (int I = 0; I < 16; ++I)
+    In[static_cast<size_t>(I)] = static_cast<float>(I);
+  auto Out = Interpreter(G).run({makeTensor(TensorShape{1, 4, 4, 1}, In)});
+  EXPECT_EQ(Out[0].shape(), (TensorShape{1, 2, 2, 1}));
+  EXPECT_FLOAT_EQ(Out[0].at4(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(Out[0].at4(0, 0, 1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(Out[0].at4(0, 1, 0, 0), 8.0f);
+  EXPECT_FLOAT_EQ(Out[0].at4(0, 1, 1, 0), 10.0f);
+}
+
+TEST(InterpreterTest, DepthwiseConvKeepsChannelsSeparate) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 1, 1, 2});
+  B.output(B.dwConv(X, 1, 1, 0));
+  Graph G = B.take();
+  setWeights(G, {10, 100}); // per-channel scale
+  auto Out = Interpreter(G).run({makeTensor(TensorShape{1, 1, 1, 2},
+                                            {1, 2})});
+  EXPECT_FLOAT_EQ(Out[0].at(0), 10.0f);
+  EXPECT_FLOAT_EQ(Out[0].at(1), 200.0f);
+}
+
+TEST(InterpreterTest, GemmWithBias) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 2});
+  B.output(B.gemm(X, 2, /*WithBias=*/true));
+  Graph G = B.take();
+  // Set weight [2,2] and bias [2] explicitly.
+  std::vector<ValueId> Params;
+  for (const Value &V : G.values())
+    if (V.IsParam)
+      Params.push_back(V.Id);
+  ASSERT_EQ(Params.size(), 2u);
+  G.setParamData(Params[0],
+                 makeTensor(TensorShape{2, 2}, {1, 2, 3, 4}));
+  G.setParamData(Params[1], makeTensor(TensorShape{2}, {10, 20}));
+  auto Out = Interpreter(G).run({makeTensor(TensorShape{1, 2}, {1, 1})});
+  // y = x*W + b = [1+3, 2+4] + [10,20] = [14, 26].
+  EXPECT_FLOAT_EQ(Out[0].at(0), 14.0f);
+  EXPECT_FLOAT_EQ(Out[0].at(1), 26.0f);
+}
+
+TEST(InterpreterTest, Activations) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 1, 1, 4});
+  B.output(B.relu(X));
+  B.output(B.relu6(X));
+  B.output(B.sigmoid(X));
+  B.output(B.silu(X));
+  Graph G = B.take();
+  auto Out = Interpreter(G).run({makeTensor(TensorShape{1, 1, 1, 4},
+                                            {-2, 0, 3, 10})});
+  EXPECT_FLOAT_EQ(Out[0].at(0), 0.0f);
+  EXPECT_FLOAT_EQ(Out[0].at(3), 10.0f);
+  EXPECT_FLOAT_EQ(Out[1].at(3), 6.0f); // relu6 clamps.
+  EXPECT_NEAR(Out[2].at(1), 0.5f, 1e-6); // sigmoid(0).
+  EXPECT_NEAR(Out[3].at(2), 3.0f / (1.0f + std::exp(-3.0f)), 1e-5);
+}
+
+TEST(InterpreterTest, SoftmaxRowsSumToOne) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{2, 4});
+  B.output(B.softmax(X));
+  Graph G = B.take();
+  auto Out = Interpreter(G).run(
+      {makeTensor(TensorShape{2, 4}, {1, 2, 3, 4, -1, 0, 1, 2})});
+  for (int R = 0; R < 2; ++R) {
+    float Sum = 0;
+    for (int C = 0; C < 4; ++C)
+      Sum += Out[0].at(R * 4 + C);
+    EXPECT_NEAR(Sum, 1.0f, 1e-5);
+  }
+  EXPECT_GT(Out[0].at(3), Out[0].at(0)); // Monotone in logits.
+}
+
+TEST(InterpreterTest, AddAndBroadcastMul) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 1, 2, 2});
+  ValueId S = B.input("s", TensorShape{1, 1, 1, 2});
+  B.output(B.add(X, X));
+  B.output(B.mul(X, S));
+  Graph G = B.take();
+  auto Out = Interpreter(G).run(
+      {makeTensor(TensorShape{1, 1, 2, 2}, {1, 2, 3, 4}),
+       makeTensor(TensorShape{1, 1, 1, 2}, {10, 100})});
+  EXPECT_FLOAT_EQ(Out[0].at(2), 6.0f);
+  EXPECT_FLOAT_EQ(Out[1].at(0), 10.0f);
+  EXPECT_FLOAT_EQ(Out[1].at(1), 200.0f);
+  EXPECT_FLOAT_EQ(Out[1].at(2), 30.0f);
+  EXPECT_FLOAT_EQ(Out[1].at(3), 400.0f);
+}
+
+TEST(InterpreterTest, MaxAndAvgPool) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 2, 2, 1});
+  B.output(B.maxPool(X, 2, 2));
+  B.output(B.avgPool(X, 2, 2));
+  B.output(B.globalAvgPool(X));
+  Graph G = B.take();
+  auto Out = Interpreter(G).run(
+      {makeTensor(TensorShape{1, 2, 2, 1}, {1, 2, 3, 4})});
+  EXPECT_FLOAT_EQ(Out[0].at(0), 4.0f);
+  EXPECT_FLOAT_EQ(Out[1].at(0), 2.5f);
+  EXPECT_FLOAT_EQ(Out[2].at(0), 2.5f);
+}
+
+TEST(InterpreterTest, PadSliceConcatRoundTrip) {
+  // slice(pad(x)) and concat(slice0, slice1) recover x exactly.
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 2, 1});
+  ValueId P = B.pad(X, 2, 1, 0, 0);
+  ValueId Unpad = B.slice(P, 1, 2, 6);
+  ValueId Lo = B.slice(X, 1, 0, 2);
+  ValueId Hi = B.slice(X, 1, 2, 4);
+  ValueId Joined = B.concat({Lo, Hi}, 1);
+  B.output(Unpad);
+  B.output(Joined);
+  Graph G = B.take();
+  Tensor In = Interpreter::randomInput(TensorShape{1, 4, 2, 1}, 42);
+  auto Out = Interpreter(G).run({In});
+  for (int64_t I = 0; I < In.numElements(); ++I) {
+    EXPECT_FLOAT_EQ(Out[0].at(I), In.at(I));
+    EXPECT_FLOAT_EQ(Out[1].at(I), In.at(I));
+  }
+}
+
+TEST(InterpreterTest, PadZeroFills) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 1, 1, 1});
+  B.output(B.pad(X, 1, 1, 1, 1));
+  Graph G = B.take();
+  auto Out = Interpreter(G).run({makeTensor(TensorShape{1, 1, 1, 1}, {7})});
+  EXPECT_FLOAT_EQ(Out[0].at4(0, 1, 1, 0), 7.0f);
+  EXPECT_FLOAT_EQ(Out[0].at4(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(Out[0].at4(0, 2, 2, 0), 0.0f);
+}
+
+TEST(InterpreterTest, BatchNormNormalizes) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 1, 1, 1});
+  B.output(B.batchNorm(X));
+  Graph G = B.take();
+  std::vector<ValueId> Params;
+  for (const Value &V : G.values())
+    if (V.IsParam)
+      Params.push_back(V.Id);
+  ASSERT_EQ(Params.size(), 4u);
+  G.setParamData(Params[0], makeTensor(TensorShape{1}, {2.0f}));  // scale
+  G.setParamData(Params[1], makeTensor(TensorShape{1}, {1.0f}));  // bias
+  G.setParamData(Params[2], makeTensor(TensorShape{1}, {3.0f}));  // mean
+  G.setParamData(Params[3], makeTensor(TensorShape{1}, {4.0f}));  // var
+  auto Out = Interpreter(G).run({makeTensor(TensorShape{1, 1, 1, 1}, {5})});
+  // (5-3)/sqrt(4+eps)*2+1 ~= 3.
+  EXPECT_NEAR(Out[0].at(0), 3.0f, 1e-3);
+}
+
+TEST(InterpreterTest, LayerNormNormalizesRows) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4});
+  B.output(B.layerNorm(X));
+  Graph G = B.take();
+  std::vector<ValueId> Params;
+  for (const Value &V : G.values())
+    if (V.IsParam)
+      Params.push_back(V.Id);
+  ASSERT_EQ(Params.size(), 2u);
+  G.setParamData(Params[0], makeTensor(TensorShape{4}, {1, 1, 1, 1}));
+  G.setParamData(Params[1], makeTensor(TensorShape{4}, {0, 0, 0, 0}));
+  auto Out = Interpreter(G).run({makeTensor(TensorShape{1, 4},
+                                            {1, 2, 3, 4})});
+  // Mean 2.5, var 1.25: normalized = (x - 2.5)/sqrt(1.25).
+  const float Inv = 1.0f / std::sqrt(1.25f + 1e-5f);
+  EXPECT_NEAR(Out[0].at(0), -1.5f * Inv, 1e-5);
+  EXPECT_NEAR(Out[0].at(3), 1.5f * Inv, 1e-5);
+  float Sum = 0;
+  for (int I = 0; I < 4; ++I)
+    Sum += Out[0].at(I);
+  EXPECT_NEAR(Sum, 0.0f, 1e-5);
+}
+
+TEST(InterpreterTest, MatMulPlainAndTransposed) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{2, 2});
+  ValueId Y = B.input("y", TensorShape{2, 2});
+  B.output(B.matmul(X, Y));
+  B.output(B.matmul(X, Y, /*TransposeB=*/true));
+  Graph G = B.take();
+  auto Out = Interpreter(G).run({makeTensor(TensorShape{2, 2}, {1, 2, 3, 4}),
+                                 makeTensor(TensorShape{2, 2},
+                                            {5, 6, 7, 8})});
+  // X*Y = [[19,22],[43,50]]
+  EXPECT_FLOAT_EQ(Out[0].at(0), 19.0f);
+  EXPECT_FLOAT_EQ(Out[0].at(3), 50.0f);
+  // X*Y^T = [[17,23],[39,53]]
+  EXPECT_FLOAT_EQ(Out[1].at(0), 17.0f);
+  EXPECT_FLOAT_EQ(Out[1].at(3), 53.0f);
+}
+
+TEST(InterpreterTest, ParamMaterializationIsDeterministic) {
+  Graph G("t");
+  ValueId W = G.addParam("w", TensorShape{16});
+  Tensor A = Interpreter::materializeParam(G, W);
+  Tensor B = Interpreter::materializeParam(G, W);
+  for (int64_t I = 0; I < 16; ++I)
+    EXPECT_EQ(A.at(I), B.at(I));
+}
+
+TEST(InterpreterTest, ToyModelRuns) {
+  Graph G = buildToy();
+  Tensor In = Interpreter::randomInput(G.value(G.graphInputs()[0]).Shape, 1);
+  auto Out = Interpreter(G).run({In});
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].shape(), (TensorShape{1, 10}));
+  for (int64_t I = 0; I < 10; ++I)
+    EXPECT_TRUE(std::isfinite(Out[0].at(I)));
+}

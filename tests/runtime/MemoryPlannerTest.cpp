@@ -1,0 +1,112 @@
+//===- tests/runtime/MemoryPlannerTest.cpp - liveness tests -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/MemoryPlanner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/PimFlow.h"
+#include "ir/Builder.h"
+#include "models/Zoo.h"
+
+using namespace pf;
+
+namespace {
+
+MemoryPlan planFor(const Graph &G, const SystemConfig &C) {
+  ExecutionEngine E(C);
+  const Timeline TL = E.execute(G);
+  return planMemory(G, TL, MemoryOptimizer(C.MemoryOptimizer));
+}
+
+} // namespace
+
+TEST(MemoryPlannerTest, ChainPeakIsAdjacentPair) {
+  // conv chain at fixed shape: at any time at most producer-input +
+  // producer-output are live (activations are released after their sole
+  // consumer).
+  GraphBuilder B("chain");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 4}); // 512 B at fp16.
+  ValueId A = B.conv2d(X, 4, 3, 1, 1);               // 512 B
+  ValueId C = B.conv2d(A, 4, 3, 1, 1);               // 512 B
+  B.output(B.conv2d(C, 4, 3, 1, 1));                 // 512 B
+  Graph G = B.take();
+  MemoryPlan P = planFor(G, SystemConfig::gpuOnly());
+  // Peak: one input + one output + (brief) predecessor still resident.
+  EXPECT_GE(P.PeakActivationBytes, 2 * 512);
+  EXPECT_LE(P.PeakActivationBytes, 3 * 512);
+}
+
+TEST(MemoryPlannerTest, ResidualKeepsSkipAlive) {
+  // The skip connection holds its buffer across the whole block body.
+  GraphBuilder B("res");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 4});
+  ValueId V = B.relu(B.conv2d(X, 4, 3, 1, 1));
+  V = B.conv2d(V, 4, 3, 1, 1);
+  B.output(B.add(V, X));
+  Graph G = B.take();
+  MemoryPlan P = planFor(G, SystemConfig::gpuOnly());
+  // x (held for the add) + intermediate + output coexist.
+  EXPECT_GE(P.PeakActivationBytes, 3 * 512);
+}
+
+TEST(MemoryPlannerTest, WeightsCountedSeparately) {
+  GraphBuilder B("w");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 4});
+  B.output(B.conv2d(X, 8, 3, 1, 1));
+  Graph G = B.take();
+  MemoryPlan P = planFor(G, SystemConfig::gpuOnly());
+  EXPECT_EQ(P.WeightBytes, 3 * 3 * 4 * 8 * 2);
+}
+
+TEST(MemoryPlannerTest, FreeViewsAliasStorage) {
+  // An H-slice/concat pair allocates nothing with the optimizer on and
+  // real buffers with it off.
+  GraphBuilder B("views");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 4});
+  ValueId Lo = B.slice(X, 1, 0, 4);
+  ValueId Hi = B.slice(X, 1, 4, 8);
+  B.output(B.relu(B.concat({Lo, Hi}, 1)));
+  Graph G = B.take();
+
+  SystemConfig On = SystemConfig::gpuOnly();
+  SystemConfig Off = SystemConfig::gpuOnly();
+  Off.MemoryOptimizer = false;
+  MemoryPlan POn = planFor(G, On);
+  MemoryPlan POff = planFor(G, Off);
+  EXPECT_GT(POn.AliasedBytes, 0);
+  EXPECT_LT(POn.PeakActivationBytes, POff.PeakActivationBytes);
+}
+
+TEST(MemoryPlannerTest, MdDpSplitDoesNotExplodeMemory) {
+  // With the layout optimizer, PIMFlow's split graphs peak within ~25% of
+  // the baseline graph (the halves alias the original buffers).
+  const Graph Model = buildMobileNetV2();
+  CompileResult Base = PimFlow(OffloadPolicy::GpuOnly).compileAndRun(Model);
+  CompileResult Flow = PimFlow(OffloadPolicy::PimFlow).compileAndRun(Model);
+  const MemoryPlan PBase =
+      planMemory(Base.Transformed, Base.Schedule, MemoryOptimizer(true));
+  const MemoryPlan PFlow =
+      planMemory(Flow.Transformed, Flow.Schedule, MemoryOptimizer(true));
+  EXPECT_LT(PFlow.PeakActivationBytes,
+            1.25 * PBase.PeakActivationBytes);
+  EXPECT_GT(PFlow.AliasedBytes, 0);
+}
+
+TEST(MemoryPlannerTest, PeakWithinTotalFootprint) {
+  const Graph Model = buildToy();
+  CompileResult R = PimFlow(OffloadPolicy::PimFlow).compileAndRun(Model);
+  MemoryPlan P =
+      planMemory(R.Transformed, R.Schedule, MemoryOptimizer(true));
+  int64_t Total = 0;
+  for (const Value &V : R.Transformed.values())
+    if (!V.IsParam)
+      Total += V.byteCount();
+  EXPECT_GT(P.PeakActivationBytes, 0);
+  EXPECT_LE(P.PeakActivationBytes, Total);
+  EXPECT_GE(P.PeakAtNs, 0.0);
+  EXPECT_LE(P.PeakAtNs, R.Schedule.TotalNs + 1.0);
+}

@@ -1,0 +1,130 @@
+//===- tests/runtime/SchedulerPropertyTest.cpp - EST properties -*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduling-theory properties of the execution engine's earliest-start
+/// list scheduler on transformed graphs: the makespan is bounded below by
+/// both the critical path and each device's total work, bounded above by
+/// the serial sum, and the schedule itself is a valid (non-overlapping,
+/// dependency-respecting) two-resource assignment.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/PimFlow.h"
+#include "models/Zoo.h"
+#include "support/Format.h"
+
+using namespace pf;
+
+namespace {
+
+struct Case {
+  const char *Model;
+  OffloadPolicy Policy;
+};
+
+void checkTimeline(const Graph &G, const Timeline &TL,
+                   double SyncOverheadNs) {
+  double GpuWork = 0.0, PimWork = 0.0, Serial = 0.0;
+  std::vector<const NodeSchedule *> Busy[2];
+  for (const NodeSchedule &S : TL.Nodes) {
+    Serial += S.durationNs();
+    if (S.durationNs() <= 0.0)
+      continue;
+    (S.Dev == Device::Pim ? PimWork : GpuWork) += S.durationNs();
+    Busy[S.Dev == Device::Pim ? 1 : 0].push_back(&S);
+  }
+
+  // Lower bounds: per-device work; upper bound: fully serial plus syncs.
+  EXPECT_GE(TL.TotalNs + 1e-6, GpuWork);
+  EXPECT_GE(TL.TotalNs + 1e-6, PimWork);
+  EXPECT_LE(TL.TotalNs,
+            Serial + SyncOverheadNs * static_cast<double>(TL.Nodes.size()) +
+                1e-6);
+
+  // No two busy intervals overlap on the same device.
+  for (auto &Lane : Busy) {
+    std::sort(Lane.begin(), Lane.end(),
+              [](const NodeSchedule *A, const NodeSchedule *B) {
+                return A->StartNs < B->StartNs;
+              });
+    for (size_t I = 1; I < Lane.size(); ++I)
+      EXPECT_GE(Lane[I]->StartNs + 1e-6, Lane[I - 1]->EndNs)
+          << G.node(Lane[I]->Id).Name << " overlaps "
+          << G.node(Lane[I - 1]->Id).Name;
+  }
+
+  // Dependencies respected (critical-path validity).
+  for (const NodeSchedule &S : TL.Nodes)
+    for (ValueId In : G.node(S.Id).Inputs) {
+      const NodeId P = G.producer(In);
+      if (P != InvalidNode) {
+        EXPECT_GE(S.StartNs + 1e-6, TL.scheduleOf(P).EndNs);
+      }
+    }
+}
+
+} // namespace
+
+class SchedulerProperty
+    : public ::testing::TestWithParam<std::tuple<const char *, int>> {};
+
+TEST_P(SchedulerProperty, TimelineIsValidTwoResourceSchedule) {
+  const auto [Model, PolicyInt] = GetParam();
+  const OffloadPolicy Policy = static_cast<OffloadPolicy>(PolicyInt);
+  PimFlow Flow(Policy);
+  CompileResult R = Flow.compileAndRun(buildModel(Model));
+  checkTimeline(R.Transformed, R.Schedule,
+                Flow.config().SyncOverheadNs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchedulerProperty,
+    ::testing::Combine(
+        ::testing::Values("toy", "mobilenet-v2", "squeezenet-1.1"),
+        ::testing::Values(static_cast<int>(OffloadPolicy::GpuOnly),
+                          static_cast<int>(OffloadPolicy::NewtonPlusPlus),
+                          static_cast<int>(OffloadPolicy::PimFlowMd),
+                          static_cast<int>(OffloadPolicy::PimFlow))),
+    [](const auto &Info) {
+      std::string Name = formatStr("%s_p%d", std::get<0>(Info.param),
+                                   std::get<1>(Info.param));
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)) && C != '_')
+          C = '_';
+      return Name;
+    });
+
+TEST(SchedulerProperty, ExecutionIsDeterministic) {
+  const Graph Model = buildMobileNetV2();
+  CompileResult A = PimFlow(OffloadPolicy::PimFlow).compileAndRun(Model);
+  CompileResult B = PimFlow(OffloadPolicy::PimFlow).compileAndRun(Model);
+  EXPECT_EQ(A.endToEndNs(), B.endToEndNs());
+  EXPECT_EQ(A.energyJ(), B.energyJ());
+  ASSERT_EQ(A.Schedule.Nodes.size(), B.Schedule.Nodes.size());
+  for (size_t I = 0; I < A.Schedule.Nodes.size(); ++I) {
+    EXPECT_EQ(A.Schedule.Nodes[I].Id, B.Schedule.Nodes[I].Id);
+    EXPECT_EQ(A.Schedule.Nodes[I].StartNs, B.Schedule.Nodes[I].StartNs);
+  }
+}
+
+TEST(SchedulerProperty, OverlapNeverExceedsDeviceSum) {
+  // Parallel speedup is bounded by 2x for a two-resource system.
+  const Graph Model = buildMnasNet();
+  CompileResult R = PimFlow(OffloadPolicy::PimFlow).compileAndRun(Model);
+  const double Work = R.Schedule.GpuBusyNs + R.Schedule.PimBusyNs;
+  EXPECT_GE(2.0 * R.Schedule.TotalNs + 1e-6, Work);
+}
+
+TEST(ZooTest, TryBuildModel) {
+  EXPECT_TRUE(tryBuildModel("toy").has_value());
+  EXPECT_TRUE(tryBuildModel("densenet-121").has_value());
+  EXPECT_TRUE(tryBuildModel("efficientnet-v1-b3").has_value());
+  EXPECT_FALSE(tryBuildModel("notanet").has_value());
+  EXPECT_FALSE(tryBuildModel("").has_value());
+}

@@ -1,0 +1,86 @@
+//===- tests/runtime/TimelineDumpTest.cpp - Gantt renderer ------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TimelineDump.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "ir/GraphPrinter.h"
+#include "support/StringUtil.h"
+
+using namespace pf;
+
+namespace {
+
+/// conv(GPU) feeding conv(PIM) via independent branches of one input.
+Graph dualDeviceGraph() {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 32, 32, 16});
+  ValueId A = B.conv2d(X, 32, 1, 1, 0);
+  ValueId C = B.conv2d(X, 32, 1, 1, 0);
+  B.output(B.concat({A, C}, 1));
+  Graph G = B.take();
+  for (NodeId Id : G.topoOrder())
+    if (G.node(Id).Kind == OpKind::Conv2d) {
+      G.node(Id).Dev = Device::Pim;
+      break;
+    }
+  return G;
+}
+
+} // namespace
+
+TEST(TimelineDumpTest, GanttHasBothLanes) {
+  Graph G = dualDeviceGraph();
+  ExecutionEngine E(SystemConfig::dual());
+  Timeline TL = E.execute(G);
+  const std::string Gantt = renderGantt(G, TL, 40);
+  const auto Lines = split(Gantt, '\n');
+  ASSERT_GE(Lines.size(), 3u);
+  EXPECT_TRUE(startsWith(Lines[0], "gpu |"));
+  EXPECT_TRUE(startsWith(Lines[1], "pim |"));
+  // Both devices did real work.
+  EXPECT_NE(Lines[0].find('#'), std::string::npos);
+  EXPECT_NE(Lines[1].find('#'), std::string::npos);
+  // Lanes have the requested width.
+  EXPECT_EQ(Lines[0].size(), Lines[1].size());
+}
+
+TEST(TimelineDumpTest, EmptyTimeline) {
+  Graph G("empty");
+  Timeline TL;
+  EXPECT_EQ(renderGantt(G, TL), "(empty timeline)\n");
+}
+
+TEST(TimelineDumpTest, ScheduleListSortedByStart) {
+  Graph G = dualDeviceGraph();
+  ExecutionEngine E(SystemConfig::dual());
+  Timeline TL = E.execute(G);
+  const std::string List = renderScheduleList(G, TL);
+  // Every busy node appears; free concat/slice nodes do not.
+  EXPECT_NE(List.find("conv2d"), std::string::npos);
+  EXPECT_EQ(List.find("concat"), std::string::npos);
+  // Start times are non-decreasing down the listing.
+  double Prev = -1.0;
+  for (const std::string &Line : split(List, '\n')) {
+    if (Line.empty())
+      continue;
+    const double Start = std::atof(Line.c_str() + 1);
+    EXPECT_GE(Start, Prev);
+    Prev = Start;
+  }
+}
+
+TEST(TimelineDumpTest, DotExportStructure) {
+  Graph G = dualDeviceGraph();
+  const std::string Dot = printDot(G);
+  EXPECT_TRUE(startsWith(Dot, "digraph"));
+  EXPECT_NE(Dot.find("lightsalmon"), std::string::npos);   // PIM node.
+  EXPECT_NE(Dot.find("->"), std::string::npos);            // Edges.
+  EXPECT_NE(Dot.find("[1x32x32x32]"), std::string::npos);  // Shape label.
+  EXPECT_NE(Dot.find("}\n"), std::string::npos);
+}

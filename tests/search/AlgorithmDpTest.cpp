@@ -1,0 +1,214 @@
+//===- tests/search/AlgorithmDpTest.cpp - DP decision tests -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins Algorithm 1's dynamic program against hand-constructed cost
+/// landscapes through a stub CostProvider: the search must pick full
+/// offload / MD-DP / pipelining exactly when the given costs make them
+/// optimal, independent of the simulators.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "ir/Builder.h"
+#include "search/SearchEngine.h"
+
+using namespace pf;
+
+namespace {
+
+/// Stub cost provider with per-node dictionaries and a synthetic MD-DP
+/// model: mdDp(r) = max(r * Gpu, (1-r) * Pim) + SplitOverhead.
+class StubCosts : public CostProvider {
+public:
+  StubCosts() : Config(SystemConfig::dual()) {}
+
+  const SystemConfig &config() const override { return Config; }
+
+  double gpuNodeNs(const Graph &, NodeId Id) override {
+    return Gpu.at(Id);
+  }
+  double pimNodeNs(const Graph &, NodeId Id) override {
+    return Pim.count(Id) ? Pim.at(Id) : 1e12;
+  }
+  double mdDpNs(const Graph &G, NodeId Id, double R) override {
+    if (R <= 0.0)
+      return pimNodeNs(G, Id);
+    if (R >= 1.0)
+      return gpuNodeNs(G, Id);
+    return std::max(R * gpuNodeNs(G, Id), (1.0 - R) * pimNodeNs(G, Id)) +
+           SplitOverhead;
+  }
+  double pipelineNs(const Graph &, const std::vector<NodeId> &Chain,
+                    int) override {
+    auto It = PipelineCosts.find({Chain.front(), Chain.size()});
+    return It == PipelineCosts.end() ? -1.0 : It->second;
+  }
+
+  SystemConfig Config;
+  std::map<NodeId, double> Gpu;
+  std::map<NodeId, double> Pim;
+  /// Pipeline cost keyed by (first node, chain length).
+  std::map<std::pair<NodeId, size_t>, double> PipelineCosts;
+  double SplitOverhead = 0.0;
+};
+
+/// pw-conv -> relu6 -> dw-conv -> pw-conv: one Type-1 chain prefix plus a
+/// trailing candidate.
+Graph chainGraph(std::vector<NodeId> *Order) {
+  GraphBuilder B("dp");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  ValueId V = B.conv2d(X, 8, 1, 1, 0);
+  V = B.relu6(V);
+  V = B.dwConv(V, 3, 1, 1);
+  V = B.conv2d(V, 4, 1, 1, 0);
+  B.output(V);
+  Graph G = B.take();
+  if (Order)
+    *Order = G.topoOrder();
+  return G;
+}
+
+SearchOptions allOptions() { return SearchOptions{}; }
+
+} // namespace
+
+TEST(AlgorithmDpTest, PicksGpuWhenPimIsSlow) {
+  std::vector<NodeId> Order;
+  Graph G = chainGraph(&Order);
+  StubCosts Costs;
+  for (NodeId Id : Order) {
+    Costs.Gpu[Id] = 100.0;
+    Costs.Pim[Id] = 1000.0; // PIM always loses; splits lose too.
+  }
+  Costs.SplitOverhead = 1000.0;
+  SearchEngine S(Costs, allOptions());
+  ExecutionPlan Plan = S.search(G);
+  for (const SegmentPlan &Seg : Plan.Segments)
+    EXPECT_EQ(Seg.Mode, SegmentMode::GpuNode);
+  EXPECT_DOUBLE_EQ(Plan.PredictedNs, 100.0 * Order.size());
+}
+
+TEST(AlgorithmDpTest, PicksFullOffloadWhenPimWins) {
+  std::vector<NodeId> Order;
+  Graph G = chainGraph(&Order);
+  StubCosts Costs;
+  for (NodeId Id : Order) {
+    Costs.Gpu[Id] = 100.0;
+    if (isPimCandidate(G.node(Id)))
+      Costs.Pim[Id] = 10.0;
+  }
+  Costs.SplitOverhead = 1000.0; // Splits never profitable.
+  SearchEngine S(Costs, allOptions());
+  ExecutionPlan Plan = S.search(G);
+  for (const SegmentPlan &Seg : Plan.Segments) {
+    if (isPimCandidate(G.node(Seg.Nodes[0])) && Seg.Nodes.size() == 1) {
+      EXPECT_EQ(Seg.Mode, SegmentMode::FullPim);
+    }
+  }
+}
+
+TEST(AlgorithmDpTest, PicksBalancedSplitAtParity) {
+  std::vector<NodeId> Order;
+  Graph G = chainGraph(&Order);
+  StubCosts Costs;
+  for (NodeId Id : Order) {
+    Costs.Gpu[Id] = 100.0;
+    if (isPimCandidate(G.node(Id)))
+      Costs.Pim[Id] = 100.0; // Parity: optimal split is 50/50 -> 50ns.
+  }
+  SearchEngine S(Costs, allOptions());
+  ExecutionPlan Plan = S.search(G);
+  bool SawSplit = false;
+  for (const SegmentPlan &Seg : Plan.Segments)
+    if (Seg.Mode == SegmentMode::MdDp) {
+      SawSplit = true;
+      EXPECT_NEAR(Seg.RatioGpu, 0.5, 1e-9);
+      EXPECT_NEAR(Seg.PredictedNs, 50.0, 1e-9);
+    }
+  EXPECT_TRUE(SawSplit);
+}
+
+TEST(AlgorithmDpTest, PicksPipelineWhenCheaperThanParts) {
+  std::vector<NodeId> Order;
+  Graph G = chainGraph(&Order);
+  StubCosts Costs;
+  for (NodeId Id : Order) {
+    Costs.Gpu[Id] = 100.0;
+    if (isPimCandidate(G.node(Id)))
+      Costs.Pim[Id] = 90.0;
+  }
+  // The matcher anchors pw-dw (3 nodes) and pw-dw-pw (4 nodes) chains at
+  // the first conv; make pipelining nearly free.
+  Costs.PipelineCosts[{Order[0], 3}] = 1.0;
+  SearchEngine S(Costs, allOptions());
+  ExecutionPlan Plan = S.search(G);
+  ASSERT_FALSE(Plan.Segments.empty());
+  EXPECT_EQ(Plan.Segments.front().Mode, SegmentMode::Pipeline);
+  EXPECT_GE(Plan.Segments.front().Nodes.size(), 3u);
+}
+
+TEST(AlgorithmDpTest, IgnoresPipelineWhenExpensive) {
+  std::vector<NodeId> Order;
+  Graph G = chainGraph(&Order);
+  StubCosts Costs;
+  for (NodeId Id : Order) {
+    Costs.Gpu[Id] = 100.0;
+    if (isPimCandidate(G.node(Id)))
+      Costs.Pim[Id] = 50.0;
+  }
+  Costs.PipelineCosts[{Order[0], 3}] = 1e9;
+  Costs.PipelineCosts[{Order[0], 4}] = 1e9;
+  SearchEngine S(Costs, allOptions());
+  ExecutionPlan Plan = S.search(G);
+  for (const SegmentPlan &Seg : Plan.Segments)
+    EXPECT_NE(Seg.Mode, SegmentMode::Pipeline);
+}
+
+TEST(AlgorithmDpTest, ObjectiveIsMinOverCoverings) {
+  // With pipeline cost P for the 3-node prefix and per-node bests B_i, the
+  // DP objective must be min(P + rest, sum of per-node bests).
+  std::vector<NodeId> Order;
+  Graph G = chainGraph(&Order);
+  ASSERT_EQ(Order.size(), 4u);
+  StubCosts Costs;
+  for (NodeId Id : Order) {
+    Costs.Gpu[Id] = 100.0;
+    if (isPimCandidate(G.node(Id)))
+      Costs.Pim[Id] = 80.0;
+  }
+  Costs.SplitOverhead = 1000.0;
+  // Per-node bests: conv 80 (pim), relu6 100, dw 100, conv 80 = 360.
+  // Pipeline over first 3 nodes = 200, then conv 80 -> 280.
+  Costs.PipelineCosts[{Order[0], 3}] = 200.0;
+  SearchEngine S(Costs, allOptions());
+  ExecutionPlan Plan = S.search(G);
+  EXPECT_DOUBLE_EQ(Plan.PredictedNs, 280.0);
+}
+
+TEST(AlgorithmDpTest, RefinementFindsFinerOptimum) {
+  // With asymmetric costs the continuous optimum sits between 10% grid
+  // points; refinement must find a strictly better ratio.
+  std::vector<NodeId> Order;
+  Graph G = chainGraph(&Order);
+  StubCosts Costs;
+  for (NodeId Id : Order) {
+    Costs.Gpu[Id] = 100.0;
+    if (isPimCandidate(G.node(Id)))
+      Costs.Pim[Id] = 73.0; // Optimum at r = 73/173 ~ 0.422.
+  }
+  SearchOptions Coarse = allOptions();
+  Coarse.AllowPipeline = false;
+  SearchOptions Fine = Coarse;
+  Fine.RefineRatios = true;
+  const double CoarseNs = SearchEngine(Costs, Coarse).search(G).PredictedNs;
+  const double FineNs = SearchEngine(Costs, Fine).search(G).PredictedNs;
+  EXPECT_LT(FineNs, CoarseNs);
+}

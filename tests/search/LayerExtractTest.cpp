@@ -1,0 +1,80 @@
+//===- tests/search/LayerExtractTest.cpp - extraction tests -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/LayerExtract.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "models/Zoo.h"
+
+using namespace pf;
+
+TEST(LayerExtractTest, SingleLayerMicrograph) {
+  Graph G = buildToy();
+  NodeId Conv = InvalidNode;
+  for (NodeId Id : G.topoOrder())
+    if (G.node(Id).Kind == OpKind::Conv2d) {
+      Conv = Id;
+      break;
+    }
+  ExtractedGraph Micro = extractLayer(G, Conv);
+  EXPECT_FALSE(Micro.G.validate().has_value());
+  ASSERT_EQ(Micro.Nodes.size(), 1u);
+  const Node &N = Micro.G.node(Micro.Nodes[0]);
+  EXPECT_EQ(N.Kind, OpKind::Conv2d);
+  EXPECT_EQ(N.Attrs, G.node(Conv).Attrs);
+  // Shapes preserved.
+  EXPECT_EQ(Micro.G.value(N.Outputs[0]).Shape,
+            G.value(G.node(Conv).Outputs[0]).Shape);
+}
+
+TEST(LayerExtractTest, EndpointsAreGpuStaged) {
+  Graph G = buildToy();
+  NodeId Conv = G.topoOrder().front();
+  for (NodeId Id : G.topoOrder())
+    if (G.node(Id).Kind == OpKind::Conv2d)
+      Conv = Id;
+  ExtractedGraph Micro = extractLayer(G, Conv);
+  // The micrograph stages inputs and outputs through GPU-resident
+  // Identity nodes so handoff costs are priced.
+  int Identities = 0;
+  for (const Node &N : Micro.G.nodes())
+    if (!N.Dead && N.Kind == OpKind::Identity) {
+      ++Identities;
+      EXPECT_EQ(N.Dev, Device::Gpu);
+    }
+  EXPECT_EQ(Identities, 2); // One input stage + one sink.
+}
+
+TEST(LayerExtractTest, ChainExtraction) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  ValueId V = B.conv2d(X, 8, 1, 1, 0);
+  V = B.relu6(V);
+  V = B.dwConv(V, 3, 1, 1);
+  B.output(V);
+  Graph G = B.take();
+  ExtractedGraph Micro = extractChain(G, G.topoOrder());
+  EXPECT_FALSE(Micro.G.validate().has_value());
+  EXPECT_EQ(Micro.Nodes.size(), 3u);
+  EXPECT_EQ(Micro.G.graphInputs().size(), 1u);
+}
+
+TEST(LayerExtractTest, ParamsBecomeFreshParams) {
+  Graph G = buildToy();
+  NodeId Gemm = InvalidNode;
+  for (NodeId Id : G.topoOrder())
+    if (G.node(Id).Kind == OpKind::Gemm)
+      Gemm = Id;
+  ASSERT_NE(Gemm, InvalidNode);
+  ExtractedGraph Micro = extractLayer(G, Gemm);
+  int Params = 0;
+  for (const Value &V : Micro.G.values())
+    Params += V.IsParam;
+  EXPECT_EQ(static_cast<size_t>(Params) + Micro.G.graphInputs().size(),
+            G.node(Gemm).Inputs.size());
+}

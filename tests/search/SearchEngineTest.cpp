@@ -1,0 +1,154 @@
+//===- tests/search/SearchEngineTest.cpp - Algorithm 1 tests ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/SearchEngine.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "ir/ShapeInference.h"
+#include "models/Zoo.h"
+
+using namespace pf;
+
+namespace {
+
+SearchOptions optionsFor(bool Split, bool Pipeline, bool Offload) {
+  SearchOptions O;
+  O.AllowSplit = Split;
+  O.AllowPipeline = Pipeline;
+  O.AllowFullOffload = Offload;
+  return O;
+}
+
+} // namespace
+
+TEST(SearchEngineTest, GpuOnlySearchKeepsEverythingOnGpu) {
+  Graph G = buildToy();
+  Profiler P(SystemConfig::gpuOnly());
+  SearchEngine S(P, optionsFor(false, false, false));
+  ExecutionPlan Plan = S.search(G);
+  for (const SegmentPlan &Seg : Plan.Segments)
+    EXPECT_EQ(Seg.Mode, SegmentMode::GpuNode);
+  EXPECT_TRUE(Plan.Layers.empty()); // No PIM -> no candidate profiles.
+}
+
+TEST(SearchEngineTest, SegmentsCoverAllNodesExactlyOnce) {
+  Graph G = buildToy();
+  Profiler P(SystemConfig::dual());
+  SearchEngine S(P, optionsFor(true, true, true));
+  ExecutionPlan Plan = S.search(G);
+  std::vector<NodeId> Covered;
+  for (const SegmentPlan &Seg : Plan.Segments)
+    for (NodeId Id : Seg.Nodes)
+      Covered.push_back(Id);
+  std::vector<NodeId> Expected = G.topoOrder();
+  std::sort(Covered.begin(), Covered.end());
+  std::sort(Expected.begin(), Expected.end());
+  EXPECT_EQ(Covered, Expected);
+}
+
+TEST(SearchEngineTest, ObjectiveEqualsSegmentSum) {
+  Graph G = buildToy();
+  Profiler P(SystemConfig::dual());
+  SearchEngine S(P, optionsFor(true, true, true));
+  ExecutionPlan Plan = S.search(G);
+  double Sum = 0.0;
+  for (const SegmentPlan &Seg : Plan.Segments)
+    Sum += Seg.PredictedNs;
+  EXPECT_NEAR(Plan.PredictedNs, Sum, 1.0);
+}
+
+TEST(SearchEngineTest, RicherOptionSetsNeverWorse) {
+  // The DP objective is monotone in the option set (Newton++ <= options of
+  // PIMFlow-md <= PIMFlow).
+  Graph G = buildMobileNetV2();
+  Profiler P(SystemConfig::dual());
+  const double Offload =
+      SearchEngine(P, optionsFor(false, false, true)).search(G).PredictedNs;
+  const double Md =
+      SearchEngine(P, optionsFor(true, false, true)).search(G).PredictedNs;
+  const double Pl =
+      SearchEngine(P, optionsFor(false, true, true)).search(G).PredictedNs;
+  const double Full =
+      SearchEngine(P, optionsFor(true, true, true)).search(G).PredictedNs;
+  EXPECT_LE(Md, Offload + 1e-6);
+  EXPECT_LE(Pl, Offload + 1e-6);
+  EXPECT_LE(Full, Md + 1e-6);
+  EXPECT_LE(Full, Pl + 1e-6);
+}
+
+TEST(SearchEngineTest, LayerProfilesRecorded) {
+  Graph G = buildToy();
+  Profiler P(SystemConfig::dual());
+  SearchEngine S(P, optionsFor(true, false, true));
+  ExecutionPlan Plan = S.search(G);
+  // Toy has 2 pointwise convs + 1 regular conv + 1 FC as candidates.
+  EXPECT_EQ(Plan.Layers.size(), 4u);
+  for (const LayerProfile &L : Plan.Layers) {
+    EXPECT_GT(L.GpuNs, 0.0);
+    EXPECT_GT(L.PimNs, 0.0);
+    EXPECT_LE(L.BestMdDpNs, L.GpuNs);
+    EXPECT_LE(L.BestMdDpNs, L.PimNs);
+    EXPECT_GE(L.BestRatioGpu, 0.0);
+    EXPECT_LE(L.BestRatioGpu, 1.0);
+  }
+}
+
+TEST(SearchEngineTest, ApplyProducesValidAnnotatedGraph) {
+  Graph G = buildToy();
+  Profiler P(SystemConfig::dual());
+  SearchEngine S(P, optionsFor(true, true, true));
+  ExecutionPlan Plan = S.search(G);
+  SearchEngine::apply(G, Plan);
+  EXPECT_FALSE(G.validate().has_value());
+  EXPECT_FALSE(inferShapes(G).has_value());
+  // Applied MD-DP segments appear as split pairs.
+  for (const SegmentPlan &Seg : Plan.Segments) {
+    if (Seg.Mode != SegmentMode::MdDp)
+      continue;
+    EXPECT_TRUE(G.node(Seg.Nodes[0]).Dead);
+  }
+}
+
+TEST(SearchEngineTest, FullOffloadDisallowedMeansNoPimAnnotation) {
+  Graph G = buildToy();
+  Profiler P(SystemConfig::dual());
+  SearchEngine S(P, optionsFor(false, false, false));
+  ExecutionPlan Plan = S.search(G);
+  for (const SegmentPlan &Seg : Plan.Segments)
+    EXPECT_NE(Seg.Mode, SegmentMode::FullPim);
+}
+
+TEST(SearchEngineTest, PipelineSegmentsMatchPatterns) {
+  Graph G = buildMobileNetV2();
+  Profiler P(SystemConfig::dual());
+  SearchEngine S(P, optionsFor(false, true, true));
+  ExecutionPlan Plan = S.search(G);
+  int Pipelines = 0;
+  for (const SegmentPlan &Seg : Plan.Segments)
+    if (Seg.Mode == SegmentMode::Pipeline) {
+      ++Pipelines;
+      EXPECT_GE(Seg.Nodes.size(), 2u);
+      EXPECT_EQ(Seg.Stages, 2);
+    }
+  EXPECT_GT(Pipelines, 0); // Mobile nets pipeline (Fig. 11).
+}
+
+TEST(SearchEngineTest, MnasNetDistributionHasSplitsAndOffloads) {
+  // Table 2's shape: a mix of full offloads (ratio 0) and interior splits.
+  Graph G = buildMnasNet();
+  Profiler P(SystemConfig::dual());
+  SearchEngine S(P, optionsFor(true, false, true));
+  ExecutionPlan Plan = S.search(G);
+  int FullPim = 0, Split = 0;
+  for (const SegmentPlan &Seg : Plan.Segments) {
+    FullPim += Seg.Mode == SegmentMode::FullPim;
+    Split += Seg.Mode == SegmentMode::MdDp;
+  }
+  EXPECT_GT(FullPim + Split, 10);
+  EXPECT_GT(Split, 0);
+}

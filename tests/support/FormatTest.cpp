@@ -1,0 +1,33 @@
+//===- tests/support/FormatTest.cpp - formatStr tests -----------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace pf;
+
+TEST(FormatTest, Basic) {
+  EXPECT_EQ(formatStr("hello"), "hello");
+  EXPECT_EQ(formatStr("%d", 42), "42");
+  EXPECT_EQ(formatStr("%s=%d", "x", -7), "x=-7");
+}
+
+TEST(FormatTest, Floats) {
+  EXPECT_EQ(formatStr("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(formatStr("%.0f%%", 99.6), "100%");
+}
+
+TEST(FormatTest, Empty) { EXPECT_EQ(formatStr("%s", ""), ""); }
+
+TEST(FormatTest, LongOutput) {
+  std::string Long(1000, 'x');
+  EXPECT_EQ(formatStr("%s", Long.c_str()).size(), 1000u);
+}
+
+TEST(FormatTest, MixedArguments) {
+  EXPECT_EQ(formatStr("%s/%d/%.1f", "a", 1, 2.5), "a/1/2.5");
+}

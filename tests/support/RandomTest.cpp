@@ -1,0 +1,61 @@
+//===- tests/support/RandomTest.cpp - PRNG tests ----------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace pf;
+
+TEST(RandomTest, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 3);
+}
+
+TEST(RandomTest, DoubleRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, FloatRange) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    float F = R.nextFloat(-2.0f, 3.0f);
+    EXPECT_GE(F, -2.0f);
+    EXPECT_LT(F, 3.0f);
+  }
+}
+
+TEST(RandomTest, BelowBound) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RandomTest, RoughUniformity) {
+  Rng R(13);
+  int Buckets[10] = {};
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    ++Buckets[static_cast<int>(R.nextDouble() * 10.0)];
+  for (int B : Buckets) {
+    EXPECT_GT(B, N / 10 - N / 50);
+    EXPECT_LT(B, N / 10 + N / 50);
+  }
+}

@@ -1,0 +1,34 @@
+//===- tests/support/StatsTest.cpp - statistics tests -----------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace pf;
+
+TEST(StatsTest, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+}
+
+TEST(StatsTest, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(StatsTest, GeomeanLessThanMeanForSpread) {
+  std::vector<double> V = {0.5, 2.0, 8.0};
+  EXPECT_LT(geomean(V), mean(V));
+}
+
+TEST(StatsTest, MinMax) {
+  std::vector<double> V = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(minOf(V), -1.0);
+  EXPECT_DOUBLE_EQ(maxOf(V), 7.0);
+}

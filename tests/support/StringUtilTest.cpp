@@ -1,0 +1,43 @@
+//===- tests/support/StringUtilTest.cpp - string helper tests ---*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pf;
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+  EXPECT_EQ(join({}, "-"), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  const std::string S = "one,two,three";
+  EXPECT_EQ(join(split(S, ','), ","), S);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(StringUtilTest, Prefixes) {
+  EXPECT_TRUE(startsWith("conv2d_3", "conv"));
+  EXPECT_FALSE(startsWith("conv", "conv2d"));
+  EXPECT_TRUE(endsWith("a.out", ".out"));
+  EXPECT_FALSE(endsWith("out", "a.out"));
+}

@@ -1,0 +1,59 @@
+//===- tests/support/TableTest.cpp - table printer tests --------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace pf;
+
+TEST(TableTest, HeaderUnderlined) {
+  Table T;
+  T.setHeader({"name", "value"});
+  T.addRow({"x", "1"});
+  const std::string Out = T.render();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("----"), std::string::npos);
+  EXPECT_NE(Out.find("x"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table T;
+  T.setHeader({"mechanism", "t"});
+  T.addRow({"Newton+", "1.00"});
+  T.addRow({"PIMFlow", "0.75"});
+  const std::string Out = T.render();
+  // Both numeric cells end at the same column (right aligned).
+  size_t Line1 = Out.find("Newton+");
+  size_t Line2 = Out.find("PIMFlow");
+  ASSERT_NE(Line1, std::string::npos);
+  ASSERT_NE(Line2, std::string::npos);
+  std::string Row1 = Out.substr(Line1, Out.find('\n', Line1) - Line1);
+  std::string Row2 = Out.substr(Line2, Out.find('\n', Line2) - Line2);
+  EXPECT_EQ(Row1.size(), Row2.size());
+}
+
+TEST(TableTest, ShortRowsAllowed) {
+  Table T;
+  T.setHeader({"a", "b", "c"});
+  T.addRow({"only"});
+  EXPECT_NE(T.render().find("only"), std::string::npos);
+}
+
+TEST(TableTest, NoTrailingWhitespace) {
+  Table T;
+  T.setHeader({"a", "b"});
+  T.addRow({"x", ""});
+  for (const std::string &Line : {T.render()}) {
+    size_t Pos = 0;
+    while ((Pos = Line.find('\n', Pos)) != std::string::npos) {
+      if (Pos > 0) {
+        EXPECT_NE(Line[Pos - 1], ' ');
+      }
+      ++Pos;
+    }
+  }
+}

@@ -1,0 +1,162 @@
+//===- tests/transform/CanonicalizeTest.cpp - cleanup pass tests -*- C++ -*-=//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Canonicalize.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "runtime/Interpreter.h"
+#include "transform/MdDpSplitPass.h"
+#include "transform/PipelinePass.h"
+
+using namespace pf;
+
+namespace {
+
+std::vector<Tensor> runGraph(const Graph &G, uint64_t Seed = 5) {
+  std::vector<Tensor> Inputs;
+  for (ValueId In : G.graphInputs())
+    Inputs.push_back(Interpreter::randomInput(G.value(In).Shape, Seed));
+  return Interpreter(G).run(Inputs);
+}
+
+void expectSameOutputs(const Graph &A, const Graph &B) {
+  auto OA = runGraph(A);
+  auto OB = runGraph(B);
+  ASSERT_EQ(OA.size(), OB.size());
+  for (size_t I = 0; I < OA.size(); ++I)
+    for (int64_t E = 0; E < OA[I].numElements(); ++E)
+      ASSERT_EQ(OA[I].at(E), OB[I].at(E));
+}
+
+} // namespace
+
+TEST(CanonicalizeTest, RemovesDeadChain) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  ValueId Live = B.relu(X);
+  ValueId Dead = B.relu6(X);
+  B.sigmoid(Dead); // Dead chain of two nodes.
+  B.output(Live);
+  Graph G = B.take();
+  EXPECT_EQ(G.numNodes(), 3u);
+  EXPECT_EQ(eliminateDeadNodes(G), 2);
+  EXPECT_EQ(G.numNodes(), 1u);
+  EXPECT_FALSE(G.validate().has_value());
+}
+
+TEST(CanonicalizeTest, KeepsGraphOutputs) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  B.output(B.relu(X));
+  Graph G = B.take();
+  EXPECT_EQ(eliminateDeadNodes(G), 0);
+}
+
+TEST(CanonicalizeTest, FoldsIdentity) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  Graph &G = B.graph();
+  ValueId Mid = G.addValue("mid", TensorShape{1, 4, 4, 2});
+  G.addNode(OpKind::Identity, "id", std::monostate{}, {X}, {Mid});
+  B.output(B.relu(Mid));
+  Graph Final = B.take();
+  EXPECT_EQ(foldIdentities(Final), 1);
+  // The relu now reads the graph input directly.
+  for (const Node &N : Final.nodes())
+    if (!N.Dead && N.Kind == OpKind::Relu) {
+      EXPECT_EQ(N.Inputs[0], X);
+    }
+  EXPECT_FALSE(Final.validate().has_value());
+}
+
+TEST(CanonicalizeTest, IdentityProducingOutputKept) {
+  Graph G("t");
+  ValueId X = G.addValue("x", TensorShape{1, 2, 2, 1});
+  ValueId Out = G.addValue("o", TensorShape{1, 2, 2, 1});
+  G.addNode(OpKind::Identity, "id", std::monostate{}, {X}, {Out});
+  G.setGraphInputs({X});
+  G.setGraphOutputs({Out});
+  EXPECT_EQ(foldIdentities(G), 0);
+  EXPECT_EQ(G.numNodes(), 1u);
+}
+
+TEST(CanonicalizeTest, CancelsSliceOfConcat) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  ValueId Y = B.input("y", TensorShape{1, 6, 4, 2});
+  ValueId C = B.concat({X, Y}, 1);
+  ValueId S = B.slice(C, 1, 4, 10); // Exactly the Y operand.
+  B.output(B.relu(S));
+  Graph Original = B.take();
+  Graph G = Original;
+  EXPECT_EQ(cancelSliceOfConcat(G), 1);
+  for (const Node &N : G.nodes())
+    if (!N.Dead && N.Kind == OpKind::Relu) {
+      EXPECT_EQ(N.Inputs[0], Y);
+    }
+  canonicalize(G); // Clean up the now-dead concat.
+  EXPECT_FALSE(G.validate().has_value());
+  expectSameOutputs(Original, G);
+}
+
+TEST(CanonicalizeTest, PartialSliceOfConcatKept) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  ValueId Y = B.input("y", TensorShape{1, 6, 4, 2});
+  ValueId C = B.concat({X, Y}, 1);
+  ValueId S = B.slice(C, 1, 2, 8); // Crosses the operand boundary.
+  B.output(S);
+  Graph G = B.take();
+  EXPECT_EQ(cancelSliceOfConcat(G), 0);
+}
+
+TEST(CanonicalizeTest, AfterMdDpSplitPreservesSemantics) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  B.output(B.relu(B.conv2d(X, 8, 3, 1, 1)));
+  Graph Original = B.take();
+  Graph G = Original;
+  for (NodeId Id : Original.topoOrder())
+    if (isPimCandidate(G.node(Id)))
+      applyMdDpSplit(G, Id, 0.5);
+  CanonicalizeStats Stats = canonicalize(G);
+  (void)Stats;
+  EXPECT_FALSE(G.validate().has_value());
+  expectSameOutputs(Original, G);
+}
+
+TEST(CanonicalizeTest, AfterPipelinePreservesSemanticsAndShrinks) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  ValueId V = B.conv2d(X, 12, 1, 1, 0);
+  V = B.relu6(V);
+  V = B.dwConv(V, 3, 1, 1);
+  B.output(V);
+  Graph Original = B.take();
+  Graph G = Original;
+  PipelineSpec Spec;
+  Spec.Chain = G.topoOrder();
+  Spec.NumStages = 2;
+  ASSERT_TRUE(applyPipeline(G, Spec));
+  const size_t Before = G.numNodes();
+  canonicalize(G);
+  EXPECT_LE(G.numNodes(), Before);
+  EXPECT_FALSE(G.validate().has_value());
+  expectSameOutputs(Original, G);
+}
+
+TEST(CanonicalizeTest, FixedPointIsIdempotent) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 2});
+  ValueId C = B.concat({B.slice(X, 1, 0, 4), B.slice(X, 1, 4, 8)}, 1);
+  B.output(B.relu(C));
+  Graph G = B.take();
+  canonicalize(G);
+  CanonicalizeStats Second = canonicalize(G);
+  EXPECT_EQ(Second.total(), 0);
+}

@@ -1,0 +1,230 @@
+//===- tests/transform/MdDpSplitTest.cpp - MD-DP split tests ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional-equivalence tests for the multi-device parallelization pass:
+/// the transformed graph must compute bit-identical outputs (the pass only
+/// reorganizes work; every output element is produced by the same
+/// reduction in the same order).
+///
+//===----------------------------------------------------------------------===//
+
+#include "transform/MdDpSplitPass.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "ir/ShapeInference.h"
+#include "runtime/Interpreter.h"
+
+using namespace pf;
+
+namespace {
+
+/// Runs \p G on deterministic random inputs.
+std::vector<Tensor> runGraph(const Graph &G, uint64_t Seed = 99) {
+  std::vector<Tensor> Inputs;
+  for (ValueId In : G.graphInputs())
+    Inputs.push_back(
+        Interpreter::randomInput(G.value(In).Shape, Seed + In));
+  return Interpreter(G).run(Inputs);
+}
+
+void expectSameOutputs(const Graph &A, const Graph &B, float Tol = 0.0f) {
+  auto OutA = runGraph(A);
+  auto OutB = runGraph(B);
+  ASSERT_EQ(OutA.size(), OutB.size());
+  for (size_t I = 0; I < OutA.size(); ++I) {
+    ASSERT_EQ(OutA[I].shape(), OutB[I].shape());
+    for (int64_t E = 0; E < OutA[I].numElements(); ++E) {
+      if (Tol == 0.0f)
+        ASSERT_EQ(OutA[I].at(E), OutB[I].at(E)) << "element " << E;
+      else
+        ASSERT_NEAR(OutA[I].at(E), OutB[I].at(E), Tol) << "element " << E;
+    }
+  }
+}
+
+/// First PIM-candidate node of \p G.
+NodeId firstCandidate(const Graph &G) {
+  for (NodeId Id : G.topoOrder())
+    if (isPimCandidate(G.node(Id)))
+      return Id;
+  return InvalidNode;
+}
+
+Graph convGraph(int64_t H, int64_t Cin, int64_t Cout, int64_t K,
+                int64_t Stride, int64_t Pad, bool Bias = false) {
+  GraphBuilder B("conv");
+  ValueId X = B.input("x", TensorShape{1, H, H, Cin});
+  B.output(B.relu(B.conv2d(X, Cout, K, Stride, Pad, 1, Bias)));
+  return B.take();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Structure
+//===----------------------------------------------------------------------===
+
+TEST(MdDpSplitTest, SplitCreatesTwoPartsAndConcat) {
+  Graph G = convGraph(16, 4, 8, 3, 1, 1);
+  NodeId Conv = firstCandidate(G);
+  auto R = applyMdDpSplit(G, Conv, 0.5);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(G.node(R->GpuPart).Dev, Device::Gpu);
+  EXPECT_EQ(G.node(R->PimPart).Dev, Device::Pim);
+  EXPECT_EQ(G.node(R->ConcatNode).Kind, OpKind::Concat);
+  EXPECT_TRUE(G.node(Conv).Dead);
+  EXPECT_FALSE(G.validate().has_value());
+  EXPECT_FALSE(inferShapes(G).has_value());
+}
+
+TEST(MdDpSplitTest, RatioZeroAnnotatesPim) {
+  Graph G = convGraph(16, 4, 8, 1, 1, 0);
+  NodeId Conv = firstCandidate(G);
+  EXPECT_FALSE(applyMdDpSplit(G, Conv, 0.0).has_value());
+  EXPECT_EQ(G.node(Conv).Dev, Device::Pim);
+  EXPECT_FALSE(G.node(Conv).Dead);
+}
+
+TEST(MdDpSplitTest, RatioOneAnnotatesGpu) {
+  Graph G = convGraph(16, 4, 8, 1, 1, 0);
+  NodeId Conv = firstCandidate(G);
+  EXPECT_FALSE(applyMdDpSplit(G, Conv, 1.0).has_value());
+  EXPECT_EQ(G.node(Conv).Dev, Device::Gpu);
+}
+
+TEST(MdDpSplitTest, TinyRatioDegenerates) {
+  // 16 output rows at 1% rounds to zero GPU rows -> full PIM.
+  Graph G = convGraph(16, 4, 8, 1, 1, 0);
+  NodeId Conv = firstCandidate(G);
+  EXPECT_FALSE(applyMdDpSplit(G, Conv, 0.01).has_value());
+  EXPECT_EQ(G.node(Conv).Dev, Device::Pim);
+}
+
+TEST(MdDpSplitTest, PartRowCountsMatchRatio) {
+  Graph G = convGraph(20, 4, 8, 1, 1, 0);
+  NodeId Conv = firstCandidate(G);
+  auto R = applyMdDpSplit(G, Conv, 0.3);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(G.value(G.node(R->GpuPart).Outputs[0]).Shape.dim(1), 6);
+  EXPECT_EQ(G.value(G.node(R->PimPart).Outputs[0]).Shape.dim(1), 14);
+}
+
+//===----------------------------------------------------------------------===
+// Functional equivalence: convolutions
+//===----------------------------------------------------------------------===
+
+struct ConvCase {
+  int64_t H, Cin, Cout, K, Stride, Pad;
+  bool Bias;
+};
+
+class MdDpConvEquivalence
+    : public ::testing::TestWithParam<std::tuple<ConvCase, double>> {};
+
+TEST_P(MdDpConvEquivalence, OutputsBitIdentical) {
+  const auto [C, Ratio] = GetParam();
+  Graph Original = convGraph(C.H, C.Cin, C.Cout, C.K, C.Stride, C.Pad,
+                             C.Bias);
+  Graph Split = Original;
+  NodeId Conv = firstCandidate(Split);
+  applyMdDpSplit(Split, Conv, Ratio);
+  ASSERT_FALSE(Split.validate().has_value());
+  expectSameOutputs(Original, Split);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MdDpConvEquivalence,
+    ::testing::Combine(
+        ::testing::Values(ConvCase{16, 4, 8, 1, 1, 0, false},  // pointwise
+                          ConvCase{16, 4, 8, 3, 1, 1, false},  // 3x3 same
+                          ConvCase{16, 4, 8, 3, 2, 1, true},   // strided
+                          ConvCase{15, 3, 5, 5, 1, 2, false},  // 5x5 odd H
+                          ConvCase{14, 6, 10, 7, 2, 3, true},  // 7x7 s2
+                          ConvCase{9, 2, 4, 3, 3, 1, false}),  // stride 3
+        ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9)));
+
+//===----------------------------------------------------------------------===
+// Functional equivalence: FC layers
+//===----------------------------------------------------------------------===
+
+TEST(MdDpSplitTest, GemmBatchSplitEquivalent) {
+  GraphBuilder B("fc");
+  ValueId X = B.input("x", TensorShape{8, 32});
+  B.output(B.gemm(X, 16));
+  Graph Original = B.take();
+  for (double Ratio : {0.25, 0.5, 0.75}) {
+    Graph Split = Original;
+    NodeId Gm = firstCandidate(Split);
+    auto R = applyMdDpSplit(Split, Gm, Ratio);
+    ASSERT_TRUE(R.has_value());
+    ASSERT_FALSE(Split.validate().has_value());
+    expectSameOutputs(Original, Split);
+  }
+}
+
+TEST(MdDpSplitTest, GemmBatch1FeatureSplitEquivalent) {
+  GraphBuilder B("fc1");
+  ValueId X = B.input("x", TensorShape{1, 64});
+  B.output(B.gemm(X, 40, /*WithBias=*/true));
+  Graph Original = B.take();
+  for (double Ratio : {0.2, 0.5, 0.8}) {
+    Graph Split = Original;
+    NodeId Gm = firstCandidate(Split);
+    auto R = applyMdDpSplit(Split, Gm, Ratio);
+    ASSERT_TRUE(R.has_value());
+    ASSERT_FALSE(Split.validate().has_value());
+    // Weight slicing changes nothing numerically: exact equality.
+    expectSameOutputs(Original, Split);
+  }
+}
+
+TEST(MdDpSplitTest, GemmBatch1SplitSlicesWeights) {
+  GraphBuilder B("fc1");
+  ValueId X = B.input("x", TensorShape{1, 64});
+  B.output(B.gemm(X, 40));
+  Graph G = B.take();
+  NodeId Gm = firstCandidate(G);
+  auto R = applyMdDpSplit(G, Gm, 0.5);
+  ASSERT_TRUE(R.has_value());
+  // Both parts read Slice-of-parameter weights.
+  const Node &Gpu = G.node(R->GpuPart);
+  const Node &WSlice = G.node(G.producer(Gpu.Inputs[1]));
+  EXPECT_EQ(WSlice.Kind, OpKind::Slice);
+  EXPECT_TRUE(G.value(WSlice.Inputs[0]).IsParam);
+}
+
+//===----------------------------------------------------------------------===
+// Repeated splitting across a deeper network
+//===----------------------------------------------------------------------===
+
+TEST(MdDpSplitTest, SplitEveryCandidateInSmallCnn) {
+  GraphBuilder B("cnn");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 3});
+  X = B.relu(B.conv2d(X, 8, 3, 1, 1));
+  X = B.relu6(B.conv2d(X, 12, 1, 1, 0));
+  X = B.relu(B.dwConv(X, 3, 1, 1));
+  X = B.conv2d(X, 16, 3, 2, 1, 1, /*WithBias=*/true);
+  X = B.globalAvgPool(X);
+  X = B.flatten(X);
+  X = B.gemm(X, 10);
+  B.output(X);
+  Graph Original = B.take();
+
+  Graph Split = Original;
+  int NumSplit = 0;
+  for (NodeId Id : Original.topoOrder()) {
+    if (!isPimCandidate(Split.node(Id)) || Split.node(Id).Dead)
+      continue;
+    if (applyMdDpSplit(Split, Id, 0.5).has_value())
+      ++NumSplit;
+  }
+  EXPECT_GE(NumSplit, 3);
+  ASSERT_FALSE(Split.validate().has_value());
+  expectSameOutputs(Original, Split);
+}

@@ -1,0 +1,114 @@
+//===- tests/transform/PatternMatchTest.cpp - matcher tests -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/PatternMatch.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "models/Zoo.h"
+
+using namespace pf;
+
+namespace {
+
+int countPattern(const std::vector<PipelineCandidate> &Cands,
+                 PipelinePattern P) {
+  int N = 0;
+  for (const PipelineCandidate &C : Cands)
+    N += C.Pattern == P;
+  return N;
+}
+
+} // namespace
+
+TEST(PatternMatchTest, FindsPwDw) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  ValueId V = B.conv2d(X, 8, 1, 1, 0);
+  V = B.relu6(V);
+  V = B.dwConv(V, 3, 1, 1);
+  B.output(V);
+  Graph G = B.take();
+  auto Cands = findPipelineCandidates(G);
+  ASSERT_EQ(Cands.size(), 1u);
+  EXPECT_EQ(Cands[0].Pattern, PipelinePattern::PwDw);
+  EXPECT_EQ(Cands[0].Chain.size(), 3u); // conv, relu6, dw.
+  EXPECT_EQ(Cands[0].convNodes(G).size(), 2u);
+}
+
+TEST(PatternMatchTest, FindsDwPw) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  ValueId V = B.dwConv(X, 3, 1, 1);
+  V = B.conv2d(V, 8, 1, 1, 0);
+  B.output(V);
+  Graph G = B.take();
+  auto Cands = findPipelineCandidates(G);
+  ASSERT_EQ(Cands.size(), 1u);
+  EXPECT_EQ(Cands[0].Pattern, PipelinePattern::DwPw);
+  EXPECT_EQ(Cands[0].Chain.size(), 2u);
+}
+
+TEST(PatternMatchTest, FindsType3AndNestedType1) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  ValueId V = B.conv2d(X, 8, 1, 1, 0);
+  V = B.relu6(V);
+  V = B.dwConv(V, 3, 1, 1);
+  V = B.relu6(V);
+  V = B.conv2d(V, 4, 1, 1, 0);
+  B.output(V);
+  Graph G = B.take();
+  auto Cands = findPipelineCandidates(G);
+  EXPECT_EQ(countPattern(Cands, PipelinePattern::PwDwPw), 1);
+  EXPECT_EQ(countPattern(Cands, PipelinePattern::PwDw), 1);
+  EXPECT_EQ(countPattern(Cands, PipelinePattern::DwPw), 1);
+}
+
+TEST(PatternMatchTest, FanOutBreaksChain) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  ValueId C = B.conv2d(X, 8, 1, 1, 0);
+  ValueId D = B.dwConv(C, 3, 1, 1);
+  B.output(D);
+  B.output(B.relu(C)); // C has two consumers.
+  Graph G = B.take();
+  EXPECT_TRUE(findPipelineCandidates(G).empty());
+}
+
+TEST(PatternMatchTest, RegularConvsDoNotMatch) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  ValueId V = B.conv2d(X, 8, 3, 1, 1); // 3x3 dense, not pointwise.
+  V = B.conv2d(V, 8, 3, 1, 1);
+  B.output(V);
+  Graph G = B.take();
+  EXPECT_TRUE(findPipelineCandidates(G).empty());
+}
+
+TEST(PatternMatchTest, MobileNetV2HasManyCandidates) {
+  Graph G = buildMobileNetV2();
+  auto Cands = findPipelineCandidates(G);
+  // 17 inverted-residual blocks contribute pw-dw, dw-pw and pw-dw-pw
+  // chains.
+  EXPECT_GT(Cands.size(), 30u);
+  EXPECT_GT(countPattern(Cands, PipelinePattern::PwDw), 10);
+  EXPECT_GT(countPattern(Cands, PipelinePattern::DwPw), 10);
+}
+
+TEST(PatternMatchTest, ResNetAndVggHaveNoCandidates) {
+  // Fig. 9 discussion: "ResNet50 and VGG16 with a few to zero pipelining
+  // pattern matches".
+  EXPECT_TRUE(findPipelineCandidates(buildResNet50()).empty());
+  EXPECT_TRUE(findPipelineCandidates(buildVgg16()).empty());
+}
+
+TEST(PatternMatchTest, PatternNames) {
+  EXPECT_STREQ(pipelinePatternName(PipelinePattern::PwDw), "1x1-dw");
+  EXPECT_STREQ(pipelinePatternName(PipelinePattern::DwPw), "dw-1x1");
+  EXPECT_STREQ(pipelinePatternName(PipelinePattern::PwDwPw), "1x1-dw-1x1");
+}

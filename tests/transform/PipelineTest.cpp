@@ -1,0 +1,220 @@
+//===- tests/transform/PipelineTest.cpp - pipelining pass tests -*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/PipelinePass.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "ir/ShapeInference.h"
+#include "runtime/Interpreter.h"
+
+using namespace pf;
+
+namespace {
+
+std::vector<Tensor> runGraph(const Graph &G, uint64_t Seed = 7) {
+  std::vector<Tensor> Inputs;
+  for (ValueId In : G.graphInputs())
+    Inputs.push_back(
+        Interpreter::randomInput(G.value(In).Shape, Seed + In));
+  return Interpreter(G).run(Inputs);
+}
+
+void expectSameOutputs(const Graph &A, const Graph &B) {
+  auto OutA = runGraph(A);
+  auto OutB = runGraph(B);
+  ASSERT_EQ(OutA.size(), OutB.size());
+  for (size_t I = 0; I < OutA.size(); ++I) {
+    ASSERT_EQ(OutA[I].shape(), OutB[I].shape());
+    for (int64_t E = 0; E < OutA[I].numElements(); ++E)
+      ASSERT_EQ(OutA[I].at(E), OutB[I].at(E)) << "element " << E;
+  }
+}
+
+/// A MobileNet-style 1x1 -> relu6 -> DW(3x3, stride S) -> relu6 -> 1x1
+/// block; returns the conv/activation chain node ids in order.
+Graph invertedResidual(int64_t H, int64_t Cin, int64_t Expand,
+                       int64_t Stride, std::vector<NodeId> *Chain) {
+  GraphBuilder B("invres");
+  ValueId X = B.input("x", TensorShape{1, H, H, Cin});
+  ValueId V = B.conv2d(X, Cin * Expand, 1, 1, 0);
+  V = B.relu6(V);
+  V = B.dwConv(V, 3, Stride, 1);
+  V = B.relu6(V);
+  V = B.conv2d(V, Cin, 1, 1, 0);
+  B.output(V);
+  Graph G = B.take();
+  if (Chain)
+    *Chain = G.topoOrder();
+  return G;
+}
+
+} // namespace
+
+TEST(PipelineTest, ChainValidation) {
+  std::vector<NodeId> Chain;
+  Graph G = invertedResidual(16, 4, 3, 1, &Chain);
+  EXPECT_TRUE(isPipelineableChain(G, Chain));
+  // Reversed order is not a chain.
+  std::vector<NodeId> Reversed(Chain.rbegin(), Chain.rend());
+  EXPECT_FALSE(isPipelineableChain(G, Reversed));
+  // A single node is not a chain.
+  EXPECT_FALSE(isPipelineableChain(G, {Chain[0]}));
+}
+
+TEST(PipelineTest, FanOutBlocksPipelining) {
+  GraphBuilder B("fan");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 4});
+  ValueId C1 = B.conv2d(X, 8, 1, 1, 0);
+  ValueId D = B.dwConv(C1, 3, 1, 1);
+  B.output(D);
+  B.output(B.relu(C1)); // Second consumer of the intermediate value.
+  Graph G = B.take();
+  std::vector<NodeId> Chain = {G.producer(C1), G.producer(D)};
+  EXPECT_FALSE(isPipelineableChain(G, Chain));
+  PipelineSpec Spec;
+  Spec.Chain = Chain;
+  EXPECT_FALSE(applyPipeline(G, Spec));
+}
+
+TEST(PipelineTest, StagesAssignedToDevices) {
+  std::vector<NodeId> Chain;
+  Graph G = invertedResidual(16, 4, 3, 1, &Chain);
+  PipelineSpec Spec;
+  Spec.Chain = Chain;
+  Spec.NumStages = 2;
+  ASSERT_TRUE(applyPipeline(G, Spec));
+  int PimStages = 0, GpuStages = 0;
+  for (const Node &N : G.nodes()) {
+    if (N.Dead || N.Name.find(".stage") == std::string::npos)
+      continue;
+    if (N.Dev == Device::Pim) {
+      ++PimStages;
+      EXPECT_TRUE(isPimCandidate(N));
+    } else {
+      ++GpuStages;
+    }
+  }
+  EXPECT_EQ(PimStages, 4); // Two 1x1 convs x two stages.
+  EXPECT_GE(GpuStages, 6); // DW + activations x stages.
+  EXPECT_FALSE(G.validate().has_value());
+  EXPECT_FALSE(inferShapes(G).has_value());
+}
+
+struct PipelineCase {
+  int64_t H, Cin, Expand, Stride;
+  int Stages;
+};
+
+class PipelineEquivalence : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineEquivalence, OutputsBitIdentical) {
+  const PipelineCase C = GetParam();
+  std::vector<NodeId> Chain;
+  Graph Original = invertedResidual(C.H, C.Cin, C.Expand, C.Stride, &Chain);
+  Graph Piped = Original;
+  PipelineSpec Spec;
+  Spec.Chain = Chain;
+  Spec.NumStages = C.Stages;
+  ASSERT_TRUE(applyPipeline(Piped, Spec));
+  ASSERT_FALSE(Piped.validate().has_value());
+  expectSameOutputs(Original, Piped);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blocks, PipelineEquivalence,
+    ::testing::Values(PipelineCase{16, 4, 3, 1, 2},
+                      PipelineCase{16, 4, 3, 2, 2}, // strided DW
+                      PipelineCase{16, 4, 6, 1, 3},
+                      PipelineCase{16, 4, 3, 1, 4},
+                      PipelineCase{12, 2, 2, 1, 2},
+                      PipelineCase{17, 3, 2, 1, 3})); // odd height
+
+TEST(PipelineTest, SubChainPwDwOnly) {
+  std::vector<NodeId> Full;
+  Graph Original = invertedResidual(16, 4, 3, 1, &Full);
+  // Pipeline only the first three nodes (1x1, relu6, dw): Type-1 pattern.
+  std::vector<NodeId> Chain(Full.begin(), Full.begin() + 3);
+  Graph Piped = Original;
+  PipelineSpec Spec;
+  Spec.Chain = Chain;
+  Spec.NumStages = 2;
+  ASSERT_TRUE(applyPipeline(Piped, Spec));
+  ASSERT_FALSE(Piped.validate().has_value());
+  expectSameOutputs(Original, Piped);
+}
+
+TEST(PipelineTest, TooManyStagesRejected) {
+  // A 4-row output cannot be split into 8 stages.
+  GraphBuilder B("tiny");
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  ValueId C = B.conv2d(X, 4, 1, 1, 0);
+  ValueId D = B.dwConv(C, 3, 1, 1);
+  B.output(D);
+  Graph G = B.take();
+  PipelineSpec Spec;
+  Spec.Chain = G.topoOrder();
+  Spec.NumStages = 8;
+  const size_t NodesBefore = G.numNodes();
+  EXPECT_FALSE(applyPipeline(G, Spec));
+  EXPECT_EQ(G.numNodes(), NodesBefore); // Untouched on failure.
+}
+
+TEST(PipelineTest, StageBoundariesRespectDataflow) {
+  // Every stage of node i must start no later than it could: stage j of a
+  // consumer never depends on stage > j of its producer (checked
+  // indirectly: the producing stage indices of each stage's inputs).
+  std::vector<NodeId> Chain;
+  Graph G = invertedResidual(16, 4, 3, 1, &Chain);
+  PipelineSpec Spec;
+  Spec.Chain = Chain;
+  Spec.NumStages = 2;
+  ASSERT_TRUE(applyPipeline(G, Spec));
+  for (const Node &N : G.nodes()) {
+    if (N.Dead)
+      continue;
+    const size_t Pos = N.Name.find(".stage");
+    if (Pos == std::string::npos)
+      continue;
+    const int Stage = N.Name[Pos + 6] - '0';
+    // Walk transitively through data-movement nodes to producing stages.
+    std::vector<ValueId> Work(N.Inputs.begin(), N.Inputs.end());
+    while (!Work.empty()) {
+      ValueId V = Work.back();
+      Work.pop_back();
+      NodeId P = G.producer(V);
+      if (P == InvalidNode)
+        continue;
+      const Node &PN = G.node(P);
+      const size_t PPos = PN.Name.find(".stage");
+      if (PPos == std::string::npos) {
+        Work.insert(Work.end(), PN.Inputs.begin(), PN.Inputs.end());
+        continue;
+      }
+      const int PStage = PN.Name[PPos + 6] - '0';
+      EXPECT_LE(PStage, Stage)
+          << N.Name << " depends on later stage " << PN.Name;
+    }
+  }
+}
+
+TEST(PipelineTest, DwFirstChainEquivalent) {
+  // Type-2 pattern: DW -> relu -> 1x1.
+  GraphBuilder B("dwpw");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 6});
+  ValueId V = B.dwConv(X, 3, 1, 1);
+  V = B.relu(V);
+  V = B.conv2d(V, 12, 1, 1, 0);
+  B.output(V);
+  Graph Original = B.take();
+  Graph Piped = Original;
+  PipelineSpec Spec;
+  Spec.Chain = Piped.topoOrder();
+  Spec.NumStages = 2;
+  ASSERT_TRUE(applyPipeline(Piped, Spec));
+  expectSameOutputs(Original, Piped);
+}

@@ -1,0 +1,142 @@
+//===- tests/transform/SplitUtilTest.cpp - split helper tests ---*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/SplitUtil.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "runtime/Interpreter.h"
+
+using namespace pf;
+
+TEST(ConvInputRowsTest, PointwiseIsIdentityMapping) {
+  Conv2dAttrs A; // 1x1 stride 1 no pad.
+  ConvInputReq R = convInputRowsFor(A, 56, 10, 30);
+  EXPECT_EQ(R.InBegin, 10);
+  EXPECT_EQ(R.InEnd, 30);
+  EXPECT_EQ(R.PadTop, 0);
+  EXPECT_EQ(R.PadBottom, 0);
+}
+
+TEST(ConvInputRowsTest, ThreeByThreeNeedsHalo) {
+  Conv2dAttrs A;
+  A.KernelH = A.KernelW = 3;
+  A.PadTop = A.PadBottom = 1;
+  // Middle rows [10, 30) need input rows [9, 31).
+  ConvInputReq R = convInputRowsFor(A, 56, 10, 30);
+  EXPECT_EQ(R.InBegin, 9);
+  EXPECT_EQ(R.InEnd, 31);
+  EXPECT_EQ(R.PadTop, 0);
+  EXPECT_EQ(R.PadBottom, 0);
+}
+
+TEST(ConvInputRowsTest, TopPartKeepsTopPadding) {
+  Conv2dAttrs A;
+  A.KernelH = A.KernelW = 3;
+  A.PadTop = A.PadBottom = 1;
+  ConvInputReq R = convInputRowsFor(A, 56, 0, 28);
+  EXPECT_EQ(R.InBegin, 0);
+  EXPECT_EQ(R.InEnd, 29);
+  EXPECT_EQ(R.PadTop, 1);
+  EXPECT_EQ(R.PadBottom, 0);
+}
+
+TEST(ConvInputRowsTest, BottomPartKeepsBottomPadding) {
+  Conv2dAttrs A;
+  A.KernelH = A.KernelW = 3;
+  A.PadTop = A.PadBottom = 1;
+  ConvInputReq R = convInputRowsFor(A, 56, 28, 56);
+  EXPECT_EQ(R.InBegin, 27);
+  EXPECT_EQ(R.InEnd, 56);
+  EXPECT_EQ(R.PadTop, 0);
+  EXPECT_EQ(R.PadBottom, 1);
+}
+
+TEST(ConvInputRowsTest, StridedConv) {
+  Conv2dAttrs A;
+  A.KernelH = A.KernelW = 3;
+  A.StrideH = A.StrideW = 2;
+  A.PadTop = A.PadBottom = 1;
+  // 112 -> 56 output rows; rows [28, 56) read input [55, 112).
+  ConvInputReq R = convInputRowsFor(A, 112, 28, 56);
+  EXPECT_EQ(R.InBegin, 55);
+  EXPECT_EQ(R.InEnd, 112);
+  EXPECT_EQ(R.PadBottom, 0);
+}
+
+TEST(SplitRangeTest, EvenAndUneven) {
+  auto Even = splitRange(100, 4);
+  ASSERT_EQ(Even.size(), 4u);
+  EXPECT_EQ(Even[0], (std::pair<int64_t, int64_t>{0, 25}));
+  EXPECT_EQ(Even[3], (std::pair<int64_t, int64_t>{75, 100}));
+
+  auto Uneven = splitRange(10, 3);
+  int64_t Covered = 0;
+  for (auto [Lo, Hi] : Uneven) {
+    EXPECT_EQ(Lo, Covered);
+    EXPECT_GT(Hi, Lo);
+    Covered = Hi;
+  }
+  EXPECT_EQ(Covered, 10);
+}
+
+TEST(PiecewiseTensorTest, WholeRangeReturnsOriginal) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 4, 2});
+  B.output(B.relu(X));
+  Graph G = B.graph();
+  PiecewiseTensor P(G, X);
+  EXPECT_EQ(P.height(), 8);
+  EXPECT_EQ(P.range(0, 8), X);
+}
+
+TEST(PiecewiseTensorTest, SubRangeEmitsSlice) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 4, 2});
+  B.output(B.relu(X));
+  Graph G = B.graph();
+  PiecewiseTensor P(G, X);
+  ValueId Sub = P.range(2, 6);
+  EXPECT_NE(Sub, X);
+  EXPECT_EQ(G.value(Sub).Shape, (TensorShape{1, 4, 4, 2}));
+  const Node &N = G.node(G.producer(Sub));
+  EXPECT_EQ(N.Kind, OpKind::Slice);
+}
+
+TEST(PiecewiseTensorTest, CrossPieceRangeConcatenatesCorrectData) {
+  // Build pieces from two slices of an input and gather a range crossing
+  // the boundary; executing the graph must reproduce the right rows.
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 2, 1});
+  ValueId Lo = B.slice(X, 1, 0, 4);
+  ValueId Hi = B.slice(X, 1, 4, 8);
+  Graph &G = B.graph();
+  PiecewiseTensor P(G, {HPiece{0, 4, Lo}, HPiece{4, 8, Hi}});
+  ValueId Mid = P.range(2, 6);
+  B.output(Mid);
+  Graph Final = B.take();
+
+  Tensor In = Interpreter::randomInput(TensorShape{1, 8, 2, 1}, 3);
+  auto Out = Interpreter(Final).run({In});
+  EXPECT_EQ(Out[0].shape(), (TensorShape{1, 4, 2, 1}));
+  for (int64_t H = 0; H < 4; ++H)
+    for (int64_t W = 0; W < 2; ++W)
+      EXPECT_FLOAT_EQ(Out[0].at4(0, H, W, 0), In.at4(0, H + 2, W, 0));
+}
+
+TEST(PiecewiseTensorTest, ExactPieceReusedWithoutSlice) {
+  GraphBuilder B("t");
+  ValueId X = B.input("x", TensorShape{1, 8, 2, 1});
+  ValueId Lo = B.slice(X, 1, 0, 4);
+  ValueId Hi = B.slice(X, 1, 4, 8);
+  Graph &G = B.graph();
+  const size_t NodesBefore = G.numNodes();
+  PiecewiseTensor P(G, {HPiece{0, 4, Lo}, HPiece{4, 8, Hi}});
+  EXPECT_EQ(P.range(0, 4), Lo);
+  EXPECT_EQ(P.range(4, 8), Hi);
+  EXPECT_EQ(G.numNodes(), NodesBefore); // No new nodes emitted.
+}

@@ -1,0 +1,319 @@
+//===- tools/pimflow.cpp - Artifact-style command-line driver ---*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level driver mirroring the artifact's `pimflow` script
+/// (Appendix A.5's three-step workflow):
+///
+///   Step 1: profile candidate layers / pipelining subgraphs
+///     pimflow -m=profile -t=split    -n=<net>
+///     pimflow -m=profile -t=pipeline -n=<net>
+///   Step 2: compute the optimal graph from the profiles
+///     pimflow -m=solve -n=<net>
+///   Step 3: execute the transformed model
+///     pimflow -m=run -n=<net> [--gpu_only] [--policy=<mech>]
+///
+/// Profiling results persist in a metadata log (profile_<net>.tsv in
+/// --dir, default '.') so later steps reuse them, exactly as the artifact
+/// stores layerwise/pipeline measurements. Hardware knobs:
+///   --pim-channels=N  --stages=N  --autotune  --no-memopt
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/PimFlow.h"
+#include "core/Report.h"
+#include "runtime/ExecutionEngine.h"
+#include "codegen/CommandGenerator.h"
+#include "pim/TraceIO.h"
+#include "ir/GraphPrinter.h"
+#include "ir/GraphSerializer.h"
+#include "models/Zoo.h"
+#include "support/Format.h"
+#include "support/StringUtil.h"
+#include "support/Table.h"
+#include "transform/PatternMatch.h"
+
+using namespace pf;
+
+namespace {
+
+struct CliOptions {
+  std::string Mode;            // profile | solve | run
+  std::string ProfileTarget;   // split | pipeline
+  std::string Net = "toy";
+  std::string Dir = ".";
+  std::string Policy = "PIMFlow";
+  std::string GraphFile; // -m=run --graph=<file>: skip search, execute.
+  bool GpuOnly = false;
+  bool Stats = false;
+  PimFlowOptions Flow;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: pimflow -m=<profile|solve|run|trace> [-t=<split|pipeline>] "
+      "-n=<net>\n"
+      "               [--gpu_only] [--policy=<mechanism>] [--dir=<path>]\n"
+      "               [--graph=<solved.pimflow.graph>]\n"
+      "               [--pim-channels=N] [--stages=N] [--autotune] "
+      "[--no-memopt] [--stats]\n"
+      "nets: efficientnet-v1-b0 mobilenet-v2 mnasnet-1.0 resnet-50 vgg-16 "
+      "bert toy\n"
+      "mechanisms: Baseline Newton+ Newton++ PIMFlow-md PIMFlow-pl "
+      "PIMFlow\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto Val = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
+    if (startsWith(Arg, "-m="))
+      O.Mode = Val();
+    else if (startsWith(Arg, "-t="))
+      O.ProfileTarget = Val();
+    else if (startsWith(Arg, "-n="))
+      O.Net = Val();
+    else if (startsWith(Arg, "--dir="))
+      O.Dir = Val();
+    else if (startsWith(Arg, "--policy="))
+      O.Policy = Val();
+    else if (Arg == "--gpu_only")
+      O.GpuOnly = true;
+    else if (Arg == "--stats")
+      O.Stats = true;
+    else if (startsWith(Arg, "--graph="))
+      O.GraphFile = Val();
+    else if (startsWith(Arg, "--pim-channels="))
+      O.Flow.PimChannels = std::atoi(Val().c_str());
+    else if (startsWith(Arg, "--stages="))
+      O.Flow.PipelineStages = std::atoi(Val().c_str());
+    else if (Arg == "--autotune")
+      O.Flow.AutoTuneRatios = true;
+    else if (Arg == "--no-memopt")
+      O.Flow.MemoryOptimizer = false;
+    else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  if (O.Mode != "profile" && O.Mode != "solve" && O.Mode != "run" &&
+      O.Mode != "trace") {
+    std::fprintf(stderr,
+                 "error: -m must be profile, solve, run or trace\n");
+    return false;
+  }
+  if (O.Mode == "profile" && O.ProfileTarget != "split" &&
+      O.ProfileTarget != "pipeline") {
+    std::fprintf(stderr, "error: -t must be split or pipeline\n");
+    return false;
+  }
+  return true;
+}
+
+OffloadPolicy policyFromName(const std::string &Name) {
+  for (OffloadPolicy P : allPolicies())
+    if (Name == policyName(P))
+      return P;
+  std::fprintf(stderr, "warning: unknown policy '%s', using PIMFlow\n",
+               Name.c_str());
+  return OffloadPolicy::PimFlow;
+}
+
+std::string cachePath(const CliOptions &O) {
+  return O.Dir + "/profile_" + O.Net + ".tsv";
+}
+
+int runProfile(const CliOptions &O) {
+  auto Maybe = tryBuildModel(O.Net);
+  if (!Maybe) {
+    std::fprintf(stderr, "error: unknown model '%s'\n", O.Net.c_str());
+    return 2;
+  }
+  Graph Model = std::move(*Maybe);
+  Profiler P(systemConfigFor(OffloadPolicy::PimFlow, O.Flow));
+  P.loadCache(cachePath(O)); // Resume previous profiling if present.
+
+  if (O.ProfileTarget == "split") {
+    SearchOptions S = searchOptionsFor(OffloadPolicy::PimFlowMd, O.Flow);
+    S.RefineRatios = O.Flow.AutoTuneRatios;
+    SearchEngine Engine(P, S);
+    ExecutionPlan Plan = Engine.search(Model);
+    std::printf("profiled %zu PIM-candidate layers at %s ratio "
+                "granularity\n",
+                Plan.Layers.size(), O.Flow.AutoTuneRatios ? "2%" : "10%");
+  } else {
+    int Count = 0;
+    for (const PipelineCandidate &Cand : findPipelineCandidates(Model)) {
+      P.pipelineNs(Model, Cand.Chain, O.Flow.PipelineStages);
+      ++Count;
+    }
+    std::printf("profiled %d pipelining candidate subgraphs (%d stages)\n",
+                Count, O.Flow.PipelineStages);
+  }
+  std::printf("measurements: %zu new, %zu from cache\n", P.cacheMisses(),
+              P.cacheHits());
+  if (!P.saveCache(cachePath(O))) {
+    std::fprintf(stderr, "error: cannot write %s\n", cachePath(O).c_str());
+    return 1;
+  }
+  std::printf("profile log written to %s\n", cachePath(O).c_str());
+  return 0;
+}
+
+int runSolve(const CliOptions &O) {
+  auto Maybe = tryBuildModel(O.Net);
+  if (!Maybe) {
+    std::fprintf(stderr, "error: unknown model '%s'\n", O.Net.c_str());
+    return 2;
+  }
+  Graph Model = std::move(*Maybe);
+  PimFlow Flow(policyFromName(O.Policy), O.Flow);
+  Flow.profiler().loadCache(cachePath(O));
+  CompileResult R = Flow.compileAndRun(Model);
+
+  std::printf("optimal execution plan for %s (%s):\n", O.Net.c_str(),
+              policyName(R.Policy));
+  Table T;
+  T.setHeader({"mode", "nodes", "detail", "time (us)"});
+  for (const SegmentPlan &S : R.Plan.Segments) {
+    if (S.Mode == SegmentMode::GpuNode)
+      continue;
+    std::string Names;
+    for (NodeId Id : S.Nodes) {
+      if (!Names.empty())
+        Names += '+';
+      Names += Model.node(Id).Name;
+    }
+    std::string Detail;
+    if (S.Mode == SegmentMode::MdDp)
+      Detail = formatStr("%.0f%% GPU", S.RatioGpu * 100.0);
+    else if (S.Mode == SegmentMode::Pipeline)
+      Detail = pipelinePatternName(S.Pattern);
+    T.addRow({segmentModeName(S.Mode), Names, Detail,
+              formatStr("%.2f", S.PredictedNs / 1e3)});
+  }
+  std::printf("%s", T.render().c_str());
+
+  const std::string GraphPath = O.Dir + "/" + O.Net + ".pimflow.graph";
+  if (saveGraph(R.Transformed, GraphPath))
+    std::printf("\ntransformed graph written to %s (reload with "
+                "pf::loadGraph)\n",
+                GraphPath.c_str());
+  Flow.profiler().saveCache(cachePath(O));
+  return 0;
+}
+
+/// Step 3 shortcut: execute an already-solved transformed graph (the
+/// artifact's "jump to Step 3 if you have already computed the optimal
+/// graph").
+int runExecuteGraphFile(const CliOptions &O) {
+  std::string Error;
+  auto Loaded = loadGraph(O.GraphFile, &Error);
+  if (!Loaded) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  const SystemConfig Config =
+      systemConfigFor(O.GpuOnly ? OffloadPolicy::GpuOnly
+                                : policyFromName(O.Policy),
+                      O.Flow);
+  ExecutionEngine Engine(Config);
+  const Timeline TL = Engine.execute(*Loaded);
+  std::printf("%s (%zu nodes): %.2f us end-to-end, %.2f uJ\n",
+              Loaded->name().c_str(), Loaded->numNodes(), TL.TotalNs / 1e3,
+              TL.EnergyJ * 1e6);
+  std::printf("device busy: GPU %.1f us, PIM %.1f us\n",
+              TL.GpuBusyNs / 1e3, TL.PimBusyNs / 1e3);
+  return 0;
+}
+
+int runExecute(const CliOptions &O) {
+  if (!O.GraphFile.empty())
+    return runExecuteGraphFile(O);
+  auto Maybe = tryBuildModel(O.Net);
+  if (!Maybe) {
+    std::fprintf(stderr, "error: unknown model '%s'\n", O.Net.c_str());
+    return 2;
+  }
+  Graph Model = std::move(*Maybe);
+  const OffloadPolicy Policy =
+      O.GpuOnly ? OffloadPolicy::GpuOnly : policyFromName(O.Policy);
+  PimFlow Flow(Policy, O.Flow);
+  Flow.profiler().loadCache(cachePath(O));
+  CompileResult R = Flow.compileAndRun(Model);
+
+  std::printf("%s on %s: %.2f us end-to-end, %.2f uJ\n",
+              policyName(Policy), O.Net.c_str(), R.endToEndNs() / 1e3,
+              R.energyJ() * 1e6);
+  if (O.Stats)
+    std::printf("\n%s", renderReport(R).c_str());
+  if (!O.GpuOnly) {
+    PimFlow Base(OffloadPolicy::GpuOnly, O.Flow);
+    CompileResult BR = Base.compileAndRun(Model);
+    std::printf("GPU baseline: %.2f us -> %.2fx speedup\n",
+                BR.endToEndNs() / 1e3, BR.endToEndNs() / R.endToEndNs());
+  }
+  Flow.profiler().saveCache(cachePath(O));
+  return 0;
+}
+
+/// Dumps the PIM command trace of every offloaded kernel of the solved
+/// graph — the artifact's generated DRAM-PIM simulator inputs.
+int runTrace(const CliOptions &O) {
+  auto Maybe = tryBuildModel(O.Net);
+  if (!Maybe) {
+    std::fprintf(stderr, "error: unknown model '%s'\n", O.Net.c_str());
+    return 2;
+  }
+  Graph Model = std::move(*Maybe);
+  PimFlow Flow(policyFromName(O.Policy), O.Flow);
+  Flow.profiler().loadCache(cachePath(O));
+  CompileResult R = Flow.compileAndRun(Model);
+
+  PimCommandGenerator Gen(R.Config.Pim, R.Config.Codegen);
+  int Dumped = 0;
+  for (const NodeSchedule &S : R.Schedule.Nodes) {
+    if (S.Dev != Device::Pim)
+      continue;
+    const Node &N = R.Transformed.node(S.Id);
+    const PimKernelPlan Plan = Gen.plan(lowerToPimSpec(R.Transformed, S.Id));
+    const std::string Path =
+        formatStr("%s/%s.%s.trace", O.Dir.c_str(), O.Net.c_str(),
+                  N.Name.c_str());
+    if (!saveTrace(Plan.Trace, Path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return 1;
+    }
+    std::printf("%-28s %-14s %8.2f us -> %s\n", N.Name.c_str(),
+                Plan.describeMapping().c_str(), Plan.Ns / 1e3,
+                Path.c_str());
+    ++Dumped;
+  }
+  std::printf("%d PIM kernel trace(s) written\n", Dumped);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions O;
+  if (!parseArgs(Argc, Argv, O)) {
+    usage();
+    return 2;
+  }
+  if (O.Mode == "profile")
+    return runProfile(O);
+  if (O.Mode == "solve")
+    return runSolve(O);
+  if (O.Mode == "trace")
+    return runTrace(O);
+  return runExecute(O);
+}
