@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig03_channels.cpp" "bench/CMakeFiles/bench_fig03_channels.dir/bench_fig03_channels.cpp.o" "gcc" "bench/CMakeFiles/bench_fig03_channels.dir/bench_fig03_channels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pf_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/pf_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/pf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pf_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/pf_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

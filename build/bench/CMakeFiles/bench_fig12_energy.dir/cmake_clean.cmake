@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_energy.dir/bench_fig12_energy.cpp.o"
+  "CMakeFiles/bench_fig12_energy.dir/bench_fig12_energy.cpp.o.d"
+  "bench_fig12_energy"
+  "bench_fig12_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

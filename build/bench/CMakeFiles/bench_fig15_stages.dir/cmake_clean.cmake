@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_stages.dir/bench_fig15_stages.cpp.o"
+  "CMakeFiles/bench_fig15_stages.dir/bench_fig15_stages.cpp.o.d"
+  "bench_fig15_stages"
+  "bench_fig15_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prelim_parallelism.dir/bench_prelim_parallelism.cpp.o"
+  "CMakeFiles/bench_prelim_parallelism.dir/bench_prelim_parallelism.cpp.o.d"
+  "bench_prelim_parallelism"
+  "bench_prelim_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prelim_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

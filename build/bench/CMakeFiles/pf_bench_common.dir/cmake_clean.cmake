@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/pf_bench_common.dir/BenchCommon.cpp.o.d"
+  "libpf_bench_common.a"
+  "libpf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_net.dir/custom_net.cpp.o"
+  "CMakeFiles/custom_net.dir/custom_net.cpp.o.d"
+  "custom_net"
+  "custom_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

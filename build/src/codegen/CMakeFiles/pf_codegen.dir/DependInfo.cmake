@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/CommandGenerator.cpp" "src/codegen/CMakeFiles/pf_codegen.dir/CommandGenerator.cpp.o" "gcc" "src/codegen/CMakeFiles/pf_codegen.dir/CommandGenerator.cpp.o.d"
+  "/root/repo/src/codegen/MemoryOptimizer.cpp" "src/codegen/CMakeFiles/pf_codegen.dir/MemoryOptimizer.cpp.o" "gcc" "src/codegen/CMakeFiles/pf_codegen.dir/MemoryOptimizer.cpp.o.d"
+  "/root/repo/src/codegen/PimKernelSpec.cpp" "src/codegen/CMakeFiles/pf_codegen.dir/PimKernelSpec.cpp.o" "gcc" "src/codegen/CMakeFiles/pf_codegen.dir/PimKernelSpec.cpp.o.d"
+  "/root/repo/src/codegen/WeightPlacement.cpp" "src/codegen/CMakeFiles/pf_codegen.dir/WeightPlacement.cpp.o" "gcc" "src/codegen/CMakeFiles/pf_codegen.dir/WeightPlacement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pf_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_codegen.dir/CommandGenerator.cpp.o"
+  "CMakeFiles/pf_codegen.dir/CommandGenerator.cpp.o.d"
+  "CMakeFiles/pf_codegen.dir/MemoryOptimizer.cpp.o"
+  "CMakeFiles/pf_codegen.dir/MemoryOptimizer.cpp.o.d"
+  "CMakeFiles/pf_codegen.dir/PimKernelSpec.cpp.o"
+  "CMakeFiles/pf_codegen.dir/PimKernelSpec.cpp.o.d"
+  "CMakeFiles/pf_codegen.dir/WeightPlacement.cpp.o"
+  "CMakeFiles/pf_codegen.dir/WeightPlacement.cpp.o.d"
+  "libpf_codegen.a"
+  "libpf_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_core.dir/PimFlow.cpp.o"
+  "CMakeFiles/pf_core.dir/PimFlow.cpp.o.d"
+  "CMakeFiles/pf_core.dir/Report.cpp.o"
+  "CMakeFiles/pf_core.dir/Report.cpp.o.d"
+  "libpf_core.a"
+  "libpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_gpu.dir/GpuModel.cpp.o"
+  "CMakeFiles/pf_gpu.dir/GpuModel.cpp.o.d"
+  "libpf_gpu.a"
+  "libpf_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Builder.cpp" "src/ir/CMakeFiles/pf_ir.dir/Builder.cpp.o" "gcc" "src/ir/CMakeFiles/pf_ir.dir/Builder.cpp.o.d"
+  "/root/repo/src/ir/Graph.cpp" "src/ir/CMakeFiles/pf_ir.dir/Graph.cpp.o" "gcc" "src/ir/CMakeFiles/pf_ir.dir/Graph.cpp.o.d"
+  "/root/repo/src/ir/GraphPrinter.cpp" "src/ir/CMakeFiles/pf_ir.dir/GraphPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/pf_ir.dir/GraphPrinter.cpp.o.d"
+  "/root/repo/src/ir/GraphSerializer.cpp" "src/ir/CMakeFiles/pf_ir.dir/GraphSerializer.cpp.o" "gcc" "src/ir/CMakeFiles/pf_ir.dir/GraphSerializer.cpp.o.d"
+  "/root/repo/src/ir/Metrics.cpp" "src/ir/CMakeFiles/pf_ir.dir/Metrics.cpp.o" "gcc" "src/ir/CMakeFiles/pf_ir.dir/Metrics.cpp.o.d"
+  "/root/repo/src/ir/Parallelism.cpp" "src/ir/CMakeFiles/pf_ir.dir/Parallelism.cpp.o" "gcc" "src/ir/CMakeFiles/pf_ir.dir/Parallelism.cpp.o.d"
+  "/root/repo/src/ir/ShapeInference.cpp" "src/ir/CMakeFiles/pf_ir.dir/ShapeInference.cpp.o" "gcc" "src/ir/CMakeFiles/pf_ir.dir/ShapeInference.cpp.o.d"
+  "/root/repo/src/ir/Tensor.cpp" "src/ir/CMakeFiles/pf_ir.dir/Tensor.cpp.o" "gcc" "src/ir/CMakeFiles/pf_ir.dir/Tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

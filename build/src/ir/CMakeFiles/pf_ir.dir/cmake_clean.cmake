@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_ir.dir/Builder.cpp.o"
+  "CMakeFiles/pf_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/pf_ir.dir/Graph.cpp.o"
+  "CMakeFiles/pf_ir.dir/Graph.cpp.o.d"
+  "CMakeFiles/pf_ir.dir/GraphPrinter.cpp.o"
+  "CMakeFiles/pf_ir.dir/GraphPrinter.cpp.o.d"
+  "CMakeFiles/pf_ir.dir/GraphSerializer.cpp.o"
+  "CMakeFiles/pf_ir.dir/GraphSerializer.cpp.o.d"
+  "CMakeFiles/pf_ir.dir/Metrics.cpp.o"
+  "CMakeFiles/pf_ir.dir/Metrics.cpp.o.d"
+  "CMakeFiles/pf_ir.dir/Parallelism.cpp.o"
+  "CMakeFiles/pf_ir.dir/Parallelism.cpp.o.d"
+  "CMakeFiles/pf_ir.dir/ShapeInference.cpp.o"
+  "CMakeFiles/pf_ir.dir/ShapeInference.cpp.o.d"
+  "CMakeFiles/pf_ir.dir/Tensor.cpp.o"
+  "CMakeFiles/pf_ir.dir/Tensor.cpp.o.d"
+  "libpf_ir.a"
+  "libpf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/ZooClassic.cpp" "src/models/CMakeFiles/pf_models.dir/ZooClassic.cpp.o" "gcc" "src/models/CMakeFiles/pf_models.dir/ZooClassic.cpp.o.d"
+  "/root/repo/src/models/ZooExtra.cpp" "src/models/CMakeFiles/pf_models.dir/ZooExtra.cpp.o" "gcc" "src/models/CMakeFiles/pf_models.dir/ZooExtra.cpp.o.d"
+  "/root/repo/src/models/ZooMisc.cpp" "src/models/CMakeFiles/pf_models.dir/ZooMisc.cpp.o" "gcc" "src/models/CMakeFiles/pf_models.dir/ZooMisc.cpp.o.d"
+  "/root/repo/src/models/ZooMobile.cpp" "src/models/CMakeFiles/pf_models.dir/ZooMobile.cpp.o" "gcc" "src/models/CMakeFiles/pf_models.dir/ZooMobile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

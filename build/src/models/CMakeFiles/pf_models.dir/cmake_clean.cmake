@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_models.dir/ZooClassic.cpp.o"
+  "CMakeFiles/pf_models.dir/ZooClassic.cpp.o.d"
+  "CMakeFiles/pf_models.dir/ZooExtra.cpp.o"
+  "CMakeFiles/pf_models.dir/ZooExtra.cpp.o.d"
+  "CMakeFiles/pf_models.dir/ZooMisc.cpp.o"
+  "CMakeFiles/pf_models.dir/ZooMisc.cpp.o.d"
+  "CMakeFiles/pf_models.dir/ZooMobile.cpp.o"
+  "CMakeFiles/pf_models.dir/ZooMobile.cpp.o.d"
+  "libpf_models.a"
+  "libpf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/PimSimulator.cpp" "src/pim/CMakeFiles/pf_pim.dir/PimSimulator.cpp.o" "gcc" "src/pim/CMakeFiles/pf_pim.dir/PimSimulator.cpp.o.d"
+  "/root/repo/src/pim/ReferenceSimulator.cpp" "src/pim/CMakeFiles/pf_pim.dir/ReferenceSimulator.cpp.o" "gcc" "src/pim/CMakeFiles/pf_pim.dir/ReferenceSimulator.cpp.o.d"
+  "/root/repo/src/pim/TraceIO.cpp" "src/pim/CMakeFiles/pf_pim.dir/TraceIO.cpp.o" "gcc" "src/pim/CMakeFiles/pf_pim.dir/TraceIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_pim.dir/PimSimulator.cpp.o"
+  "CMakeFiles/pf_pim.dir/PimSimulator.cpp.o.d"
+  "CMakeFiles/pf_pim.dir/ReferenceSimulator.cpp.o"
+  "CMakeFiles/pf_pim.dir/ReferenceSimulator.cpp.o.d"
+  "CMakeFiles/pf_pim.dir/TraceIO.cpp.o"
+  "CMakeFiles/pf_pim.dir/TraceIO.cpp.o.d"
+  "libpf_pim.a"
+  "libpf_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

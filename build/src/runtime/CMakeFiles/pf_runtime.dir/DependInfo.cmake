@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/ExecutionEngine.cpp" "src/runtime/CMakeFiles/pf_runtime.dir/ExecutionEngine.cpp.o" "gcc" "src/runtime/CMakeFiles/pf_runtime.dir/ExecutionEngine.cpp.o.d"
+  "/root/repo/src/runtime/Interpreter.cpp" "src/runtime/CMakeFiles/pf_runtime.dir/Interpreter.cpp.o" "gcc" "src/runtime/CMakeFiles/pf_runtime.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/runtime/MemoryPlanner.cpp" "src/runtime/CMakeFiles/pf_runtime.dir/MemoryPlanner.cpp.o" "gcc" "src/runtime/CMakeFiles/pf_runtime.dir/MemoryPlanner.cpp.o.d"
+  "/root/repo/src/runtime/TimelineDump.cpp" "src/runtime/CMakeFiles/pf_runtime.dir/TimelineDump.cpp.o" "gcc" "src/runtime/CMakeFiles/pf_runtime.dir/TimelineDump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pf_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/pf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

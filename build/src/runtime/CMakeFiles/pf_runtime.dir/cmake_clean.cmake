@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_runtime.dir/ExecutionEngine.cpp.o"
+  "CMakeFiles/pf_runtime.dir/ExecutionEngine.cpp.o.d"
+  "CMakeFiles/pf_runtime.dir/Interpreter.cpp.o"
+  "CMakeFiles/pf_runtime.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/pf_runtime.dir/MemoryPlanner.cpp.o"
+  "CMakeFiles/pf_runtime.dir/MemoryPlanner.cpp.o.d"
+  "CMakeFiles/pf_runtime.dir/TimelineDump.cpp.o"
+  "CMakeFiles/pf_runtime.dir/TimelineDump.cpp.o.d"
+  "libpf_runtime.a"
+  "libpf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_search.dir/CostProvider.cpp.o"
+  "CMakeFiles/pf_search.dir/CostProvider.cpp.o.d"
+  "CMakeFiles/pf_search.dir/LayerExtract.cpp.o"
+  "CMakeFiles/pf_search.dir/LayerExtract.cpp.o.d"
+  "CMakeFiles/pf_search.dir/Profiler.cpp.o"
+  "CMakeFiles/pf_search.dir/Profiler.cpp.o.d"
+  "CMakeFiles/pf_search.dir/SearchEngine.cpp.o"
+  "CMakeFiles/pf_search.dir/SearchEngine.cpp.o.d"
+  "libpf_search.a"
+  "libpf_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

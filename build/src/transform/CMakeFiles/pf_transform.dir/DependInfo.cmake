@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/Canonicalize.cpp" "src/transform/CMakeFiles/pf_transform.dir/Canonicalize.cpp.o" "gcc" "src/transform/CMakeFiles/pf_transform.dir/Canonicalize.cpp.o.d"
+  "/root/repo/src/transform/MdDpSplitPass.cpp" "src/transform/CMakeFiles/pf_transform.dir/MdDpSplitPass.cpp.o" "gcc" "src/transform/CMakeFiles/pf_transform.dir/MdDpSplitPass.cpp.o.d"
+  "/root/repo/src/transform/PatternMatch.cpp" "src/transform/CMakeFiles/pf_transform.dir/PatternMatch.cpp.o" "gcc" "src/transform/CMakeFiles/pf_transform.dir/PatternMatch.cpp.o.d"
+  "/root/repo/src/transform/PipelinePass.cpp" "src/transform/CMakeFiles/pf_transform.dir/PipelinePass.cpp.o" "gcc" "src/transform/CMakeFiles/pf_transform.dir/PipelinePass.cpp.o.d"
+  "/root/repo/src/transform/SplitUtil.cpp" "src/transform/CMakeFiles/pf_transform.dir/SplitUtil.cpp.o" "gcc" "src/transform/CMakeFiles/pf_transform.dir/SplitUtil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_transform.dir/Canonicalize.cpp.o"
+  "CMakeFiles/pf_transform.dir/Canonicalize.cpp.o.d"
+  "CMakeFiles/pf_transform.dir/MdDpSplitPass.cpp.o"
+  "CMakeFiles/pf_transform.dir/MdDpSplitPass.cpp.o.d"
+  "CMakeFiles/pf_transform.dir/PatternMatch.cpp.o"
+  "CMakeFiles/pf_transform.dir/PatternMatch.cpp.o.d"
+  "CMakeFiles/pf_transform.dir/PipelinePass.cpp.o"
+  "CMakeFiles/pf_transform.dir/PipelinePass.cpp.o.d"
+  "CMakeFiles/pf_transform.dir/SplitUtil.cpp.o"
+  "CMakeFiles/pf_transform.dir/SplitUtil.cpp.o.d"
+  "libpf_transform.a"
+  "libpf_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

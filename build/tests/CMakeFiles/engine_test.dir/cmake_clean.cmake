@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/runtime/ExecutionEngineTest.cpp.o"
+  "CMakeFiles/engine_test.dir/runtime/ExecutionEngineTest.cpp.o.d"
+  "CMakeFiles/engine_test.dir/runtime/MemoryPlannerTest.cpp.o"
+  "CMakeFiles/engine_test.dir/runtime/MemoryPlannerTest.cpp.o.d"
+  "CMakeFiles/engine_test.dir/runtime/SchedulerPropertyTest.cpp.o"
+  "CMakeFiles/engine_test.dir/runtime/SchedulerPropertyTest.cpp.o.d"
+  "CMakeFiles/engine_test.dir/runtime/TimelineDumpTest.cpp.o"
+  "CMakeFiles/engine_test.dir/runtime/TimelineDumpTest.cpp.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/ApiContractTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/ApiContractTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/ApiContractTest.cpp.o.d"
+  "/root/repo/tests/ir/BuilderTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/BuilderTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/BuilderTest.cpp.o.d"
+  "/root/repo/tests/ir/GraphTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/GraphTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/GraphTest.cpp.o.d"
+  "/root/repo/tests/ir/MetricsTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/MetricsTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/MetricsTest.cpp.o.d"
+  "/root/repo/tests/ir/NewOpsTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/NewOpsTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/NewOpsTest.cpp.o.d"
+  "/root/repo/tests/ir/ParallelismTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/ParallelismTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/ParallelismTest.cpp.o.d"
+  "/root/repo/tests/ir/PrinterTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/ir/SerializerTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/SerializerTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/SerializerTest.cpp.o.d"
+  "/root/repo/tests/ir/ShapeInferenceTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/ShapeInferenceTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/ShapeInferenceTest.cpp.o.d"
+  "/root/repo/tests/ir/TensorTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/TensorTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/TensorTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/pf_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/pf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pf_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/pf_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

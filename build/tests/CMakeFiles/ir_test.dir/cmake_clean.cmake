@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/ir/ApiContractTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/ApiContractTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/BuilderTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/BuilderTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/GraphTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/GraphTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/MetricsTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/MetricsTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/NewOpsTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/NewOpsTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/ParallelismTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/ParallelismTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/PrinterTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/PrinterTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/SerializerTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/SerializerTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/ShapeInferenceTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/ShapeInferenceTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/TensorTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/TensorTest.cpp.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

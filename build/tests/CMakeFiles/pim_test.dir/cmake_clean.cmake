@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_test.dir/pim/PimSimulatorTest.cpp.o"
+  "CMakeFiles/pim_test.dir/pim/PimSimulatorTest.cpp.o.d"
+  "CMakeFiles/pim_test.dir/pim/TraceIOTest.cpp.o"
+  "CMakeFiles/pim_test.dir/pim/TraceIOTest.cpp.o.d"
+  "pim_test"
+  "pim_test.pdb"
+  "pim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

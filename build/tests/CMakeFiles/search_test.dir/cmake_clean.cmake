@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_test.dir/search/AlgorithmDpTest.cpp.o"
+  "CMakeFiles/search_test.dir/search/AlgorithmDpTest.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/LayerExtractTest.cpp.o"
+  "CMakeFiles/search_test.dir/search/LayerExtractTest.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/ProfilerTest.cpp.o"
+  "CMakeFiles/search_test.dir/search/ProfilerTest.cpp.o.d"
+  "CMakeFiles/search_test.dir/search/SearchEngineTest.cpp.o"
+  "CMakeFiles/search_test.dir/search/SearchEngineTest.cpp.o.d"
+  "search_test"
+  "search_test.pdb"
+  "search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

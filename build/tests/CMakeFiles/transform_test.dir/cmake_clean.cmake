@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_test.dir/transform/CanonicalizeTest.cpp.o"
+  "CMakeFiles/transform_test.dir/transform/CanonicalizeTest.cpp.o.d"
+  "CMakeFiles/transform_test.dir/transform/MdDpSplitTest.cpp.o"
+  "CMakeFiles/transform_test.dir/transform/MdDpSplitTest.cpp.o.d"
+  "CMakeFiles/transform_test.dir/transform/PatternMatchTest.cpp.o"
+  "CMakeFiles/transform_test.dir/transform/PatternMatchTest.cpp.o.d"
+  "CMakeFiles/transform_test.dir/transform/PipelineTest.cpp.o"
+  "CMakeFiles/transform_test.dir/transform/PipelineTest.cpp.o.d"
+  "CMakeFiles/transform_test.dir/transform/SplitUtilTest.cpp.o"
+  "CMakeFiles/transform_test.dir/transform/SplitUtilTest.cpp.o.d"
+  "transform_test"
+  "transform_test.pdb"
+  "transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

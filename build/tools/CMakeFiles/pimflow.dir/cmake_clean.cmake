@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimflow.dir/pimflow.cpp.o"
+  "CMakeFiles/pimflow.dir/pimflow.cpp.o.d"
+  "pimflow"
+  "pimflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

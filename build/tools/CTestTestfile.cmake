@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(pimflow_cli_profile_split "/root/repo/build/tools/pimflow" "-m=profile" "-t=split" "-n=toy" "--dir=/root/repo/build/tools")
+set_tests_properties(pimflow_cli_profile_split PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pimflow_cli_profile_pipeline "/root/repo/build/tools/pimflow" "-m=profile" "-t=pipeline" "-n=toy" "--dir=/root/repo/build/tools")
+set_tests_properties(pimflow_cli_profile_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pimflow_cli_solve "/root/repo/build/tools/pimflow" "-m=solve" "-n=toy" "--dir=/root/repo/build/tools")
+set_tests_properties(pimflow_cli_solve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pimflow_cli_run "/root/repo/build/tools/pimflow" "-m=run" "-n=toy" "--dir=/root/repo/build/tools")
+set_tests_properties(pimflow_cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pimflow_cli_run_gpu_only "/root/repo/build/tools/pimflow" "-m=run" "--gpu_only" "-n=toy" "--dir=/root/repo/build/tools")
+set_tests_properties(pimflow_cli_run_gpu_only PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pimflow_cli_bad_args "/root/repo/build/tools/pimflow" "-m=nonsense")
+set_tests_properties(pimflow_cli_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pimflow_cli_trace "/root/repo/build/tools/pimflow" "-m=trace" "-n=toy" "--dir=/root/repo/build/tools")
+set_tests_properties(pimflow_cli_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pimflow_cli_unknown_model "/root/repo/build/tools/pimflow" "-m=run" "-n=notanet")
+set_tests_properties(pimflow_cli_unknown_model PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pimflow_cli_run_solved_graph "/root/repo/build/tools/pimflow" "-m=run" "-n=toy" "--graph=/root/repo/build/tools/toy.pimflow.graph" "--dir=/root/repo/build/tools")
+set_tests_properties(pimflow_cli_run_solved_graph PROPERTIES  DEPENDS "pimflow_cli_solve" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
