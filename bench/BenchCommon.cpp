@@ -7,8 +7,50 @@
 #include "BenchCommon.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/Json.h"
 
 namespace pf::bench {
+
+namespace {
+
+std::string &currentFigure() {
+  static std::string Figure;
+  return Figure;
+}
+
+std::vector<BenchResult> &results() {
+  static std::vector<BenchResult> Results;
+  return Results;
+}
+
+/// Installs (once) an atexit hook that dumps the results log to the path in
+/// PIMFLOW_BENCH_JSON, so every bench binary emits machine-readable data
+/// without per-main wiring.
+void armAutoDump() {
+  static bool Armed = false;
+  if (Armed)
+    return;
+  Armed = true;
+  if (!std::getenv("PIMFLOW_BENCH_JSON"))
+    return;
+  // Construct the log statics BEFORE registering the handler: destructors
+  // and atexit handlers run in reverse registration order, so this keeps
+  // the vector alive when the handler fires.
+  results();
+  currentFigure();
+  std::atexit([] {
+    const char *Path = std::getenv("PIMFLOW_BENCH_JSON");
+    if (!Path)
+      return;
+    if (!writeResultsJson(Path))
+      std::fprintf(stderr, "warning: cannot write bench JSON to %s\n", Path);
+  });
+}
+
+} // namespace
 
 CompileResult &cachedRun(const std::string &Key, const std::string &Model,
                          OffloadPolicy Policy,
@@ -19,15 +61,46 @@ CompileResult &cachedRun(const std::string &Key, const std::string &Model,
     return It->second;
   Graph G = buildModel(Model);
   PimFlow Flow(Policy, Options);
-  return Cache.emplace(Key, Flow.compileAndRun(G)).first->second;
+  CompileResult &R = Cache.emplace(Key, Flow.compileAndRun(G)).first->second;
+  recordResult(BenchResult{currentFigure(), Key, Model, policyName(Policy),
+                           R.endToEndNs(), R.energyJ()});
+  return R;
 }
 
 void printHeader(const char *Figure, const char *Caption) {
+  armAutoDump();
+  currentFigure() = Figure;
   std::printf("=== %s ===\n%s\n\n", Figure, Caption);
 }
 
 std::string norm(double Value, double Baseline) {
   return formatStr("%.3f", Baseline > 0.0 ? Value / Baseline : 0.0);
+}
+
+void recordResult(const BenchResult &R) {
+  armAutoDump();
+  results().push_back(R);
+}
+
+std::string renderResultsJson() {
+  obs::JsonWriter W;
+  W.beginObject().key("results").beginArray();
+  for (const BenchResult &R : results()) {
+    W.beginObject()
+        .field("figure", R.Figure)
+        .field("key", R.Key)
+        .field("model", R.Model)
+        .field("policy", R.Policy)
+        .field("end_to_end_ns", R.EndToEndNs)
+        .field("energy_j", R.EnergyJ)
+        .endObject();
+  }
+  W.endArray().endObject();
+  return W.take();
+}
+
+bool writeResultsJson(const std::string &Path) {
+  return obs::writeTextFile(Path, renderResultsJson());
 }
 
 } // namespace pf::bench

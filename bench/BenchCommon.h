@@ -27,16 +27,42 @@
 namespace pf::bench {
 
 /// Compiles and runs \p Model under \p Policy, memoizing by a caller-chosen
-/// key so sweeps that revisit configurations stay fast.
+/// key so sweeps that revisit configurations stay fast. Every fresh (non
+/// cache-hit) run is also recorded for the machine-readable results dump
+/// (see writeResultsJson).
 CompileResult &cachedRun(const std::string &Key, const std::string &Model,
                          OffloadPolicy Policy,
                          const PimFlowOptions &Options = {});
 
-/// Prints a standard figure header.
+/// Prints a standard figure header and tags subsequently recorded results
+/// with \p Figure.
 void printHeader(const char *Figure, const char *Caption);
 
 /// Formats a value normalized to \p Baseline with 3 decimals.
 std::string norm(double Value, double Baseline);
+
+/// One recorded data point of a bench binary.
+struct BenchResult {
+  std::string Figure;  ///< From the preceding printHeader.
+  std::string Key;     ///< The cachedRun cache key.
+  std::string Model;
+  std::string Policy;
+  double EndToEndNs = 0.0;
+  double EnergyJ = 0.0;
+};
+
+/// Appends a data point to the results log (cachedRun does this
+/// automatically; benches computing derived values can add extra points).
+void recordResult(const BenchResult &R);
+
+/// The accumulated results as a JSON document
+/// ({"results":[{figure,key,model,policy,end_to_end_ns,energy_j}...]}).
+std::string renderResultsJson();
+
+/// Writes renderResultsJson() to \p Path; false on I/O failure. Set the
+/// PIMFLOW_BENCH_JSON environment variable to have every bench binary do
+/// this automatically at exit.
+bool writeResultsJson(const std::string &Path);
 
 } // namespace pf::bench
 

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 
+#include "obs/Counters.h"
 #include "support/Format.h"
 
 using namespace pf;
@@ -43,6 +44,45 @@ std::vector<int> divisorsOf(int N) {
     if (N % D == 0)
       Out.push_back(D);
   return Out;
+}
+
+/// Per-channel command-mix telemetry of the plan the scheduler kept
+/// (`pim.<command>.ch<N>` counters; only when observability is on).
+void recordPlanCounters(const PimKernelPlan &Plan) {
+  for (size_t C = 0; C < Plan.Trace.Channels.size(); ++C) {
+    const ChannelTrace &Trace = Plan.Trace.Channels[C];
+    if (Trace.empty())
+      continue;
+    int64_t GwriteBursts = 0, GActs = 0, CompColumns = 0, ReadRes = 0;
+    for (const CommandBlock &B : Trace.Blocks) {
+      for (const PimCommand &Cmd : B.Pattern) {
+        switch (Cmd.Kind) {
+        case PimCmdKind::Gwrite:
+          GwriteBursts += B.Repeats * Cmd.Count;
+          break;
+        case PimCmdKind::Gwrite2:
+          GwriteBursts += B.Repeats * Cmd.Count * 2;
+          break;
+        case PimCmdKind::Gwrite4:
+          GwriteBursts += B.Repeats * Cmd.Count * 4;
+          break;
+        case PimCmdKind::GAct:
+          GActs += B.Repeats * Cmd.Count;
+          break;
+        case PimCmdKind::Comp:
+          CompColumns += B.Repeats * Cmd.Count;
+          break;
+        case PimCmdKind::ReadRes:
+          ReadRes += B.Repeats * Cmd.Count;
+          break;
+        }
+      }
+    }
+    obs::addCounter(formatStr("pim.gwrite_bursts.ch%zu", C), GwriteBursts);
+    obs::addCounter(formatStr("pim.g_acts.ch%zu", C), GActs);
+    obs::addCounter(formatStr("pim.comp_columns.ch%zu", C), CompColumns);
+    obs::addCounter(formatStr("pim.read_res.ch%zu", C), ReadRes);
+  }
 }
 
 } // namespace
@@ -185,6 +225,7 @@ PimKernelPlan PimCommandGenerator::plan(const PimKernelSpec &Spec) const {
         Plan.Granularity = Ck > 1   ? ScheduleGranularity::Comp
                            : Cv > 1 ? ScheduleGranularity::ReadRes
                                     : ScheduleGranularity::GAct;
+        obs::addCounter("codegen.mappings_tried");
         if (!HaveBest || Plan.Ns < Best.Ns) {
           Best = std::move(Plan);
           HaveBest = true;
@@ -193,5 +234,8 @@ PimKernelPlan PimCommandGenerator::plan(const PimKernelSpec &Spec) const {
     }
   }
   PF_ASSERT(HaveBest, "no feasible PIM mapping found");
+  obs::addCounter("codegen.plans");
+  if (obs::Registry::instance().enabled())
+    recordPlanCounters(Best);
   return Best;
 }

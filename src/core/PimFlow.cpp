@@ -7,6 +7,9 @@
 #include "core/PimFlow.h"
 
 #include "ir/ShapeInference.h"
+#include "obs/Counters.h"
+#include "obs/Trace.h"
+#include "support/Log.h"
 #include "transform/Canonicalize.h"
 
 using namespace pf;
@@ -88,35 +91,63 @@ PimFlow::PimFlow(OffloadPolicy Policy, PimFlowOptions Options)
       Config(systemConfigFor(Policy, Options)), Prof(Config) {}
 
 CompileResult PimFlow::compileAndRun(const Graph &Model) {
+  PF_TRACE_SCOPE_CAT("pimflow.compile_and_run", "compile");
+  PF_LOG_INFO("compiling %s under %s (%zu nodes)", Model.name().c_str(),
+              policyName(Policy), Model.numNodes());
   CompileResult R;
   R.Policy = Policy;
   R.Config = Config;
 
   SearchEngine Search(Prof, searchOptionsFor(Policy, Options));
   R.Plan = Search.search(Model);
+  PF_LOG_INFO("search: %zu segments, %.2f us predicted (%zu/%zu profile "
+              "cache hits)",
+              R.Plan.Segments.size(), R.Plan.PredictedNs / 1e3,
+              Prof.cacheHits(), Prof.cacheHits() + Prof.cacheMisses());
 
-  R.Transformed = Model; // Copy, then rewrite in place.
-  SearchEngine::apply(R.Transformed, R.Plan);
-  // Clean up transform residue (dead chain nodes, cancellable
-  // slice-of-concat pairs); also removes false dependencies on whole-join
-  // concats at pipeline stage boundaries.
-  canonicalize(R.Transformed);
-  auto ShapeErr = inferShapes(R.Transformed);
-  PF_ASSERT(!ShapeErr, "transformed graph fails shape inference");
-  auto ValErr = R.Transformed.validate();
-  PF_ASSERT(!ValErr, "transformed graph fails validation");
+  {
+    PF_TRACE_SCOPE_CAT("pimflow.apply_plan", "compile");
+    R.Transformed = Model; // Copy, then rewrite in place.
+    SearchEngine::apply(R.Transformed, R.Plan);
+  }
+  {
+    // Clean up transform residue (dead chain nodes, cancellable
+    // slice-of-concat pairs); also removes false dependencies on whole-join
+    // concats at pipeline stage boundaries.
+    PF_TRACE_SCOPE_CAT("pimflow.canonicalize", "compile");
+    canonicalize(R.Transformed);
+  }
+  {
+    PF_TRACE_SCOPE_CAT("pimflow.shape_inference", "compile");
+    auto ShapeErr = inferShapes(R.Transformed);
+    PF_ASSERT(!ShapeErr, "transformed graph fails shape inference");
+    (void)ShapeErr;
+  }
+  {
+    PF_TRACE_SCOPE_CAT("pimflow.validate", "compile");
+    auto ValErr = R.Transformed.validate();
+    PF_ASSERT(!ValErr, "transformed graph fails validation");
+    (void)ValErr;
 
-  // Device-annotation sanity: only PIM-offloadable operators may carry a
-  // PIM annotation, and PIM annotations require PIM channels.
-  for (const Node &N : R.Transformed.nodes()) {
-    if (N.Dead || N.Dev != Device::Pim)
-      continue;
-    PF_ASSERT(Config.hasPim(), "PIM annotation without PIM channels");
-    PF_ASSERT(isPimCandidate(N), "PIM annotation on unsupported operator");
+    // Device-annotation sanity: only PIM-offloadable operators may carry a
+    // PIM annotation, and PIM annotations require PIM channels.
+    for (const Node &N : R.Transformed.nodes()) {
+      if (N.Dead || N.Dev != Device::Pim)
+        continue;
+      PF_ASSERT(Config.hasPim(), "PIM annotation without PIM channels");
+      PF_ASSERT(isPimCandidate(N), "PIM annotation on unsupported operator");
+    }
   }
 
-  ExecutionEngine Engine(Config);
-  R.Schedule = Engine.execute(R.Transformed);
+  {
+    PF_TRACE_SCOPE_CAT("pimflow.execute", "compile");
+    ExecutionEngine Engine(Config);
+    R.Schedule = Engine.execute(R.Transformed);
+  }
+  obs::addCounter("pimflow.compilations");
+  PF_LOG_INFO("executed %s: %.2f us end-to-end, %.2f uJ",
+              R.Transformed.name().c_str(), R.endToEndNs() / 1e3,
+              R.energyJ() * 1e6);
 
   for (const SegmentPlan &S : R.Plan.Segments) {
     bool HasConv = false, HasFc = false;

@@ -1,0 +1,78 @@
+//===- obs/Counters.cpp - Named counter / histogram registry ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Counters.h"
+
+#include <algorithm>
+
+#include "obs/Trace.h"
+
+using namespace pf::obs;
+
+Registry &Registry::instance() {
+  static Registry R;
+  return R;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(Name, std::make_unique<Counter>()).first;
+  return *It->second;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(Name, std::make_unique<Histogram>()).first;
+  return *It->second;
+}
+
+std::vector<std::pair<std::string, int64_t>>
+Registry::counterSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<std::string, int64_t>> Out;
+  for (const auto &[Name, C] : Counters)
+    if (C->value() != 0)
+      Out.emplace_back(Name, C->value());
+  return Out; // std::map iteration is already name-sorted.
+}
+
+std::vector<std::pair<std::string, HistogramStats>>
+Registry::histogramSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<std::string, HistogramStats>> Out;
+  for (const auto &[Name, H] : Histograms) {
+    const HistogramStats S = H->stats();
+    if (S.Count > 0)
+      Out.emplace_back(Name, S);
+  }
+  return Out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+void pf::obs::setObservabilityEnabled(bool On) {
+  Tracer::instance().setEnabled(On);
+  Registry::instance().setEnabled(On);
+}
+
+bool pf::obs::observabilityEnabled() {
+  return Tracer::instance().enabled() || Registry::instance().enabled();
+}
+
+void pf::obs::resetObservability() {
+  Tracer::instance().clear();
+  Registry::instance().reset();
+}

@@ -1,0 +1,152 @@
+//===- obs/Counters.h - Named counter / histogram registry ------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named int64 counters and scalar histograms,
+/// exported into the `--json-stats` output. Naming convention (see
+/// docs/INTERNALS.md section 6): `<module>.<metric>` in lower snake case,
+/// with an optional `.ch<N>` suffix for per-PIM-channel metrics — e.g.
+/// `profiler.cache_hits`, `search.dp_states`, `pim.comp_columns.ch3`.
+///
+/// Counters are relaxed atomics, safe to bump from concurrent threads.
+/// Like the tracer, the registry is disabled by default and the
+/// `obs::addCounter` / `obs::recordHistogram` helpers early-out on one
+/// relaxed atomic load, so call sites can live in hot paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_OBS_COUNTERS_H
+#define PIMFLOW_OBS_COUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pf::obs {
+
+/// A monotonically named int64 counter (values may also go down; "counter"
+/// refers to the aggregation, not a monotonicity contract).
+class Counter {
+public:
+  void add(int64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Summary statistics of a histogram (no buckets: count/sum/min/max cover
+/// the compiler-telemetry use cases without a bucketing policy).
+struct HistogramStats {
+  int64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+
+  double mean() const { return Count > 0 ? Sum / Count : 0.0; }
+};
+
+/// A named scalar distribution.
+class Histogram {
+public:
+  void record(double X) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (S.Count == 0) {
+      S.Min = S.Max = X;
+    } else {
+      S.Min = X < S.Min ? X : S.Min;
+      S.Max = X > S.Max ? X : S.Max;
+    }
+    ++S.Count;
+    S.Sum += X;
+  }
+  HistogramStats stats() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return S;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    S = HistogramStats{};
+  }
+
+private:
+  mutable std::mutex Mu;
+  HistogramStats S;
+};
+
+/// The process-wide metric registry. Returned Counter/Histogram references
+/// stay valid for the process lifetime; reset() zeroes values but never
+/// invalidates them.
+class Registry {
+public:
+  static Registry &instance();
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+  void setEnabled(bool On) {
+    Enabled.store(On, std::memory_order_relaxed);
+  }
+
+  /// Finds or creates the counter named \p Name.
+  Counter &counter(const std::string &Name);
+  /// Finds or creates the histogram named \p Name.
+  Histogram &histogram(const std::string &Name);
+
+  /// All counters with a non-zero value, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> counterSnapshot() const;
+  /// All histograms with at least one sample, sorted by name.
+  std::vector<std::pair<std::string, HistogramStats>>
+  histogramSnapshot() const;
+
+  /// Zeroes every metric (registrations and references survive).
+  void reset();
+
+private:
+  Registry() = default;
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+/// Bumps counter \p Name by \p N when the registry is enabled. The name is
+/// only materialized after the enabled check, so disabled call sites cost
+/// one atomic load.
+inline void addCounter(const char *Name, int64_t N = 1) {
+  Registry &R = Registry::instance();
+  if (R.enabled())
+    R.counter(Name).add(N);
+}
+inline void addCounter(const std::string &Name, int64_t N = 1) {
+  Registry &R = Registry::instance();
+  if (R.enabled())
+    R.counter(Name).add(N);
+}
+
+/// Records \p X into histogram \p Name when the registry is enabled.
+inline void recordHistogram(const char *Name, double X) {
+  Registry &R = Registry::instance();
+  if (R.enabled())
+    R.histogram(Name).record(X);
+}
+
+/// Turns the whole observability layer (tracer + registry) on or off, and
+/// queries it. The driver's --trace-out/--json-stats flags call this.
+void setObservabilityEnabled(bool On);
+bool observabilityEnabled();
+
+/// Clears recorded spans and zeroes all metrics (used by tests and by the
+/// driver between independent compilations).
+void resetObservability();
+
+} // namespace pf::obs
+
+#endif // PIMFLOW_OBS_COUNTERS_H

@@ -1,0 +1,94 @@
+//===- obs/StatsExport.cpp - JSON stats export ------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StatsExport.h"
+
+#include "obs/Counters.h"
+#include "obs/Json.h"
+
+using namespace pf;
+using namespace pf::obs;
+
+std::string pf::obs::renderStatsJson(const CompileResult &R,
+                                     const ExecutionStats &S) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("model", R.Transformed.name());
+  W.field("policy", policyName(R.Policy));
+  W.field("end_to_end_ns", R.endToEndNs());
+  W.field("energy_j", R.energyJ());
+  W.field("conv_layer_ns", R.ConvLayerNs);
+  W.field("fc_layer_ns", R.FcLayerNs);
+
+  // Segment-mode census, mirroring the report's "segments:" line.
+  int Counts[4] = {};
+  for (const SegmentPlan &Seg : R.Plan.Segments)
+    ++Counts[static_cast<int>(Seg.Mode)];
+  W.key("segments")
+      .beginObject()
+      .field("gpu", Counts[0])
+      .field("pim", Counts[1])
+      .field("md_dp", Counts[2])
+      .field("pipeline", Counts[3])
+      .endObject();
+
+  W.key("stats")
+      .beginObject()
+      .field("gpu_kernels", S.GpuKernels)
+      .field("pim_kernels", S.PimKernels)
+      .field("fused_or_free_nodes", S.FusedOrFreeNodes)
+      .field("gpu_busy_fraction", S.GpuBusyFraction)
+      .field("pim_busy_fraction", S.PimBusyFraction)
+      .field("pim_gwrite_bursts", S.PimGwriteBursts)
+      .field("pim_g_acts", S.PimGActs)
+      .field("pim_comp_columns", S.PimCompColumns)
+      .field("pim_read_res", S.PimReadRes)
+      .field("pim_weight_bytes", S.PimWeightBytes)
+      .field("gpu_weight_bytes", S.GpuWeightBytes)
+      .endObject();
+
+  W.key("timeline")
+      .beginObject()
+      .field("total_ns", R.Schedule.TotalNs)
+      .field("gpu_busy_ns", R.Schedule.GpuBusyNs)
+      .field("pim_busy_ns", R.Schedule.PimBusyNs)
+      .field("energy_j", R.Schedule.EnergyJ)
+      .field("contention_slowdown", R.Schedule.ContentionSlowdown)
+      .field("scheduled_nodes",
+             static_cast<int64_t>(R.Schedule.Nodes.size()))
+      .endObject();
+
+  const Registry &Reg = Registry::instance();
+  W.key("counters").beginObject();
+  for (const auto &[Name, Value] : Reg.counterSnapshot())
+    W.field(Name, Value);
+  W.endObject();
+
+  W.key("histograms").beginObject();
+  for (const auto &[Name, H] : Reg.histogramSnapshot()) {
+    W.key(Name)
+        .beginObject()
+        .field("count", H.Count)
+        .field("sum", H.Sum)
+        .field("min", H.Min)
+        .field("max", H.Max)
+        .field("mean", H.mean())
+        .endObject();
+  }
+  W.endObject();
+
+  W.endObject();
+  return W.take();
+}
+
+std::string pf::obs::renderStatsJson(const CompileResult &R) {
+  return renderStatsJson(R, computeStats(R));
+}
+
+bool pf::obs::writeStatsJson(const CompileResult &R,
+                             const std::string &Path) {
+  return writeTextFile(Path, renderStatsJson(R));
+}

@@ -1,0 +1,37 @@
+//===- obs/StatsExport.h - JSON stats export --------------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable counterpart of `core/Report.h`'s renderReport: the same
+/// ExecutionStats (numbers match the prose report exactly — both call
+/// computeStats), the timeline summary, the segment-mode census, and a dump
+/// of the observability counter/histogram registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_OBS_STATSEXPORT_H
+#define PIMFLOW_OBS_STATSEXPORT_H
+
+#include <string>
+
+#include "core/Report.h"
+
+namespace pf::obs {
+
+/// Serializes \p R (stats, timeline, segments) plus the current counter
+/// registry as a JSON document.
+std::string renderStatsJson(const CompileResult &R);
+
+/// Serializes precomputed \p S with its \p R context (use when the caller
+/// already ran computeStats and wants byte-identical numbers).
+std::string renderStatsJson(const CompileResult &R, const ExecutionStats &S);
+
+/// Writes renderStatsJson(R) to \p Path; false on I/O failure.
+bool writeStatsJson(const CompileResult &R, const std::string &Path);
+
+} // namespace pf::obs
+
+#endif // PIMFLOW_OBS_STATSEXPORT_H

@@ -1,0 +1,79 @@
+//===- obs/Trace.cpp - Low-overhead compile-phase span tracer ---*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+
+using namespace pf::obs;
+
+namespace {
+
+int64_t wallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Dense thread numbering, stable for the process lifetime (thread ids stay
+/// meaningful across Tracer::clear()).
+std::mutex ThreadIdMu;
+std::unordered_map<std::thread::id, uint32_t> ThreadIds;
+
+uint32_t denseThreadId() {
+  std::lock_guard<std::mutex> Lock(ThreadIdMu);
+  auto [It, Inserted] = ThreadIds.emplace(
+      std::this_thread::get_id(), static_cast<uint32_t>(ThreadIds.size()));
+  (void)Inserted;
+  return It->second;
+}
+
+} // namespace
+
+Tracer &Tracer::instance() {
+  static Tracer T;
+  return T;
+}
+
+Tracer::Tracer() { EpochNs.store(wallNowNs(), std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.clear();
+  EpochNs.store(wallNowNs(), std::memory_order_relaxed);
+}
+
+double Tracer::nowUs() const {
+  return static_cast<double>(wallNowNs() -
+                             EpochNs.load(std::memory_order_relaxed)) /
+         1e3;
+}
+
+uint32_t Tracer::threadId() { return denseThreadId(); }
+
+void Tracer::record(std::string Name, std::string Category, double StartUs,
+                    double DurUs) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.StartUs = StartUs;
+  E.DurUs = DurUs;
+  E.Tid = threadId();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(E));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events;
+}
+
+size_t Tracer::numEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 
+#include "obs/Counters.h"
+
 using namespace pf;
 
 const char *pf::pimCmdName(PimCmdKind Kind) {
@@ -217,7 +219,12 @@ PimRunStats PimSimulator::run(const DeviceTrace &Trace) const {
   if (FetchFloorNs > Stats.Ns) {
     Stats.Ns = FetchFloorNs;
     Stats.Cycles = static_cast<int64_t>(FetchFloorNs * Config.ClockGhz);
+    obs::addCounter("pim.sim.fetch_floor_hits");
   }
+  obs::addCounter("pim.sim.runs");
+  obs::addCounter("pim.sim.channels_simulated", Stats.ActiveChannels);
+  obs::addCounter("pim.sim.commands", Stats.GwriteCmds + Stats.GActs +
+                                          Stats.CompCmds + Stats.ReadResCmds);
   return Stats;
 }
 

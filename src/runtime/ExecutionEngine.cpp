@@ -10,6 +10,8 @@
 #include <unordered_map>
 
 #include "codegen/PimKernelSpec.h"
+#include "obs/Counters.h"
+#include "obs/Trace.h"
 #include "pim/PimSimulator.h"
 
 using namespace pf;
@@ -108,6 +110,10 @@ double ExecutionEngine::nodeEnergyJ(const Graph &G, NodeId Id,
 }
 
 Timeline ExecutionEngine::execute(const Graph &G) const {
+  PF_TRACE_SCOPE_CAT("engine.execute", "execute");
+  obs::addCounter("engine.executions");
+  obs::addCounter("engine.nodes_scheduled",
+                  static_cast<int64_t>(G.numNodes()));
   PimPlanCache Cache;
   PimCommandGenerator Gen(Config.Pim.Channels > 0
                               ? Config.Pim
@@ -219,8 +225,10 @@ Timeline ExecutionEngine::execute(const Graph &G) const {
             continue;
           NodeInfo &CI = It->second;
           double Avail = End;
-          if (CI.Dev != NI.Dev)
+          if (CI.Dev != NI.Dev) {
             Avail += Config.SyncOverheadNs;
+            obs::addCounter("engine.cross_device_handoffs");
+          }
           CI.ReadyNs = std::max(CI.ReadyNs, Avail);
           --CI.Pending;
         }
@@ -243,6 +251,7 @@ Timeline ExecutionEngine::execute(const Graph &G) const {
         static_cast<int64_t>(FetchCycles));
     const double Fraction = std::min(1.0, FetchNs / TL.TotalNs);
     const double Slowdown = 1.0 + Config.ContentionFactor * Fraction;
+    obs::addCounter("engine.contention_reschedules");
     TL = SchedulePass(Slowdown);
     TL.ContentionSlowdown = Slowdown;
   }

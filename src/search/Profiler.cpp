@@ -8,6 +8,8 @@
 
 #include <cstdio>
 
+#include "obs/Counters.h"
+#include "obs/Trace.h"
 #include "search/LayerExtract.h"
 #include "support/Format.h"
 #include "support/StringUtil.h"
@@ -93,10 +95,17 @@ double Profiler::measure(const std::string &Key,
   auto It = Cache.find(Key);
   if (It != Cache.end()) {
     ++Hits;
+    obs::addCounter("profiler.cache_hits");
     return It->second;
   }
   ++Misses;
+  obs::addCounter("profiler.cache_misses");
+  const bool Observed = obs::Registry::instance().enabled();
+  const double StartUs = Observed ? obs::Tracer::instance().nowUs() : 0.0;
   const double Ns = Compute();
+  if (Observed)
+    obs::recordHistogram("profiler.measure_wall_us",
+                         obs::Tracer::instance().nowUs() - StartUs);
   Cache.emplace(Key, Ns);
   return Ns;
 }

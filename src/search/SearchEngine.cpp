@@ -10,6 +10,8 @@
 #include <cmath>
 #include <map>
 
+#include "obs/Counters.h"
+#include "obs/Trace.h"
 #include "transform/MdDpSplitPass.h"
 #include "transform/PipelinePass.h"
 
@@ -30,6 +32,7 @@ const char *pf::segmentModeName(SegmentMode M) {
 }
 
 ExecutionPlan SearchEngine::search(const Graph &G) {
+  PF_TRACE_SCOPE_CAT("search", "search");
   const std::vector<NodeId> Seq = G.topoOrder();
   const size_t N = Seq.size();
   std::map<NodeId, size_t> Pos;
@@ -47,11 +50,14 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
   };
   std::vector<NodeOption> BestNode(N);
 
+  {
+  PF_TRACE_SCOPE_CAT("search.profile_nodes", "search");
   for (size_t I = 0; I < N; ++I) {
     const Node &Nd = G.node(Seq[I]);
     NodeOption Opt;
     Opt.Ns = Prof.gpuNodeNs(G, Seq[I]);
     Opt.Mode = SegmentMode::GpuNode;
+    obs::addCounter("search.candidates_evaluated");
 
     if (isPimCandidate(Nd) && Prof.config().hasPim()) {
       LayerProfile LP;
@@ -60,6 +66,7 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
       LP.PimNs = Prof.pimNodeNs(G, Seq[I]);
       LP.BestMdDpNs = LP.GpuNs;
       LP.BestRatioGpu = 1.0;
+      obs::addCounter("search.candidates_evaluated");
 
       if (Options.AllowFullOffload && LP.PimNs < Opt.Ns) {
         Opt.Ns = LP.PimNs;
@@ -73,6 +80,7 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
       if (Options.AllowSplit) {
         auto TrySplit = [&](double R) {
           const double Ns = Prof.mdDpNs(G, Seq[I], R);
+          obs::addCounter("search.candidates_evaluated");
           if (Ns < LP.BestMdDpNs) {
             LP.BestMdDpNs = Ns;
             LP.BestRatioGpu = R;
@@ -104,6 +112,7 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
     }
     BestNode[I] = Opt;
   }
+  } // search.profile_nodes
 
   // Profile the pipelining candidates (lines 8-15) and keep those whose
   // chain occupies consecutive positions in the sequence (the DP covers the
@@ -116,7 +125,9 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
   };
   std::vector<PipeOption> Pipes;
   if (Options.AllowPipeline && Prof.config().hasPim()) {
+    PF_TRACE_SCOPE_CAT("search.profile_pipelines", "search");
     for (const PipelineCandidate &Cand : findPipelineCandidates(G)) {
+      obs::addCounter("search.pipeline_candidates");
       const size_t Begin = Pos.at(Cand.Chain.front());
       bool Consecutive = true;
       for (size_t I = 0; I < Cand.Chain.size(); ++I)
@@ -133,6 +144,8 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
 
   // Dynamic program over the sequence (lines 23-29): Best[I] = cheapest
   // covering of Seq[I..N).
+  PF_TRACE_SCOPE_CAT("search.dp", "search");
+  obs::addCounter("search.dp_states", static_cast<int64_t>(N) + 1);
   constexpr double Inf = 1e300;
   std::vector<double> Best(N + 1, Inf);
   struct Choice {
@@ -179,6 +192,12 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
     ++I;
   }
   Plan.PredictedNs = Best[0];
+  obs::addCounter("search.segments",
+                  static_cast<int64_t>(Plan.Segments.size()));
+  if (obs::Registry::instance().enabled())
+    for (const SegmentPlan &S : Plan.Segments)
+      obs::recordHistogram("search.segment_predicted_us",
+                           S.PredictedNs / 1e3);
   return Plan;
 }
 

@@ -1,0 +1,40 @@
+//===- support/Log.cpp - Tiny leveled stderr logger -------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+
+#include <atomic>
+#include <cstdio>
+
+using namespace pf;
+
+namespace {
+std::atomic<int> Level{static_cast<int>(LogLevel::Silent)};
+} // namespace
+
+void pf::setLogLevel(LogLevel L) {
+  Level.store(static_cast<int>(L), std::memory_order_relaxed);
+}
+
+LogLevel pf::logLevel() {
+  return static_cast<LogLevel>(Level.load(std::memory_order_relaxed));
+}
+
+bool pf::logEnabled(LogLevel L) {
+  return static_cast<int>(L) <= Level.load(std::memory_order_relaxed);
+}
+
+void pf::logMessage(LogLevel L, const char *Fmt, ...) {
+  if (!logEnabled(L))
+    return;
+  std::fputs(L == LogLevel::Debug ? "[pimflow:debug] " : "[pimflow] ",
+             stderr);
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vfprintf(stderr, Fmt, Args);
+  va_end(Args);
+  std::fputc('\n', stderr);
+}

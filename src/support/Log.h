@@ -1,0 +1,53 @@
+//===- support/Log.h - Tiny leveled stderr logger ---------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal leveled logger for the driver and library: silent by default,
+/// `-v` raises it to Info, `-vv` to Debug. Messages go to stderr so they
+/// never corrupt machine-readable stdout (tables, traces). The PF_LOG_*
+/// macros evaluate their arguments only when the level is enabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SUPPORT_LOG_H
+#define PIMFLOW_SUPPORT_LOG_H
+
+#include <cstdarg>
+
+namespace pf {
+
+enum class LogLevel : int {
+  Silent = 0,
+  Info = 1,
+  Debug = 2,
+};
+
+/// Sets the global log threshold (messages at or below it are emitted).
+void setLogLevel(LogLevel L);
+LogLevel logLevel();
+bool logEnabled(LogLevel L);
+
+/// Emits one printf-formatted line at \p L (a newline is appended).
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logMessage(LogLevel L, const char *Fmt, ...);
+
+} // namespace pf
+
+#define PF_LOG_INFO(...)                                                     \
+  do {                                                                       \
+    if (::pf::logEnabled(::pf::LogLevel::Info))                              \
+      ::pf::logMessage(::pf::LogLevel::Info, __VA_ARGS__);                   \
+  } while (false)
+
+#define PF_LOG_DEBUG(...)                                                    \
+  do {                                                                       \
+    if (::pf::logEnabled(::pf::LogLevel::Debug))                             \
+      ::pf::logMessage(::pf::LogLevel::Debug, __VA_ARGS__);                  \
+  } while (false)
+
+#endif // PIMFLOW_SUPPORT_LOG_H

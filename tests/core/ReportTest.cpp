@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include "models/Zoo.h"
+#include "obs/Json.h"
+#include "obs/StatsExport.h"
 
 using namespace pf;
 
@@ -69,6 +71,46 @@ TEST(ReportTest, WeightPlacementSplitsByDevice) {
   ExecutionStats S = computeStats(R);
   EXPECT_GT(S.PimWeightBytes, 200'000'000);
   EXPECT_GT(S.GpuWeightBytes, 10'000'000); // Conv weights stay.
+}
+
+TEST(ReportTest, JsonStatsRoundTripMatchesComputeStats) {
+  CompileResult R = PimFlow(OffloadPolicy::PimFlow).compileAndRun(buildToy());
+  const ExecutionStats S = computeStats(R);
+
+  const auto Doc = obs::JsonValue::parse(obs::renderStatsJson(R, S));
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("model")->Str, R.Transformed.name());
+  EXPECT_EQ(Doc->find("policy")->Str, policyName(R.Policy));
+  EXPECT_DOUBLE_EQ(Doc->numberOr("end_to_end_ns", -1.0), R.endToEndNs());
+
+  const obs::JsonValue *J = Doc->find("stats");
+  ASSERT_NE(J, nullptr);
+  // Every command total must match the prose report's source of truth
+  // exactly (renderStatsJson and renderReport both serialize computeStats).
+  EXPECT_EQ(J->numberOr("gpu_kernels", -1), S.GpuKernels);
+  EXPECT_EQ(J->numberOr("pim_kernels", -1), S.PimKernels);
+  EXPECT_EQ(J->numberOr("fused_or_free_nodes", -1), S.FusedOrFreeNodes);
+  EXPECT_EQ(J->numberOr("pim_gwrite_bursts", -1),
+            static_cast<double>(S.PimGwriteBursts));
+  EXPECT_EQ(J->numberOr("pim_g_acts", -1), static_cast<double>(S.PimGActs));
+  EXPECT_EQ(J->numberOr("pim_comp_columns", -1),
+            static_cast<double>(S.PimCompColumns));
+  EXPECT_EQ(J->numberOr("pim_read_res", -1),
+            static_cast<double>(S.PimReadRes));
+  EXPECT_EQ(J->numberOr("pim_weight_bytes", -1),
+            static_cast<double>(S.PimWeightBytes));
+  EXPECT_EQ(J->numberOr("gpu_weight_bytes", -1),
+            static_cast<double>(S.GpuWeightBytes));
+  EXPECT_DOUBLE_EQ(J->numberOr("gpu_busy_fraction", -1.0),
+                   S.GpuBusyFraction);
+  EXPECT_DOUBLE_EQ(J->numberOr("pim_busy_fraction", -1.0),
+                   S.PimBusyFraction);
+
+  const obs::JsonValue *TL = Doc->find("timeline");
+  ASSERT_NE(TL, nullptr);
+  EXPECT_DOUBLE_EQ(TL->numberOr("total_ns", -1.0), R.Schedule.TotalNs);
+  EXPECT_EQ(TL->numberOr("scheduled_nodes", -1),
+            static_cast<double>(R.Schedule.Nodes.size()));
 }
 
 TEST(ReportTest, HbmPimPresetDiffers) {

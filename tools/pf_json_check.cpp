@@ -1,0 +1,80 @@
+//===- tools/pf_json_check.cpp - Observability output validator -*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses a JSON file produced by the observability exporters and checks its
+/// shape, for CTest smoke tests and shell pipelines:
+///
+///   pf_json_check --chrome trace.json   # Chrome trace: traceEvents array
+///   pf_json_check --stats stats.json    # stats dump: stats object present
+///   pf_json_check file.json             # any well-formed JSON document
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/Json.h"
+
+using namespace pf;
+
+int main(int Argc, char **Argv) {
+  const char *Path = nullptr;
+  bool WantChrome = false, WantStats = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--chrome") == 0)
+      WantChrome = true;
+    else if (std::strcmp(Argv[I], "--stats") == 0)
+      WantStats = true;
+    else if (Argv[I][0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Argv[I]);
+      return 2;
+    } else
+      Path = Argv[I];
+  }
+  if (!Path) {
+    std::fprintf(stderr,
+                 "usage: pf_json_check [--chrome|--stats] <file.json>\n");
+    return 2;
+  }
+
+  const auto Text = obs::readTextFile(Path);
+  if (!Text) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path);
+    return 1;
+  }
+  std::string Error;
+  const auto Doc = obs::JsonValue::parse(*Text, &Error);
+  if (!Doc) {
+    std::fprintf(stderr, "error: %s: %s\n", Path, Error.c_str());
+    return 1;
+  }
+
+  if (WantChrome) {
+    const obs::JsonValue *Events = Doc->find("traceEvents");
+    if (!Events || !Events->isArray() || Events->Array.empty()) {
+      std::fprintf(stderr,
+                   "error: %s: missing or empty 'traceEvents' array\n",
+                   Path);
+      return 1;
+    }
+    std::printf("%s: valid Chrome trace, %zu events\n", Path,
+                Events->Array.size());
+  }
+  if (WantStats) {
+    const obs::JsonValue *Stats = Doc->find("stats");
+    if (!Stats || !Stats->isObject()) {
+      std::fprintf(stderr, "error: %s: missing 'stats' object\n", Path);
+      return 1;
+    }
+    std::printf("%s: valid stats dump, %zu stat fields\n", Path,
+                Stats->Object.size());
+  }
+  if (!WantChrome && !WantStats)
+    std::printf("%s: well-formed JSON\n", Path);
+  return 0;
+}

@@ -23,6 +23,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -35,7 +36,13 @@
 #include "ir/GraphPrinter.h"
 #include "ir/GraphSerializer.h"
 #include "models/Zoo.h"
+#include "obs/ChromeTrace.h"
+#include "obs/Counters.h"
+#include "obs/Json.h"
+#include "obs/StatsExport.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
+#include "support/Log.h"
 #include "support/StringUtil.h"
 #include "support/Table.h"
 #include "transform/PatternMatch.h"
@@ -51,9 +58,14 @@ struct CliOptions {
   std::string Dir = ".";
   std::string Policy = "PIMFlow";
   std::string GraphFile; // -m=run --graph=<file>: skip search, execute.
+  std::string TraceOut;  // --trace-out=<file>: Chrome trace-event JSON.
+  std::string JsonStats; // --json-stats=<file>: machine-readable report.
+  int Verbose = 0;
   bool GpuOnly = false;
   bool Stats = false;
   PimFlowOptions Flow;
+
+  bool observed() const { return !TraceOut.empty() || !JsonStats.empty(); }
 };
 
 void usage() {
@@ -65,6 +77,8 @@ void usage() {
       "               [--graph=<solved.pimflow.graph>]\n"
       "               [--pim-channels=N] [--stages=N] [--autotune] "
       "[--no-memopt] [--stats]\n"
+      "               [--trace-out=<file>] [--json-stats=<file>] "
+      "[-v|-vv]\n"
       "nets: efficientnet-v1-b0 mobilenet-v2 mnasnet-1.0 resnet-50 vgg-16 "
       "bert toy\n"
       "mechanisms: Baseline Newton+ Newton++ PIMFlow-md PIMFlow-pl "
@@ -91,6 +105,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.Stats = true;
     else if (startsWith(Arg, "--graph="))
       O.GraphFile = Val();
+    else if (startsWith(Arg, "--trace-out="))
+      O.TraceOut = Val();
+    else if (startsWith(Arg, "--json-stats="))
+      O.JsonStats = Val();
+    else if (Arg == "-v" || Arg == "--verbose")
+      O.Verbose = std::max(O.Verbose, 1);
+    else if (Arg == "-vv")
+      O.Verbose = 2;
     else if (startsWith(Arg, "--pim-channels="))
       O.Flow.PimChannels = std::atoi(Val().c_str());
     else if (startsWith(Arg, "--stages="))
@@ -131,6 +153,29 @@ std::string cachePath(const CliOptions &O) {
   return O.Dir + "/profile_" + O.Net + ".tsv";
 }
 
+/// Writes --json-stats and --trace-out for a finished compile. Stats go
+/// first: rendering the Chrome trace re-plans the offloaded kernels, which
+/// bumps codegen counters that would otherwise leak into the stats dump.
+int exportObservability(const CliOptions &O, const CompileResult &R) {
+  if (!O.JsonStats.empty()) {
+    if (!obs::writeStatsJson(R, O.JsonStats)) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.JsonStats.c_str());
+      return 1;
+    }
+    std::printf("JSON stats written to %s\n", O.JsonStats.c_str());
+  }
+  if (!O.TraceOut.empty()) {
+    if (!obs::writeChromeTrace(R, O.TraceOut)) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.TraceOut.c_str());
+      return 1;
+    }
+    std::printf("Chrome trace written to %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                O.TraceOut.c_str());
+  }
+  return 0;
+}
+
 int runProfile(const CliOptions &O) {
   auto Maybe = tryBuildModel(O.Net);
   if (!Maybe) {
@@ -165,6 +210,16 @@ int runProfile(const CliOptions &O) {
     return 1;
   }
   std::printf("profile log written to %s\n", cachePath(O).c_str());
+  if (!O.TraceOut.empty()) {
+    // No execution timeline in profile mode: export the compile spans only.
+    if (!obs::writeTextFile(
+            O.TraceOut,
+            obs::renderCompileTrace(obs::Tracer::instance().snapshot()))) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.TraceOut.c_str());
+      return 1;
+    }
+    std::printf("Chrome trace written to %s\n", O.TraceOut.c_str());
+  }
   return 0;
 }
 
@@ -208,7 +263,7 @@ int runSolve(const CliOptions &O) {
                 "pf::loadGraph)\n",
                 GraphPath.c_str());
   Flow.profiler().saveCache(cachePath(O));
-  return 0;
+  return exportObservability(O, R);
 }
 
 /// Step 3 shortcut: execute an already-solved transformed graph (the
@@ -232,6 +287,15 @@ int runExecuteGraphFile(const CliOptions &O) {
               TL.EnergyJ * 1e6);
   std::printf("device busy: GPU %.1f us, PIM %.1f us\n",
               TL.GpuBusyNs / 1e3, TL.PimBusyNs / 1e3);
+  if (O.observed()) {
+    // No search ran: assemble the result the exporters need by hand.
+    CompileResult R;
+    R.Policy = O.GpuOnly ? OffloadPolicy::GpuOnly : policyFromName(O.Policy);
+    R.Config = Config;
+    R.Transformed = std::move(*Loaded);
+    R.Schedule = TL;
+    return exportObservability(O, R);
+  }
   return 0;
 }
 
@@ -255,6 +319,11 @@ int runExecute(const CliOptions &O) {
               R.energyJ() * 1e6);
   if (O.Stats)
     std::printf("\n%s", renderReport(R).c_str());
+  // Export before the baseline comparison below: its second compileAndRun
+  // would append spans and counters that belong to the baseline, not to the
+  // run being reported.
+  if (const int Rc = exportObservability(O, R))
+    return Rc;
   if (!O.GpuOnly) {
     PimFlow Base(OffloadPolicy::GpuOnly, O.Flow);
     CompileResult BR = Base.compileAndRun(Model);
@@ -298,7 +367,7 @@ int runTrace(const CliOptions &O) {
     ++Dumped;
   }
   std::printf("%d PIM kernel trace(s) written\n", Dumped);
-  return 0;
+  return exportObservability(O, R);
 }
 
 } // namespace
@@ -309,6 +378,11 @@ int main(int Argc, char **Argv) {
     usage();
     return 2;
   }
+  setLogLevel(O.Verbose >= 2   ? LogLevel::Debug
+              : O.Verbose == 1 ? LogLevel::Info
+                               : LogLevel::Silent);
+  if (O.observed())
+    obs::setObservabilityEnabled(true);
   if (O.Mode == "profile")
     return runProfile(O);
   if (O.Mode == "solve")
