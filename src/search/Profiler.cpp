@@ -6,6 +6,7 @@
 
 #include "search/Profiler.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/Counters.h"
@@ -90,23 +91,62 @@ std::string Profiler::signature(const Graph &G,
   return Sig;
 }
 
+Profiler::Shard &Profiler::shardFor(const std::string &Key) {
+  return Shards[std::hash<std::string>{}(Key) % NumShards];
+}
+
 double Profiler::measure(const std::string &Key,
                          const std::function<double()> &Compute) {
-  auto It = Cache.find(Key);
-  if (It != Cache.end()) {
-    ++Hits;
-    obs::addCounter("profiler.cache_hits");
-    return It->second;
+  Shard &S = shardFor(Key);
+  std::shared_ptr<Entry> E;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(Key);
+    if (It == S.Map.end()) {
+      E = std::make_shared<Entry>();
+      S.Map.emplace(Key, E);
+      Owner = true;
+    } else {
+      E = It->second;
+    }
   }
-  ++Misses;
+
+  if (!Owner) {
+    // Completed or in flight: either way this thread does not simulate, so
+    // the hit/miss totals match the serial sweep for any worker count.
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    obs::addCounter("profiler.cache_hits");
+    if (E->Ready.load(std::memory_order_acquire))
+      return E->Ns;
+    obs::addCounter("profiler.single_flight_waits");
+    return E->Result.get();
+  }
+
+  Misses.fetch_add(1, std::memory_order_relaxed);
   obs::addCounter("profiler.cache_misses");
   const bool Observed = obs::Registry::instance().enabled();
   const double StartUs = Observed ? obs::Tracer::instance().nowUs() : 0.0;
-  const double Ns = Compute();
+  double Ns;
+  try {
+    PF_TRACE_SCOPE_CAT("profiler.measure", "profile");
+    Ns = Compute();
+  } catch (...) {
+    // Withdraw the slot so a later call can retry, and wake any waiters
+    // with the failure.
+    {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      S.Map.erase(Key);
+    }
+    E->Done.set_exception(std::current_exception());
+    throw;
+  }
   if (Observed)
     obs::recordHistogram("profiler.measure_wall_us",
                          obs::Tracer::instance().nowUs() - StartUs);
-  Cache.emplace(Key, Ns);
+  E->Ns = Ns;
+  E->Ready.store(true, std::memory_order_release);
+  E->Done.set_value(Ns);
   return Ns;
 }
 
@@ -168,10 +208,20 @@ double Profiler::chainGpuNs(const Graph &G,
 }
 
 bool Profiler::saveCache(const std::string &Path) const {
+  // Collect only resolved entries (an in-flight measurement mid-save would
+  // mean saveCache raced the pre-pass; callers save after search returns).
+  std::vector<std::pair<std::string, double>> Rows;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &[Key, E] : S.Map)
+      if (E->Ready.load(std::memory_order_acquire))
+        Rows.emplace_back(Key, E->Ns);
+  }
+  std::sort(Rows.begin(), Rows.end());
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)
     return false;
-  for (const auto &[Key, Ns] : Cache)
+  for (const auto &[Key, Ns] : Rows)
     std::fprintf(F, "%s\t%.6f\n", Key.c_str(), Ns);
   std::fclose(F);
   return true;
@@ -187,7 +237,14 @@ bool Profiler::loadCache(const std::string &Path) {
     const size_t Tab = S.rfind('\t');
     if (Tab == std::string::npos)
       continue;
-    Cache[S.substr(0, Tab)] = std::atof(S.c_str() + Tab + 1);
+    std::string Key = S.substr(0, Tab);
+    auto E = std::make_shared<Entry>();
+    E->Ns = std::atof(S.c_str() + Tab + 1);
+    E->Ready.store(true, std::memory_order_release);
+    E->Done.set_value(E->Ns);
+    Shard &Sh = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    Sh.Map[Key] = std::move(E);
   }
   std::fclose(F);
   return true;

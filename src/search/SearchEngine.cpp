@@ -8,10 +8,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
 
 #include "obs/Counters.h"
 #include "obs/Trace.h"
+#include "support/ThreadPool.h"
 #include "transform/MdDpSplitPass.h"
 #include "transform/PipelinePass.h"
 
@@ -35,14 +37,108 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
   PF_TRACE_SCOPE_CAT("search", "search");
   const std::vector<NodeId> Seq = G.topoOrder();
   const size_t N = Seq.size();
+  // Range hint (also calms GCC's alloc-size analysis on the DP arrays).
+  PF_ASSERT(N < (size_t(1) << 32), "node count exceeds search limits");
   std::map<NodeId, size_t> Pos;
   for (size_t I = 0; I < N; ++I)
     Pos[Seq[I]] = I;
 
   ExecutionPlan Plan;
+  const bool HasPim = Prof.config().hasPim();
 
-  // Profile the per-node options (lines 1-7 and 16-22 of Algorithm 1).
-  // Per node: the best single-node segment given the allowed option set.
+  // The interior split-ratio grid, accumulated exactly like the serial
+  // sweep so the sampled ratios (and thus the profile signatures) are
+  // bit-identical to the single-threaded path.
+  std::vector<double> Grid;
+  if (Options.AllowSplit)
+    for (double R = Options.RatioStep; R < 1.0 - 1e-9; R += Options.RatioStep)
+      Grid.push_back(R);
+
+  // Per-node profile slots (lines 1-7 and 16-22 of Algorithm 1), plus the
+  // pipelining candidates (lines 8-15) whose chain occupies consecutive
+  // positions in the sequence (the DP covers the sequence by contiguous
+  // segments). Enumerating every candidate up front lets the profiling
+  // pre-pass fill all slots concurrently; the decisions below then run
+  // serially over warm values, independent of profiling order.
+  struct NodeProfile {
+    bool Candidate = false;
+    double GpuNs = 0.0;
+    double PimNs = 0.0;
+    std::vector<double> SplitNs; ///< Parallel to Grid.
+  };
+  std::vector<NodeProfile> Profiles(N);
+  for (size_t I = 0; I < N; ++I) {
+    Profiles[I].Candidate = isPimCandidate(G.node(Seq[I])) && HasPim;
+    if (Profiles[I].Candidate)
+      Profiles[I].SplitNs.assign(Grid.size(), 0.0);
+  }
+
+  struct PipeOption {
+    PipelineCandidate Cand;
+    size_t Begin = 0;
+    size_t Len = 0;
+    double Ns = 0.0;
+  };
+  std::vector<PipeOption> Pipes;
+  if (Options.AllowPipeline && HasPim) {
+    for (const PipelineCandidate &Cand : findPipelineCandidates(G)) {
+      obs::addCounter("search.pipeline_candidates");
+      const size_t Begin = Pos.at(Cand.Chain.front());
+      bool Consecutive = true;
+      for (size_t I = 0; I < Cand.Chain.size(); ++I)
+        Consecutive &= Begin + I < N && Seq[Begin + I] == Cand.Chain[I];
+      if (Consecutive)
+        Pipes.push_back(PipeOption{Cand, Begin, Cand.Chain.size(), 0.0});
+    }
+  }
+
+  // Candidate-profiling pre-pass: every slot is written by exactly one
+  // task, tasks share nothing else, and the profiler's memo cache is
+  // single-flight, so the filled slots are identical for every job count.
+  // Jobs == 1 runs the tasks inline in enumeration order — the serial path.
+  {
+    PF_TRACE_SCOPE_CAT("search.profile_candidates", "search");
+    std::vector<std::function<void()>> Tasks;
+    for (size_t I = 0; I < N; ++I) {
+      Tasks.push_back([this, &G, &Profiles, &Seq, I] {
+        Profiles[I].GpuNs = Prof.gpuNodeNs(G, Seq[I]);
+        obs::addCounter("search.candidates_evaluated");
+      });
+      if (!Profiles[I].Candidate)
+        continue;
+      Tasks.push_back([this, &G, &Profiles, &Seq, I] {
+        Profiles[I].PimNs = Prof.pimNodeNs(G, Seq[I]);
+        obs::addCounter("search.candidates_evaluated");
+      });
+      for (size_t R = 0; R < Grid.size(); ++R)
+        Tasks.push_back([this, &G, &Profiles, &Seq, &Grid, I, R] {
+          Profiles[I].SplitNs[R] = Prof.mdDpNs(G, Seq[I], Grid[R]);
+          obs::addCounter("search.candidates_evaluated");
+        });
+    }
+    for (size_t P = 0; P < Pipes.size(); ++P)
+      Tasks.push_back([this, &G, &Pipes, P] {
+        Pipes[P].Ns =
+            Prof.pipelineNs(G, Pipes[P].Cand.Chain, Options.PipelineStages);
+      });
+    if (Options.Jobs != 1 && Tasks.size() > 1) {
+      ThreadPool Pool(Options.Jobs < 0 ? 0
+                                       : static_cast<unsigned>(Options.Jobs));
+      Pool.parallelFor(Tasks.size(), [&Tasks](size_t I) { Tasks[I](); });
+    } else {
+      for (const std::function<void()> &T : Tasks)
+        T();
+    }
+  }
+
+  // Chains that cannot pipeline at this stage count profiled negative.
+  Pipes.erase(std::remove_if(Pipes.begin(), Pipes.end(),
+                             [](const PipeOption &P) { return P.Ns < 0.0; }),
+              Pipes.end());
+
+  // Serial decision pass over the warm slots: the best single-node segment
+  // per node given the allowed option set. Comparison order matches the
+  // historical serial sweep, so ties break identically.
   struct NodeOption {
     SegmentMode Mode = SegmentMode::GpuNode;
     double RatioGpu = 1.0;
@@ -51,22 +147,19 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
   std::vector<NodeOption> BestNode(N);
 
   {
-  PF_TRACE_SCOPE_CAT("search.profile_nodes", "search");
+  PF_TRACE_SCOPE_CAT("search.select_nodes", "search");
   for (size_t I = 0; I < N; ++I) {
-    const Node &Nd = G.node(Seq[I]);
     NodeOption Opt;
-    Opt.Ns = Prof.gpuNodeNs(G, Seq[I]);
+    Opt.Ns = Profiles[I].GpuNs;
     Opt.Mode = SegmentMode::GpuNode;
-    obs::addCounter("search.candidates_evaluated");
 
-    if (isPimCandidate(Nd) && Prof.config().hasPim()) {
+    if (Profiles[I].Candidate) {
       LayerProfile LP;
       LP.Id = Seq[I];
       LP.GpuNs = Opt.Ns;
-      LP.PimNs = Prof.pimNodeNs(G, Seq[I]);
+      LP.PimNs = Profiles[I].PimNs;
       LP.BestMdDpNs = LP.GpuNs;
       LP.BestRatioGpu = 1.0;
-      obs::addCounter("search.candidates_evaluated");
 
       if (Options.AllowFullOffload && LP.PimNs < Opt.Ns) {
         Opt.Ns = LP.PimNs;
@@ -78,9 +171,7 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
         LP.BestRatioGpu = 0.0;
       }
       if (Options.AllowSplit) {
-        auto TrySplit = [&](double R) {
-          const double Ns = Prof.mdDpNs(G, Seq[I], R);
-          obs::addCounter("search.candidates_evaluated");
+        auto Consider = [&](double R, double Ns) {
           if (Ns < LP.BestMdDpNs) {
             LP.BestMdDpNs = Ns;
             LP.BestRatioGpu = R;
@@ -91,13 +182,18 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
             Opt.RatioGpu = R;
           }
         };
-        for (double R = Options.RatioStep; R < 1.0 - 1e-9;
-             R += Options.RatioStep)
-          TrySplit(R);
+        for (size_t R = 0; R < Grid.size(); ++R)
+          Consider(Grid[R], Profiles[I].SplitNs[R]);
         // Auto-tuning refinement (the paper's future work): sample around
         // the coarse optimum at the fine step instead of sweeping the
-        // whole fine grid.
+        // whole fine grid. The refinement centers depend on the coarse
+        // decision, so these samples profile here, serially.
         if (Options.RefineRatios && Opt.Mode == SegmentMode::MdDp) {
+          auto TrySplit = [&](double R) {
+            const double Ns = Prof.mdDpNs(G, Seq[I], R);
+            obs::addCounter("search.candidates_evaluated");
+            Consider(R, Ns);
+          };
           const double Center = Opt.RatioGpu;
           for (double D = Options.RefinedStep;
                D < Options.RatioStep - 1e-9; D += Options.RefinedStep) {
@@ -112,35 +208,7 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
     }
     BestNode[I] = Opt;
   }
-  } // search.profile_nodes
-
-  // Profile the pipelining candidates (lines 8-15) and keep those whose
-  // chain occupies consecutive positions in the sequence (the DP covers the
-  // sequence by contiguous segments).
-  struct PipeOption {
-    PipelineCandidate Cand;
-    size_t Begin = 0;
-    size_t Len = 0;
-    double Ns = 0.0;
-  };
-  std::vector<PipeOption> Pipes;
-  if (Options.AllowPipeline && Prof.config().hasPim()) {
-    PF_TRACE_SCOPE_CAT("search.profile_pipelines", "search");
-    for (const PipelineCandidate &Cand : findPipelineCandidates(G)) {
-      obs::addCounter("search.pipeline_candidates");
-      const size_t Begin = Pos.at(Cand.Chain.front());
-      bool Consecutive = true;
-      for (size_t I = 0; I < Cand.Chain.size(); ++I)
-        Consecutive &= Begin + I < N && Seq[Begin + I] == Cand.Chain[I];
-      if (!Consecutive)
-        continue;
-      const double Ns =
-          Prof.pipelineNs(G, Cand.Chain, Options.PipelineStages);
-      if (Ns < 0.0)
-        continue; // Not pipelineable at this stage count.
-      Pipes.push_back(PipeOption{Cand, Begin, Cand.Chain.size(), Ns});
-    }
-  }
+  } // search.select_nodes
 
   // Dynamic program over the sequence (lines 23-29): Best[I] = cheapest
   // covering of Seq[I..N).
@@ -152,7 +220,8 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
     bool IsPipe = false;
     size_t PipeIdx = 0;
   };
-  std::vector<Choice> Chosen(N);
+  std::vector<Choice> Chosen;
+  Chosen.resize(N);
   Best[N] = 0.0;
   for (size_t I = N; I-- > 0;) {
     Best[I] = BestNode[I].Ns + Best[I + 1];

@@ -84,6 +84,20 @@ Graph randomCnn(uint64_t Seed) {
   return B.take();
 }
 
+/// Full-precision serialization of a search result, for byte-wise
+/// parallel-vs-serial comparison (mirrors SearchDeterminismTest).
+std::string planFingerprint(const ExecutionPlan &Plan) {
+  std::string S;
+  for (const SegmentPlan &Seg : Plan.Segments) {
+    S += segmentModeName(Seg.Mode);
+    for (NodeId Id : Seg.Nodes)
+      S += formatStr(" n%lld", static_cast<long long>(Id));
+    S += formatStr(" r%.17g st%d ns%.17g;", Seg.RatioGpu, Seg.Stages,
+                   Seg.PredictedNs);
+  }
+  return S + formatStr("|total:%.17g", Plan.PredictedNs);
+}
+
 std::vector<Tensor> runGraph(const Graph &G, uint64_t Seed) {
   std::vector<Tensor> Inputs;
   for (ValueId In : G.graphInputs())
@@ -155,6 +169,34 @@ TEST_P(FuzzEquivalence, FullPimFlowPreservesSemantics) {
   CompileResult R = Flow.compileAndRun(Original);
   ASSERT_FALSE(R.Transformed.validate().has_value());
   expectEquivalent(Original, R.Transformed, Seed + 3);
+}
+
+TEST_P(FuzzEquivalence, ConcurrentProfilingMatchesSerialSearch) {
+  // Randomized cross-check of the search's jobs invariance: on any
+  // generated graph, profiling from a seeded number of workers chooses the
+  // same plan, at the same costs, with the same cache statistics, as the
+  // serial search.
+  const uint64_t Seed = GetParam();
+  const Graph G = randomCnn(Seed);
+  struct Run {
+    std::string Fingerprint;
+    size_t Hits = 0;
+    size_t Misses = 0;
+  };
+  auto Search = [&](int Jobs) {
+    Profiler P(systemConfigFor(OffloadPolicy::PimFlow, {}));
+    SearchOptions S = searchOptionsFor(OffloadPolicy::PimFlow, {});
+    S.Jobs = Jobs;
+    const ExecutionPlan Plan = SearchEngine(P, S).search(G);
+    return Run{planFingerprint(Plan), P.cacheHits(), P.cacheMisses()};
+  };
+  const Run Serial = Search(1);
+  const int Workers = 2 + static_cast<int>(Seed % 7); // Seeded 2..8.
+  const Run Parallel = Search(Workers);
+  EXPECT_EQ(Parallel.Fingerprint, Serial.Fingerprint)
+      << "workers=" << Workers;
+  EXPECT_EQ(Parallel.Misses, Serial.Misses);
+  EXPECT_EQ(Parallel.Hits + Parallel.Misses, Serial.Hits + Serial.Misses);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,

@@ -1,0 +1,159 @@
+//===- tests/search/SearchDeterminismTest.cpp - jobs invariance -*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The search's concurrency contract: for any worker count
+/// (SearchOptions::Jobs), the chosen segment plan, every reported cost, and
+/// the profiler's cache statistics are identical to the serial search. The
+/// plan comparison is byte-wise over a full-precision fingerprint, so even
+/// a one-ULP divergence or a differently broken tie fails loudly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "search/SearchEngine.h"
+
+#include <gtest/gtest.h>
+#include <map>
+
+#include "core/PimFlow.h"
+#include "models/Zoo.h"
+#include "support/Format.h"
+#include "transform/PatternMatch.h"
+
+using namespace pf;
+
+namespace {
+
+/// Serializes every decision and cost of \p Plan at full precision.
+std::string planFingerprint(const ExecutionPlan &Plan) {
+  std::string S;
+  for (const SegmentPlan &Seg : Plan.Segments) {
+    S += segmentModeName(Seg.Mode);
+    for (NodeId Id : Seg.Nodes)
+      S += formatStr(" n%lld", static_cast<long long>(Id));
+    S += formatStr(" r%.17g st%d pat%d ns%.17g;", Seg.RatioGpu, Seg.Stages,
+                   static_cast<int>(Seg.Pattern), Seg.PredictedNs);
+  }
+  S += "|layers:";
+  for (const LayerProfile &L : Plan.Layers)
+    S += formatStr("n%lld g%.17g p%.17g m%.17g r%.17g;",
+                   static_cast<long long>(L.Id), L.GpuNs, L.PimNs,
+                   L.BestMdDpNs, L.BestRatioGpu);
+  S += formatStr("|total:%.17g", Plan.PredictedNs);
+  return S;
+}
+
+struct SearchRun {
+  std::string Fingerprint;
+  size_t Hits = 0;
+  size_t Misses = 0;
+};
+
+SearchRun runSearch(const Graph &G, int Jobs) {
+  Profiler P(systemConfigFor(OffloadPolicy::PimFlow, {}));
+  SearchOptions S = searchOptionsFor(OffloadPolicy::PimFlow, {});
+  S.Jobs = Jobs;
+  const ExecutionPlan Plan = SearchEngine(P, S).search(G);
+  return {planFingerprint(Plan), P.cacheHits(), P.cacheMisses()};
+}
+
+/// The number of profiler measurements the serial search issues: one GPU
+/// sample per node, plus one PIM sample and the interior ratio grid per
+/// PIM-candidate layer, plus one sample per consecutive pipeline chain.
+size_t serialCandidateCount(const Graph &G) {
+  const std::vector<NodeId> Seq = G.topoOrder();
+  size_t GridN = 0;
+  for (double R = 0.1; R < 1.0 - 1e-9; R += 0.1)
+    ++GridN;
+  size_t Count = Seq.size();
+  for (NodeId Id : Seq)
+    if (isPimCandidate(G.node(Id)))
+      Count += 1 + GridN;
+  std::map<NodeId, size_t> Pos;
+  for (size_t I = 0; I < Seq.size(); ++I)
+    Pos[Seq[I]] = I;
+  for (const PipelineCandidate &Cand : findPipelineCandidates(G)) {
+    const size_t Begin = Pos.at(Cand.Chain.front());
+    bool Consecutive = true;
+    for (size_t I = 0; I < Cand.Chain.size(); ++I)
+      Consecutive &=
+          Begin + I < Seq.size() && Seq[Begin + I] == Cand.Chain[I];
+    if (Consecutive)
+      ++Count;
+  }
+  return Count;
+}
+
+} // namespace
+
+class SearchDeterminism : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(SearchDeterminism, ParallelPlanMatchesSerialByteForByte) {
+  const Graph G = buildModel(GetParam());
+  const SearchRun Serial = runSearch(G, 1);
+  const SearchRun Parallel = runSearch(G, 8);
+  EXPECT_EQ(Parallel.Fingerprint, Serial.Fingerprint);
+  // Single-flight: every unique signature is simulated exactly once and
+  // every profiler call resolves to exactly one hit or miss, so the totals
+  // match the serial sweep.
+  EXPECT_EQ(Parallel.Misses, Serial.Misses);
+  EXPECT_EQ(Parallel.Hits + Parallel.Misses, Serial.Hits + Serial.Misses);
+  EXPECT_EQ(Serial.Hits + Serial.Misses, serialCandidateCount(G));
+}
+
+TEST_P(SearchDeterminism, AutoJobCountMatchesSerial) {
+  const Graph G = buildModel(GetParam());
+  EXPECT_EQ(runSearch(G, 0).Fingerprint, runSearch(G, 1).Fingerprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, SearchDeterminism,
+                         ::testing::Values("toy", "mobilenet-v2",
+                                           "mnasnet-1.0", "squeezenet-1.1"),
+                         [](const auto &Info) {
+                           std::string Name = Info.param;
+                           for (char &C : Name)
+                             if (C == '-' || C == '.')
+                               C = '_';
+                           return Name;
+                         });
+
+TEST(SearchDeterminism, RepeatedParallelRunsAreStable) {
+  // A flakiness guard: the same parallel search three times in a row.
+  const Graph G = buildModel("toy");
+  const SearchRun First = runSearch(G, 8);
+  for (int I = 0; I < 2; ++I)
+    EXPECT_EQ(runSearch(G, 8).Fingerprint, First.Fingerprint);
+}
+
+TEST(SearchDeterminism, ParallelRefinementMatchesSerial) {
+  // --autotune's refinement samples are centered on the coarse optimum and
+  // profile serially after the pre-pass; they must not perturb the
+  // invariant.
+  const Graph G = buildModel("toy");
+  auto Run = [&](int Jobs) {
+    Profiler P(systemConfigFor(OffloadPolicy::PimFlow, {}));
+    SearchOptions S = searchOptionsFor(OffloadPolicy::PimFlow, {});
+    S.RefineRatios = true;
+    S.Jobs = Jobs;
+    return planFingerprint(SearchEngine(P, S).search(G));
+  };
+  EXPECT_EQ(Run(8), Run(1));
+}
+
+TEST(SearchDeterminism, CompileAndRunMatchesAcrossJobCounts) {
+  // End to end through the facade: the transformed graph's timeline agrees.
+  PimFlowOptions Serial, Parallel;
+  Serial.SearchJobs = 1;
+  Parallel.SearchJobs = 8;
+  const Graph G = buildModel("toy");
+  const CompileResult A = PimFlow(OffloadPolicy::PimFlow, Serial)
+                              .compileAndRun(G);
+  const CompileResult B = PimFlow(OffloadPolicy::PimFlow, Parallel)
+                              .compileAndRun(G);
+  EXPECT_EQ(planFingerprint(A.Plan), planFingerprint(B.Plan));
+  EXPECT_EQ(A.endToEndNs(), B.endToEndNs());
+  EXPECT_EQ(A.energyJ(), B.energyJ());
+}

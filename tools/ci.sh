@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+#===- tools/ci.sh - tier-1 verification + thread-sanitized search tests ---===#
+#
+# Part of the PIMFlow reproduction, released under the MIT license.
+#
+# Two passes:
+#   1. The tier-1 gate: configure, build, and run the full test suite in
+#      build/ (exactly what ROADMAP.md specifies).
+#   2. A ThreadSanitizer tree in build-tsan/ running the concurrency-facing
+#      suites (thread pool, profiler, search) to catch data races in the
+#      parallel candidate-profiling pre-pass.
+#
+# Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tier 2: ThreadSanitizer on the concurrency-facing suites =="
+cmake -B build-tsan -S . -DPIMFLOW_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target support_test search_test
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|Profiler|SearchEngine|SearchDeterminism|AlgorithmDp|LayerExtract'
+
+echo "== ci.sh: all passes green =="

@@ -20,6 +20,9 @@
 /// --dir, default '.') so later steps reuse them, exactly as the artifact
 /// stores layerwise/pipeline measurements. Hardware knobs:
 ///   --pim-channels=N  --stages=N  --autotune  --no-memopt
+/// Compile-time knobs:
+///   --jobs=N  profiling worker threads (default: all hardware threads;
+///             --jobs=1 reproduces the serial search bit for bit)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +47,7 @@
 #include "support/Format.h"
 #include "support/Log.h"
 #include "support/StringUtil.h"
+#include "support/ThreadPool.h"
 #include "support/Table.h"
 #include "transform/PatternMatch.h"
 
@@ -65,6 +69,12 @@ struct CliOptions {
   bool Stats = false;
   PimFlowOptions Flow;
 
+  CliOptions() {
+    // The driver defaults to every hardware thread; the library default
+    // stays serial so embedders opt in explicitly.
+    Flow.SearchJobs = 0;
+  }
+
   bool observed() const { return !TraceOut.empty() || !JsonStats.empty(); }
 };
 
@@ -77,6 +87,8 @@ void usage() {
       "               [--graph=<solved.pimflow.graph>]\n"
       "               [--pim-channels=N] [--stages=N] [--autotune] "
       "[--no-memopt] [--stats]\n"
+      "               [--jobs=N]   (profiling threads; default all cores, "
+      "1 = serial)\n"
       "               [--trace-out=<file>] [--json-stats=<file>] "
       "[-v|-vv]\n"
       "nets: efficientnet-v1-b0 mobilenet-v2 mnasnet-1.0 resnet-50 vgg-16 "
@@ -117,6 +129,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.Flow.PimChannels = std::atoi(Val().c_str());
     else if (startsWith(Arg, "--stages="))
       O.Flow.PipelineStages = std::atoi(Val().c_str());
+    else if (startsWith(Arg, "--jobs="))
+      O.Flow.SearchJobs = std::atoi(Val().c_str());
     else if (Arg == "--autotune")
       O.Flow.AutoTuneRatios = true;
     else if (Arg == "--no-memopt")
@@ -195,13 +209,16 @@ int runProfile(const CliOptions &O) {
                 "granularity\n",
                 Plan.Layers.size(), O.Flow.AutoTuneRatios ? "2%" : "10%");
   } else {
-    int Count = 0;
-    for (const PipelineCandidate &Cand : findPipelineCandidates(Model)) {
-      P.pipelineNs(Model, Cand.Chain, O.Flow.PipelineStages);
-      ++Count;
-    }
-    std::printf("profiled %d pipelining candidate subgraphs (%d stages)\n",
-                Count, O.Flow.PipelineStages);
+    const std::vector<PipelineCandidate> Cands =
+        findPipelineCandidates(Model);
+    ThreadPool Pool(O.Flow.SearchJobs < 0
+                        ? 0
+                        : static_cast<unsigned>(O.Flow.SearchJobs));
+    Pool.parallelFor(Cands.size(), [&](size_t I) {
+      P.pipelineNs(Model, Cands[I].Chain, O.Flow.PipelineStages);
+    });
+    std::printf("profiled %zu pipelining candidate subgraphs (%d stages)\n",
+                Cands.size(), O.Flow.PipelineStages);
   }
   std::printf("measurements: %zu new, %zu from cache\n", P.cacheMisses(),
               P.cacheHits());
