@@ -7,8 +7,11 @@
 #include "core/PimFlow.h"
 
 #include "ir/ShapeInference.h"
+#include "ir/Verifier.h"
 #include "obs/Counters.h"
 #include "obs/Trace.h"
+#include "runtime/Equivalence.h"
+#include "support/Format.h"
 #include "support/Log.h"
 #include "transform/Canonicalize.h"
 
@@ -106,11 +109,32 @@ CompileResult PimFlow::compileAndRun(const Graph &Model) {
               R.Plan.Segments.size(), R.Plan.PredictedNs / 1e3,
               Prof.cacheHits(), Prof.cacheHits() + Prof.cacheMisses());
 
+  // Pass-boundary checking: the structural verifier runs at each boundary
+  // under PIMFLOW_CHECKED (or Options.VerifyPasses at runtime), and the
+  // differential check additionally cross-runs the reference interpreter on
+  // original vs. transformed — every PIMFlow rewrite is elementwise exact,
+  // so any difference is a transform bug worth stopping for.
+  auto AtPassBoundary = [&](const char *When) {
+    if (Options.VerifyPasses)
+      verifyOrDie(R.Transformed, When);
+    else
+      PF_VERIFY_PASS(R.Transformed, When);
+    if (Options.DifferentialCheck) {
+      PF_TRACE_SCOPE_CAT("pimflow.differential_check", "compile");
+      if (auto Diff =
+              compareGraphOutputs(Model, R.Transformed, /*Seed=*/0x51A5))
+        fatal(formatStr("differential check %s: transformed graph diverges "
+                        "from '%s': %s",
+                        When, Model.name().c_str(), Diff->c_str()));
+    }
+  };
+
   {
     PF_TRACE_SCOPE_CAT("pimflow.apply_plan", "compile");
     R.Transformed = Model; // Copy, then rewrite in place.
     SearchEngine::apply(R.Transformed, R.Plan);
   }
+  AtPassBoundary("after plan application (MD-DP splits / pipelining)");
   {
     // Clean up transform residue (dead chain nodes, cancellable
     // slice-of-concat pairs); also removes false dependencies on whole-join
@@ -118,6 +142,7 @@ CompileResult PimFlow::compileAndRun(const Graph &Model) {
     PF_TRACE_SCOPE_CAT("pimflow.canonicalize", "compile");
     canonicalize(R.Transformed);
   }
+  AtPassBoundary("after canonicalization");
   {
     PF_TRACE_SCOPE_CAT("pimflow.shape_inference", "compile");
     auto ShapeErr = inferShapes(R.Transformed);
@@ -125,18 +150,22 @@ CompileResult PimFlow::compileAndRun(const Graph &Model) {
     (void)ShapeErr;
   }
   {
-    PF_TRACE_SCOPE_CAT("pimflow.validate", "compile");
-    auto ValErr = R.Transformed.validate();
-    PF_ASSERT(!ValErr, "transformed graph fails validation");
-    (void)ValErr;
+    // Final gate: the graph handed to the execution engine always passes
+    // the full verifier, whatever the build configuration. This subsumes
+    // the old validate()/device PF_ASSERT block with coded diagnostics.
+    PF_TRACE_SCOPE_CAT("pimflow.verify", "compile");
+    DiagnosticEngine DE(Options.MaxVerifyErrors);
+    if (!verify(R.Transformed, DE))
+      fatal(formatStr("transformed graph '%s' failed verification:\n%s",
+                      R.Transformed.name().c_str(), DE.render().c_str()));
 
-    // Device-annotation sanity: only PIM-offloadable operators may carry a
-    // PIM annotation, and PIM annotations require PIM channels.
+    // PIM annotations additionally require PIM channels — a property of the
+    // system configuration, not of the graph, so checked here rather than
+    // in the verifier.
     for (const Node &N : R.Transformed.nodes()) {
       if (N.Dead || N.Dev != Device::Pim)
         continue;
       PF_ASSERT(Config.hasPim(), "PIM annotation without PIM channels");
-      PF_ASSERT(isPimCandidate(N), "PIM annotation on unsupported operator");
     }
   }
 

@@ -74,6 +74,17 @@ struct PimFlowOptions {
   /// (SearchOptions::Jobs): 1 = serial, 0 = all hardware threads, N = N
   /// workers. The compile result is identical for every value.
   int SearchJobs = 1;
+  /// Run the graph verifier at every pass boundary (plan application,
+  /// canonicalization) even in builds without PIMFLOW_CHECKED. The final
+  /// transformed graph is always verified regardless of this flag.
+  bool VerifyPasses = false;
+  /// Differential pass-boundary check: cross-run the reference interpreter
+  /// on the original vs. the transformed graph at each pass boundary and
+  /// abort on the first differing output element. Expensive (two full
+  /// interpreter runs per boundary); debugging aid, not a production mode.
+  bool DifferentialCheck = false;
+  /// Cap on collected diagnostics when verification fails (--max-errors).
+  int MaxVerifyErrors = 64;
 };
 
 /// Builds the system configuration a policy runs on.

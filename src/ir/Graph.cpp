@@ -231,7 +231,9 @@ std::optional<std::string> Graph::validate() const {
     if (producer(Out) == InvalidNode)
       return formatStr("graph output '%s' is never produced",
                        value(Out).Name.c_str());
-  if (Outputs.empty())
+  // A completely empty graph is legal (it round-trips through the
+  // serializer); live nodes with no graph outputs are not.
+  if (Outputs.empty() && numNodes() > 0)
     return std::string("graph has no outputs");
   // Run the toposort to assert acyclicity (it aborts on cycles in debug;
   // verify count here for release builds too).

@@ -7,6 +7,7 @@
 #include "ir/GraphSerializer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <unordered_map>
 
@@ -284,8 +285,10 @@ std::variant<Graph, std::string> pf::parseGraph(const std::string &Text) {
     if (T[0] == "value") {
       if (T.size() < 5)
         return Err("malformed value line");
-      if (std::atoll(T[1].c_str()) != static_cast<long long>(
-                                          ValueIds.size()))
+      const std::optional<int64_t> SerialId = parseInt(T[1]);
+      if (!SerialId)
+        return Err("value id '" + T[1] + "' is not an integer");
+      if (*SerialId != static_cast<int64_t>(ValueIds.size()))
         return Err("value ids must be sequential");
       const std::string &VName = T[2];
       const DataType Type = T[3] == "f32" ? DataType::F32 : DataType::F16;
@@ -299,12 +302,21 @@ std::variant<Graph, std::string> pf::parseGraph(const std::string &Text) {
       if (IsParam) {
         if (T.size() < 6)
           return Err("param value missing init seed");
-        Seed = std::strtoull(T[5].c_str(), nullptr, 10);
+        const std::optional<uint64_t> S = parseUint(T[5]);
+        if (!S)
+          return Err("init seed '" + T[5] +
+                     "' is not a non-negative integer");
+        Seed = *S;
         DimStart = 6;
       }
       std::vector<int64_t> Dims;
-      for (size_t I = DimStart; I < T.size(); ++I)
-        Dims.push_back(std::atoll(T[I].c_str()));
+      for (size_t I = DimStart; I < T.size(); ++I) {
+        const std::optional<int64_t> D = parseInt(T[I]);
+        if (!D || *D <= 0)
+          return Err("shape extent '" + T[I] +
+                     "' is not a positive integer");
+        Dims.push_back(*D);
+      }
       TensorShape Shape(Dims);
       if (IsParam) {
         ValueId Id = G.addParam(VName, Shape, Type);
@@ -331,7 +343,10 @@ std::variant<Graph, std::string> pf::parseGraph(const std::string &Text) {
       size_t I = 6;
       std::vector<ValueId> Ins, Outs;
       for (; I < T.size() && T[I] != "outputs"; ++I) {
-        auto V = ValueAt(std::atoll(T[I].c_str()));
+        const std::optional<int64_t> Idx = parseInt(T[I]);
+        if (!Idx)
+          return Err("input value id '" + T[I] + "' is not an integer");
+        auto V = ValueAt(*Idx);
         if (!V)
           return Err("input value id out of range");
         Ins.push_back(*V);
@@ -339,7 +354,10 @@ std::variant<Graph, std::string> pf::parseGraph(const std::string &Text) {
       if (I >= T.size())
         return Err("expected 'outputs'");
       for (++I; I < T.size() && T[I].find('=') == std::string::npos; ++I) {
-        auto V = ValueAt(std::atoll(T[I].c_str()));
+        const std::optional<int64_t> Idx = parseInt(T[I]);
+        if (!Idx)
+          return Err("output value id '" + T[I] + "' is not an integer");
+        auto V = ValueAt(*Idx);
         if (!V)
           return Err("output value id out of range");
         Outs.push_back(*V);
@@ -349,7 +367,21 @@ std::variant<Graph, std::string> pf::parseGraph(const std::string &Text) {
         const size_t Eq = T[I].find('=');
         if (Eq == std::string::npos)
           return Err("malformed attribute " + T[I]);
-        Attrs[T[I].substr(0, Eq)] = T[I].substr(Eq + 1);
+        const std::string Key = T[I].substr(0, Eq);
+        const std::string Val = T[I].substr(Eq + 1);
+        // "eps" attrs are floats; everything else must be an integer
+        // (atoi-style silent truncation used to accept "kh=3x" as 3).
+        if (Key == "eps") {
+          char *End = nullptr;
+          std::strtod(Val.c_str(), &End);
+          if (Val.empty() || *End != '\0')
+            return Err("attribute " + Key + " value '" + Val +
+                       "' is not a number");
+        } else if (!parseInt(Val)) {
+          return Err("attribute " + Key + " value '" + Val +
+                     "' is not an integer");
+        }
+        Attrs[Key] = Val;
       }
       if (Outs.empty())
         return Err("node without outputs");
@@ -363,7 +395,11 @@ std::variant<Graph, std::string> pf::parseGraph(const std::string &Text) {
     if (T[0] == "inputs" || T[0] == "outputs") {
       std::vector<ValueId> Ids;
       for (size_t I = 1; I < T.size(); ++I) {
-        auto V = ValueAt(std::atoll(T[I].c_str()));
+        const std::optional<int64_t> Idx = parseInt(T[I]);
+        if (!Idx)
+          return Err("graph interface value id '" + T[I] +
+                     "' is not an integer");
+        auto V = ValueAt(*Idx);
         if (!V)
           return Err("graph interface value id out of range");
         Ids.push_back(*V);

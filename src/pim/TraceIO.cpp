@@ -39,18 +39,28 @@ std::string commandLine(const PimCommand &Cmd) {
   pf_unreachable("unknown PIM command kind");
 }
 
-/// Parses a single command line ("GWRITE_4 bursts=9"). Returns false on
-/// malformed input.
-bool parseCommand(const std::vector<std::string> &T, PimCommand &Out) {
+/// The count field key each command kind dumps ("bursts"/"n"/"cols").
+const char *countKeyFor(PimCmdKind Kind) {
+  switch (Kind) {
+  case PimCmdKind::Gwrite:
+  case PimCmdKind::Gwrite2:
+  case PimCmdKind::Gwrite4:
+    return "bursts";
+  case PimCmdKind::GAct:
+  case PimCmdKind::ReadRes:
+    return "n";
+  case PimCmdKind::Comp:
+    return "cols";
+  }
+  pf_unreachable("unknown PIM command kind");
+}
+
+/// Parses a single command line ("GWRITE_4 bursts=9"). Returns a reason on
+/// malformed input, std::nullopt on success.
+std::optional<std::string> parseCommand(const std::vector<std::string> &T,
+                                        PimCommand &Out) {
   if (T.size() != 2)
-    return false;
-  const size_t Eq = T[1].find('=');
-  if (Eq == std::string::npos)
-    return false;
-  const int64_t Count = std::atoll(T[1].c_str() + Eq + 1);
-  if (Count <= 0)
-    return false;
-  Out.Count = Count;
+    return formatStr("expected 2 fields, got %zu", T.size());
   if (T[0] == "GWRITE")
     Out.Kind = PimCmdKind::Gwrite;
   else if (T[0] == "GWRITE_2")
@@ -64,8 +74,20 @@ bool parseCommand(const std::vector<std::string> &T, PimCommand &Out) {
   else if (T[0] == "READRES")
     Out.Kind = PimCmdKind::ReadRes;
   else
-    return false;
-  return true;
+    return formatStr("unknown command '%s'", T[0].c_str());
+  const size_t Eq = T[1].find('=');
+  if (Eq == std::string::npos)
+    return formatStr("field '%s' is not key=value", T[1].c_str());
+  const std::string Key = T[1].substr(0, Eq);
+  if (Key != countKeyFor(Out.Kind))
+    return formatStr("%s expects '%s=', got '%s='", T[0].c_str(),
+                     countKeyFor(Out.Kind), Key.c_str());
+  const std::optional<int64_t> Count = parseInt(T[1].substr(Eq + 1));
+  if (!Count || *Count <= 0)
+    return formatStr("'%s' is not a positive integer",
+                     T[1].c_str() + Eq + 1);
+  Out.Count = *Count;
+  return std::nullopt;
 }
 
 std::vector<std::string> tokens(const std::string &Line) {
@@ -112,16 +134,25 @@ std::string pf::dumpTrace(const DeviceTrace &Trace) {
 std::variant<DeviceTrace, std::string>
 pf::parseTrace(const std::string &Text) {
   const std::vector<std::string> Lines = split(Text, '\n');
+  // Header (line 1): "pimflow-trace v1 channels=N", nothing more. Blind
+  // offset arithmetic here used to accept junk ("channels=12x" parsed as
+  // 12, arbitrary trailing fields ignored).
   if (Lines.empty() || !startsWith(Lines[0], kMagic))
-    return std::string("missing pimflow-trace header");
-  const size_t Eq = Lines[0].find("channels=");
-  if (Eq == std::string::npos)
-    return std::string("missing channel count");
-  const int Channels = std::atoi(Lines[0].c_str() + Eq + 9);
-  if (Channels <= 0 || Channels > 4096)
-    return std::string("implausible channel count");
+    return std::string("line 1: missing pimflow-trace header");
+  const std::vector<std::string> Header = tokens(Lines[0]);
+  if (Header.size() != 3 || !startsWith(Header[2], "channels="))
+    return std::string("line 1: header must be exactly "
+                       "'pimflow-trace v1 channels=N'");
+  const std::optional<int64_t> Channels =
+      parseInt(Header[2].substr(std::strlen("channels=")));
+  if (!Channels)
+    return formatStr("line 1: channel count '%s' is not an integer",
+                     Header[2].c_str() + std::strlen("channels="));
+  if (*Channels <= 0 || *Channels > 4096)
+    return formatStr("line 1: implausible channel count %lld",
+                     static_cast<long long>(*Channels));
 
-  DeviceTrace Trace(Channels);
+  DeviceTrace Trace(static_cast<int>(*Channels));
   int CurChannel = -1;
   CommandBlock *CurBlock = nullptr;
 
@@ -136,10 +167,17 @@ pf::parseTrace(const std::string &Text) {
 
     if (T[0] == "channel") {
       if (T.size() != 2)
-        return Err("malformed channel line");
-      CurChannel = std::atoi(T[1].c_str());
-      if (CurChannel < 0 || CurChannel >= Channels)
-        return Err("channel index out of range");
+        return Err(formatStr("channel line expects 2 fields, got %zu",
+                             T.size()));
+      const std::optional<int64_t> Idx = parseInt(T[1]);
+      if (!Idx)
+        return Err(formatStr("channel index '%s' is not an integer",
+                             T[1].c_str()));
+      if (*Idx < 0 || *Idx >= *Channels)
+        return Err(formatStr("channel index %lld out of range [0, %lld)",
+                             static_cast<long long>(*Idx),
+                             static_cast<long long>(*Channels)));
+      CurChannel = static_cast<int>(*Idx);
       CurBlock = nullptr;
       continue;
     }
@@ -147,13 +185,17 @@ pf::parseTrace(const std::string &Text) {
       if (CurChannel < 0)
         return Err("block before any channel");
       if (T.size() != 2 || !startsWith(T[1], "repeat="))
-        return Err("malformed block line");
-      const int64_t Repeats = std::atoll(T[1].c_str() + 7);
-      if (Repeats <= 0)
+        return Err("malformed block line (expected 'block repeat=N')");
+      const std::optional<int64_t> Repeats =
+          parseInt(T[1].substr(std::strlen("repeat=")));
+      if (!Repeats)
+        return Err(formatStr("repeat count '%s' is not an integer",
+                             T[1].c_str() + std::strlen("repeat=")));
+      if (*Repeats <= 0)
         return Err("non-positive repeat count");
       auto &Blocks =
           Trace.Channels[static_cast<size_t>(CurChannel)].Blocks;
-      Blocks.push_back(CommandBlock{{}, Repeats});
+      Blocks.push_back(CommandBlock{{}, *Repeats});
       CurBlock = &Blocks.back();
       continue;
     }
@@ -169,8 +211,9 @@ pf::parseTrace(const std::string &Text) {
     if (!CurBlock)
       return Err("command outside a block");
     PimCommand Cmd;
-    if (!parseCommand(T, Cmd))
-      return Err("malformed command " + Line);
+    if (auto Why = parseCommand(T, Cmd))
+      return Err(formatStr("malformed command '%s': %s", Line.c_str(),
+                           Why->c_str()));
     CurBlock->Pattern.push_back(Cmd);
   }
   if (CurBlock)

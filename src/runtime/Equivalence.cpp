@@ -1,0 +1,49 @@
+//===- runtime/Equivalence.cpp - Graph output comparison --------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Equivalence.h"
+
+#include <vector>
+
+#include "runtime/Interpreter.h"
+#include "support/Format.h"
+
+using namespace pf;
+
+namespace {
+
+std::vector<Tensor> runGraph(const Graph &G, uint64_t Seed) {
+  std::vector<Tensor> Inputs;
+  for (ValueId In : G.graphInputs())
+    Inputs.push_back(Interpreter::randomInput(G.value(In).Shape, Seed));
+  return Interpreter(G).run(Inputs);
+}
+
+} // namespace
+
+std::optional<std::string> pf::compareGraphOutputs(const Graph &A,
+                                                   const Graph &B,
+                                                   uint64_t Seed) {
+  const std::vector<Tensor> OutA = runGraph(A, Seed);
+  const std::vector<Tensor> OutB = runGraph(B, Seed);
+  if (OutA.size() != OutB.size())
+    return formatStr("'%s' yields %zu output(s) but '%s' yields %zu",
+                     A.name().c_str(), OutA.size(), B.name().c_str(),
+                     OutB.size());
+  for (size_t I = 0; I < OutA.size(); ++I) {
+    if (OutA[I].shape() != OutB[I].shape())
+      return formatStr("output #%zu shape %s vs %s", I,
+                       OutA[I].shape().toString().c_str(),
+                       OutB[I].shape().toString().c_str());
+    for (int64_t E = 0; E < OutA[I].numElements(); ++E)
+      if (OutA[I].at(E) != OutB[I].at(E))
+        return formatStr("output #%zu element %lld differs: %.9g vs %.9g", I,
+                         static_cast<long long>(E),
+                         static_cast<double>(OutA[I].at(E)),
+                         static_cast<double>(OutB[I].at(E)));
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,38 @@
+//===- runtime/Equivalence.h - Graph output comparison ----------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interpreter-based graph equivalence: runs two graphs on the same
+/// deterministic random inputs and compares outputs bit-exactly. The
+/// compiler-correctness contract behind both the equivalence test suite and
+/// the pass-boundary differential check — every PIMFlow rewrite is
+/// elementwise exact (H-splits, Slice/Concat and pipelining reorder work
+/// but never approximate it), so any output difference is a transform bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_RUNTIME_EQUIVALENCE_H
+#define PIMFLOW_RUNTIME_EQUIVALENCE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ir/Graph.h"
+
+namespace pf {
+
+/// Runs \p A and \p B on identical random inputs derived from \p Seed
+/// (both graphs must share A's graph-input shapes) and compares every
+/// output element bit-exactly. Returns a description of the first
+/// difference — output index, element index, both values — or std::nullopt
+/// when the graphs agree everywhere.
+std::optional<std::string> compareGraphOutputs(const Graph &A, const Graph &B,
+                                               uint64_t Seed);
+
+} // namespace pf
+
+#endif // PIMFLOW_RUNTIME_EQUIVALENCE_H

@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 
+#include "ir/Verifier.h"
 #include "obs/Counters.h"
 #include "obs/Trace.h"
 #include "support/ThreadPool.h"
@@ -284,6 +285,7 @@ void SearchEngine::apply(Graph &G, const ExecutionPlan &Plan) {
       PF_ASSERT(Result.has_value(),
                 "planned MD-DP ratio degenerated during apply");
       (void)Result;
+      PF_VERIFY_PASS(G, "after MdDpSplit");
       break;
     }
     case SegmentMode::Pipeline: {
@@ -293,6 +295,7 @@ void SearchEngine::apply(Graph &G, const ExecutionPlan &Plan) {
       const bool Ok = applyPipeline(G, Spec);
       PF_ASSERT(Ok, "planned pipeline failed to apply");
       (void)Ok;
+      PF_VERIFY_PASS(G, "after Pipeline");
       break;
     }
     }

@@ -7,6 +7,7 @@
 #include "support/StringUtil.h"
 
 #include <cctype>
+#include <charconv>
 
 using namespace pf;
 
@@ -53,4 +54,30 @@ bool pf::startsWith(const std::string &S, const std::string &Prefix) {
 bool pf::endsWith(const std::string &S, const std::string &Suffix) {
   return S.size() >= Suffix.size() &&
          S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+std::optional<int64_t> pf::parseInt(const std::string &S) {
+  const char *Begin = S.c_str();
+  const char *End = Begin + S.size();
+  // std::from_chars accepts '-' but not '+'; allow an explicit plus sign.
+  if (Begin != End && *Begin == '+') {
+    ++Begin;
+    if (Begin != End && *Begin == '-')
+      return std::nullopt;
+  }
+  int64_t Out = 0;
+  auto [Ptr, Ec] = std::from_chars(Begin, End, Out, 10);
+  if (Ec != std::errc() || Ptr != End || Begin == End)
+    return std::nullopt;
+  return Out;
+}
+
+std::optional<uint64_t> pf::parseUint(const std::string &S) {
+  const char *Begin = S.c_str();
+  const char *End = Begin + S.size();
+  uint64_t Out = 0;
+  auto [Ptr, Ec] = std::from_chars(Begin, End, Out, 10);
+  if (Ec != std::errc() || Ptr != End || Begin == End)
+    return std::nullopt;
+  return Out;
 }

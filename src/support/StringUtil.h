@@ -13,6 +13,8 @@
 #ifndef PIMFLOW_SUPPORT_STRINGUTIL_H
 #define PIMFLOW_SUPPORT_STRINGUTIL_H
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,16 @@ bool startsWith(const std::string &S, const std::string &Prefix);
 
 /// Returns true if \p S ends with \p Suffix.
 bool endsWith(const std::string &S, const std::string &Suffix);
+
+/// Strict decimal integer parser: the *entire* string must be an optionally
+/// signed decimal number that fits in int64_t. Returns std::nullopt for
+/// empty strings, junk prefixes/suffixes ("12x", " 3"), and overflow —
+/// unlike std::atoi, which silently returns 0 or truncates.
+std::optional<int64_t> parseInt(const std::string &S);
+
+/// Unsigned variant of parseInt: the entire string must be an unsigned
+/// decimal number that fits in uint64_t (no sign characters accepted).
+std::optional<uint64_t> parseUint(const std::string &S);
 
 } // namespace pf
 

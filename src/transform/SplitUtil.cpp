@@ -25,8 +25,67 @@ ConvInputReq pf::convInputRowsFor(const Conv2dAttrs &A, int64_t InH,
   R.InEnd = std::min(InH, WantEnd);
   R.PadTop = R.InBegin - WantBegin; // >= 0: rows that fall in the padding.
   R.PadBottom = WantEnd - R.InEnd;
-  PF_ASSERT(R.InBegin < R.InEnd, "conv part reads no real input rows");
+  // Reachable only for degenerate attributes (pad >= kernel), which the
+  // verifier rejects as verify.illegal-attrs: with pad < kernel every
+  // window overlaps at least one real row, so every part does too.
+  PF_ASSERT(R.InBegin < R.InEnd,
+            "conv part reads no real input rows (pad >= kernel?)");
   return R;
+}
+
+bool pf::checkPieces(const Graph &G, const std::vector<HPiece> &Pieces,
+                     DiagnosticEngine &DE) {
+  const size_t Before = DE.errorCount();
+  if (Pieces.empty()) {
+    DE.error(DiagCode::VerifyPieceGap, "pieces",
+             "piecewise tensor has no pieces");
+    return false;
+  }
+  int64_t Expect = 0;
+  for (size_t I = 0; I < Pieces.size(); ++I) {
+    const HPiece &P = Pieces[I];
+    const std::string Ctx = formatStr("piece #%zu", I);
+    if (P.End <= P.Begin) {
+      DE.error(DiagCode::VerifyPieceGap, Ctx,
+               formatStr("piece range [%lld,%lld) is empty or negative",
+                         static_cast<long long>(P.Begin),
+                         static_cast<long long>(P.End)));
+    } else if (P.Begin < Expect) {
+      DE.error(DiagCode::VerifyPieceOverlap, Ctx,
+               formatStr("piece begins at row %lld but rows up to %lld are "
+                         "already covered",
+                         static_cast<long long>(P.Begin),
+                         static_cast<long long>(Expect)));
+    } else if (P.Begin > Expect) {
+      DE.error(DiagCode::VerifyPieceGap, Ctx,
+               formatStr("piece begins at row %lld, leaving rows [%lld,%lld) "
+                         "uncovered",
+                         static_cast<long long>(P.Begin),
+                         static_cast<long long>(Expect),
+                         static_cast<long long>(P.Begin)));
+    }
+    Expect = std::max(Expect, P.End);
+
+    if (P.Id < 0 || static_cast<size_t>(P.Id) >= G.numValues()) {
+      DE.error(DiagCode::VerifyDanglingValue, Ctx,
+               formatStr("references value id %d, but the graph has %zu "
+                         "values",
+                         P.Id, G.numValues()));
+      continue;
+    }
+    const TensorShape &S = G.value(P.Id).Shape;
+    if (S.rank() != 4)
+      DE.error(DiagCode::VerifyStaleShape, Ctx,
+               formatStr("value '%s' is not rank-4 NHWC",
+                         G.value(P.Id).Name.c_str()));
+    else if (P.End > P.Begin && S.dim(1) != P.End - P.Begin)
+      DE.error(DiagCode::VerifyStaleShape, Ctx,
+               formatStr("covers %lld rows but value '%s' has height %lld",
+                         static_cast<long long>(P.End - P.Begin),
+                         G.value(P.Id).Name.c_str(),
+                         static_cast<long long>(S.dim(1))));
+  }
+  return DE.errorCount() == Before;
 }
 
 PiecewiseTensor::PiecewiseTensor(Graph &G, ValueId Whole) : G(&G) {
@@ -37,15 +96,11 @@ PiecewiseTensor::PiecewiseTensor(Graph &G, ValueId Whole) : G(&G) {
 
 PiecewiseTensor::PiecewiseTensor(Graph &G, std::vector<HPiece> P)
     : G(&G), Pieces(std::move(P)) {
-  PF_ASSERT(!Pieces.empty(), "piecewise tensor with no pieces");
-  int64_t Expect = 0;
-  for (const HPiece &Piece : Pieces) {
-    PF_ASSERT(Piece.Begin == Expect, "pieces must tile contiguously from 0");
-    PF_ASSERT(Piece.End > Piece.Begin, "empty piece");
-    PF_ASSERT(G.value(Piece.Id).Shape.dim(1) == Piece.End - Piece.Begin,
-              "piece height does not match its value");
-    Expect = Piece.End;
-  }
+  // A split pass handing over broken pieces is a compiler bug: stop with
+  // the full coded evidence rather than the first violated assert.
+  DiagnosticEngine DE;
+  if (!checkPieces(G, Pieces, DE))
+    fatal("piecewise tensor invariants violated:\n" + DE.render());
 }
 
 int64_t PiecewiseTensor::height() const { return Pieces.back().End; }

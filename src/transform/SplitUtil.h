@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ir/Graph.h"
+#include "support/Diagnostics.h"
 
 namespace pf {
 
@@ -33,6 +34,12 @@ struct ConvInputReq {
 
 /// Computes the input rows conv \p A over an input of height \p InH must
 /// read to produce output rows [\p OutBegin, \p OutEnd).
+///
+/// Precondition: \p A is legal in the verifier's sense, in particular
+/// pad < kernel. Under that precondition every non-empty output range reads
+/// at least one real input row (verified by exhaustive enumeration in
+/// SplitBoundaryTest); with pad >= kernel a part can land entirely inside
+/// the zero padding, which this function rejects with an assert.
 ConvInputReq convInputRowsFor(const Conv2dAttrs &A, int64_t InH,
                               int64_t OutBegin, int64_t OutEnd);
 
@@ -43,6 +50,14 @@ struct HPiece {
   int64_t End = 0;
   ValueId Id = InvalidValue;
 };
+
+/// Verifies the piecewise-tensor invariants over \p Pieces: non-empty list,
+/// every piece non-empty with a valid rank-4 value whose height matches,
+/// sorted, contiguous from row 0, non-overlapping. Findings are reported
+/// into \p DE (codes verify.piece-overlap / verify.piece-gap /
+/// verify.dangling-value / verify.stale-shape); returns true when clean.
+bool checkPieces(const Graph &G, const std::vector<HPiece> &Pieces,
+                 DiagnosticEngine &DE);
 
 /// A logical tensor assembled from H-pieces, with helpers to materialize
 /// sub-ranges (inserting Slice/Concat nodes into \p G as needed). The

@@ -161,3 +161,34 @@ TEST(PimFlowTest, TransformedGraphKeepsInterface) {
   EXPECT_EQ(R.Transformed.value(R.Transformed.graphOutputs()[0]).Shape,
             Model.value(Model.graphOutputs()[0]).Shape);
 }
+
+TEST(PimFlowTest, VerifiedPipelineMatchesDefault) {
+  // Runtime per-pass verification + the differential interpreter check:
+  // the pipeline must pass both on a clean model, and produce the same
+  // result as the unverified configuration.
+  const Graph Model = buildToy();
+  PimFlowOptions Checked;
+  Checked.VerifyPasses = true;
+  Checked.DifferentialCheck = true;
+  CompileResult R =
+      PimFlow(OffloadPolicy::PimFlow, Checked).compileAndRun(Model);
+  CompileResult Plain =
+      PimFlow(OffloadPolicy::PimFlow).compileAndRun(Model);
+  EXPECT_EQ(R.endToEndNs(), Plain.endToEndNs());
+}
+
+TEST(PimFlowTest, FinalVerifyGateRejectsCorruptModel) {
+  // The facade's exit gate runs the full verifier on every compile: a
+  // model with illegal conv attributes (pad >= kernel would break the
+  // H-split arithmetic) dies with a rendered diagnostic, not a wrong
+  // answer.
+  Graph Model = buildToy();
+  for (const Node &N : Model.nodes()) {
+    if (N.Dead || N.Kind != OpKind::Conv2d)
+      continue;
+    std::get<Conv2dAttrs>(Model.node(N.Id).Attrs).PadTop = 99;
+    break;
+  }
+  EXPECT_DEATH(PimFlow(OffloadPolicy::GpuOnly).compileAndRun(Model),
+               "verify.illegal-attrs");
+}

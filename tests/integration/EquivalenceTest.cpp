@@ -17,30 +17,19 @@
 #include "core/PimFlow.h"
 #include "ir/Builder.h"
 #include "models/Zoo.h"
-#include "runtime/Interpreter.h"
+#include "runtime/Equivalence.h"
 
 using namespace pf;
 
 namespace {
 
-std::vector<Tensor> runGraph(const Graph &G, uint64_t Seed) {
-  std::vector<Tensor> Inputs;
-  for (ValueId In : G.graphInputs())
-    Inputs.push_back(Interpreter::randomInput(G.value(In).Shape, Seed));
-  return Interpreter(G).run(Inputs);
-}
-
+/// The same bit-exact comparison the --differential pipeline check uses
+/// (runtime/Equivalence.h): one shared oracle for tests and production.
 void expectEquivalent(const Graph &Original, const Graph &Transformed,
                       uint64_t Seed) {
-  auto A = runGraph(Original, Seed);
-  auto B = runGraph(Transformed, Seed);
-  ASSERT_EQ(A.size(), B.size());
-  for (size_t I = 0; I < A.size(); ++I) {
-    ASSERT_EQ(A[I].shape(), B[I].shape());
-    for (int64_t E = 0; E < A[I].numElements(); ++E)
-      ASSERT_EQ(A[I].at(E), B[I].at(E))
-          << "output " << I << " element " << E;
-  }
+  const std::optional<std::string> Diff =
+      compareGraphOutputs(Original, Transformed, Seed);
+  EXPECT_FALSE(Diff.has_value()) << *Diff;
 }
 
 /// A small but structurally rich CNN: stem conv, two inverted-residual

@@ -162,3 +162,135 @@ TEST(SerializerTest, RejectsInvalidParsedGraph) {
   auto R = parseGraph(Text);
   ASSERT_TRUE(std::holds_alternative<std::string>(R));
 }
+
+//===----------------------------------------------------------------------===
+// Boundary round trips
+//===----------------------------------------------------------------------===
+
+TEST(SerializerTest, EmptyGraphRoundTrip) {
+  Graph R = roundTrip(Graph("empty"));
+  EXPECT_EQ(R.name(), "empty");
+  EXPECT_EQ(R.numNodes(), 0u);
+  EXPECT_TRUE(R.graphInputs().empty());
+  EXPECT_TRUE(R.graphOutputs().empty());
+}
+
+TEST(SerializerTest, SingleNodeGraphRoundTrip) {
+  GraphBuilder B("one");
+  B.output(B.relu(B.input("x", TensorShape{1, 4, 4, 2})));
+  Graph G = B.take();
+  Graph R = roundTrip(G);
+  expectStructurallyEqual(G, R);
+  expectFunctionallyEqual(G, R, 5);
+}
+
+TEST(SerializerTest, NamesAtTheNoSpaceBoundary) {
+  // The format is space-delimited: any space-free name must survive,
+  // including punctuation the transforms generate ('.', '/', '=').
+  GraphBuilder B("weird.names");
+  ValueId X = B.input("in/put.0", TensorShape{1, 4, 4, 2});
+  B.output(B.relu(X));
+  Graph G = B.take();
+  G.node(G.producer(G.graphOutputs()[0])).Name = "relu.part0=odd";
+  Graph R = roundTrip(G);
+  EXPECT_EQ(R.name(), "weird.names");
+  EXPECT_EQ(R.value(R.graphInputs()[0]).Name, "in/put.0");
+  EXPECT_EQ(R.node(R.producer(R.graphOutputs()[0])).Name,
+            "relu.part0=odd");
+}
+
+//===----------------------------------------------------------------------===
+// Malformed inputs: diagnostics, not crashes or silent truncation
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Expects parseGraph(Text) to fail with \p Fragment in the message.
+void expectParseError(const std::string &Text, const std::string &Fragment) {
+  auto R = parseGraph(Text);
+  ASSERT_TRUE(std::holds_alternative<Graph>(R) == false)
+      << "accepted: " << Text;
+  EXPECT_NE(std::get<std::string>(R).find(Fragment), std::string::npos)
+      << "got: " << std::get<std::string>(R);
+}
+
+} // namespace
+
+TEST(SerializerTest, RejectsNonIntegerValueId) {
+  expectParseError("pimflow-graph v1 g\n"
+                   "value zero x f16 flow 4\n"
+                   "end\n",
+                   "is not an integer");
+}
+
+TEST(SerializerTest, RejectsNonIntegerShapeExtent) {
+  // atoi-style parsing used to read "4x" as 4.
+  expectParseError("pimflow-graph v1 g\n"
+                   "value 0 x f16 flow 4x\n"
+                   "end\n",
+                   "shape extent '4x'");
+}
+
+TEST(SerializerTest, RejectsNonPositiveShapeExtent) {
+  expectParseError("pimflow-graph v1 g\n"
+                   "value 0 x f16 flow 0\n"
+                   "end\n",
+                   "shape extent '0'");
+}
+
+TEST(SerializerTest, RejectsJunkParamSeed) {
+  expectParseError("pimflow-graph v1 g\n"
+                   "value 0 w f16 param seed7 4\n"
+                   "end\n",
+                   "init seed 'seed7'");
+}
+
+TEST(SerializerTest, RejectsNonIntegerNodeOperand) {
+  // atoll("junk") == 0 used to silently wire the node to value 0.
+  expectParseError("pimflow-graph v1 g\n"
+                   "value 0 x f16 flow 4\n"
+                   "value 1 y f16 flow 4\n"
+                   "node 0 relu r any inputs junk outputs 1\n"
+                   "inputs 0\noutputs 1\nend\n",
+                   "input value id 'junk'");
+}
+
+TEST(SerializerTest, RejectsNonIntegerAttrValue) {
+  expectParseError("pimflow-graph v1 g\n"
+                   "value 0 x f16 flow 1 4 4 2\n"
+                   "value 1 w f16 param 9 3 3 2 4\n"
+                   "value 2 y f16 flow 1 4 4 4\n"
+                   "node 0 conv2d c any inputs 0 1 outputs 2 kh=3x kw=3\n"
+                   "inputs 0\noutputs 2\nend\n",
+                   "attribute kh value '3x'");
+}
+
+TEST(SerializerTest, RejectsNonNumericEpsilon) {
+  expectParseError("pimflow-graph v1 g\n"
+                   "value 0 x f16 flow 1 4 4 2\n"
+                   "value 1 y f16 flow 1 4 4 2\n"
+                   "node 0 batchnorm b any inputs 0 outputs 1 eps=tiny\n"
+                   "inputs 0\noutputs 1\nend\n",
+                   "attribute eps value 'tiny'");
+}
+
+TEST(SerializerTest, RejectsNonIntegerInterfaceId) {
+  expectParseError("pimflow-graph v1 g\n"
+                   "value 0 x f16 flow 4\n"
+                   "inputs first\noutputs 0\nend\n",
+                   "graph interface value id 'first'");
+}
+
+TEST(SerializerTest, MalformedInputsNeverCrash) {
+  // Truncations and permutations of a valid serialization must all
+  // produce a parse error or a valid graph — never a crash.
+  GraphBuilder B("t");
+  B.output(B.relu(B.input("x", TensorShape{1, 4, 4, 2})));
+  const std::string Good = serializeGraph(B.take());
+  for (size_t Cut = 0; Cut < Good.size(); Cut += 3) {
+    auto R = parseGraph(Good.substr(0, Cut));
+    if (std::holds_alternative<Graph>(R)) {
+      EXPECT_FALSE(std::get<Graph>(R).validate().has_value());
+    }
+  }
+}

@@ -121,6 +121,85 @@ TEST(TraceIOTest, ParseRejections) {
                  "block repeat=1\n  COMP cols=3\n"))); // Unterminated.
 }
 
+namespace {
+
+/// Expects parseTrace(Text) to fail with \p Fragment in the message.
+void expectTraceError(const std::string &Text,
+                      const std::string &Fragment) {
+  auto R = parseTrace(Text);
+  ASSERT_TRUE(std::holds_alternative<std::string>(R))
+      << "accepted: " << Text;
+  EXPECT_NE(std::get<std::string>(R).find(Fragment), std::string::npos)
+      << "got: " << std::get<std::string>(R);
+}
+
+} // namespace
+
+TEST(TraceIOTest, RejectsJunkChannelCountWithLineNumber) {
+  // Offset arithmetic used to read "channels=12x" as 12 silently.
+  expectTraceError("pimflow-trace v1 channels=12x\n",
+                   "line 1: channel count '12x'");
+}
+
+TEST(TraceIOTest, RejectsHeaderWithTrailingFields) {
+  expectTraceError("pimflow-trace v1 channels=2 extra\n",
+                   "line 1: header must be exactly");
+}
+
+TEST(TraceIOTest, RejectsImplausibleChannelCount) {
+  expectTraceError("pimflow-trace v1 channels=0\n",
+                   "implausible channel count 0");
+  expectTraceError("pimflow-trace v1 channels=100000\n",
+                   "implausible channel count");
+}
+
+TEST(TraceIOTest, RejectsJunkChannelIndexWithLineNumber) {
+  expectTraceError("pimflow-trace v1 channels=2\nchannel one\n",
+                   "line 2: channel index 'one'");
+}
+
+TEST(TraceIOTest, RejectsOutOfRangeChannelWithBound) {
+  expectTraceError("pimflow-trace v1 channels=2\nchannel 2\n",
+                   "channel index 2 out of range [0, 2)");
+}
+
+TEST(TraceIOTest, RejectsJunkRepeatWithLineNumber) {
+  expectTraceError("pimflow-trace v1 channels=2\nchannel 0\n"
+                   "block repeat=9x\n",
+                   "line 3: repeat count '9x'");
+  expectTraceError("pimflow-trace v1 channels=2\nchannel 0\n"
+                   "block repeat=0\n",
+                   "non-positive repeat count");
+}
+
+TEST(TraceIOTest, RejectsWrongCountKey) {
+  // COMP carries cols=, not n=.
+  expectTraceError("pimflow-trace v1 channels=2\nchannel 0\n"
+                   "block repeat=1\n  COMP n=3\nend\n",
+                   "COMP expects 'cols=', got 'n='");
+}
+
+TEST(TraceIOTest, RejectsJunkCommandCountWithLineNumber) {
+  expectTraceError("pimflow-trace v1 channels=2\nchannel 0\n"
+                   "block repeat=1\n  G_ACT n=2q\nend\n",
+                   "line 4");
+  expectTraceError("pimflow-trace v1 channels=2\nchannel 0\n"
+                   "block repeat=1\n  G_ACT n=-2\nend\n",
+                   "not a positive integer");
+}
+
+TEST(TraceIOTest, RejectsCommandFieldCountMismatch) {
+  expectTraceError("pimflow-trace v1 channels=2\nchannel 0\n"
+                   "block repeat=1\n  GWRITE bursts=1 extra=2\nend\n",
+                   "expected 2 fields, got 3");
+}
+
+TEST(TraceIOTest, RejectsEmptyBlock) {
+  expectTraceError("pimflow-trace v1 channels=2\nchannel 0\n"
+                   "block repeat=1\nend\n",
+                   "empty block");
+}
+
 //===----------------------------------------------------------------------===
 // Cross-validation: the fast block simulator (steady-state extrapolation)
 // must agree cycle-for-cycle with the unit-event reference model.

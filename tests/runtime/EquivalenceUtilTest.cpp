@@ -1,0 +1,56 @@
+//===- tests/runtime/EquivalenceUtilTest.cpp - diff oracle ------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+
+using namespace pf;
+
+namespace {
+
+Graph unary(const char *Name, bool Relu6) {
+  GraphBuilder B(Name);
+  ValueId X = B.input("x", TensorShape{1, 4, 4, 2});
+  B.output(Relu6 ? B.relu6(X) : B.relu(X));
+  return B.take();
+}
+
+} // namespace
+
+TEST(EquivalenceUtilTest, IdenticalGraphsCompareClean) {
+  const Graph A = unary("a", false);
+  EXPECT_FALSE(compareGraphOutputs(A, A, 7).has_value());
+  // A structural copy compares clean too.
+  const Graph B = unary("b", false);
+  EXPECT_FALSE(compareGraphOutputs(A, B, 7).has_value());
+}
+
+TEST(EquivalenceUtilTest, NumericDifferenceIsReported) {
+  // relu vs relu6 differ wherever the input exceeds 6; scale the input
+  // into that range with an Add chain? Not needed: randomInput spans
+  // negative values, where relu(x)=0 but x+x != 0.
+  GraphBuilder B1("id");
+  ValueId X1 = B1.input("x", TensorShape{1, 4, 4, 2});
+  B1.output(B1.add(X1, X1));
+  const Graph DoubleG = B1.take();
+
+  const Graph ReluG = unary("r", false);
+  const auto Diff = compareGraphOutputs(ReluG, DoubleG, 7);
+  ASSERT_TRUE(Diff.has_value());
+  EXPECT_NE(Diff->find("output"), std::string::npos);
+}
+
+TEST(EquivalenceUtilTest, ShapeMismatchIsReported) {
+  GraphBuilder B1("pool");
+  ValueId X1 = B1.input("x", TensorShape{1, 4, 4, 2});
+  B1.output(B1.maxPool(X1, 2, 2));
+  const Graph Pooled = B1.take();
+  const auto Diff = compareGraphOutputs(unary("r", false), Pooled, 7);
+  ASSERT_TRUE(Diff.has_value());
+}

@@ -41,3 +41,45 @@ TEST(StringUtilTest, Prefixes) {
   EXPECT_TRUE(endsWith("a.out", ".out"));
   EXPECT_FALSE(endsWith("out", "a.out"));
 }
+
+TEST(StringUtilTest, ParseIntAcceptsStrictDecimals) {
+  EXPECT_EQ(parseInt("0"), 0);
+  EXPECT_EQ(parseInt("42"), 42);
+  EXPECT_EQ(parseInt("-7"), -7);
+  EXPECT_EQ(parseInt("+13"), 13);
+  EXPECT_EQ(parseInt("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(parseInt("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(StringUtilTest, ParseIntRejectsJunk) {
+  EXPECT_FALSE(parseInt(""));
+  EXPECT_FALSE(parseInt("abc"));
+  EXPECT_FALSE(parseInt("12x"));   // atoi would return 12.
+  EXPECT_FALSE(parseInt("x12"));   // atoi would return 0.
+  EXPECT_FALSE(parseInt(" 3"));    // No implicit whitespace skipping.
+  EXPECT_FALSE(parseInt("3 "));
+  EXPECT_FALSE(parseInt("+"));
+  EXPECT_FALSE(parseInt("-"));
+  EXPECT_FALSE(parseInt("+-3"));
+  EXPECT_FALSE(parseInt("1.5"));
+  EXPECT_FALSE(parseInt("0x10"));
+}
+
+TEST(StringUtilTest, ParseIntRejectsOverflow) {
+  EXPECT_FALSE(parseInt("9223372036854775808"));  // INT64_MAX + 1.
+  EXPECT_FALSE(parseInt("-9223372036854775809")); // INT64_MIN - 1.
+  EXPECT_FALSE(parseInt("999999999999999999999999"));
+}
+
+TEST(StringUtilTest, ParseUintAcceptsFullRange) {
+  EXPECT_EQ(parseUint("0"), 0u);
+  EXPECT_EQ(parseUint("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(StringUtilTest, ParseUintRejectsSignsAndJunk) {
+  EXPECT_FALSE(parseUint("-1").has_value());
+  EXPECT_FALSE(parseUint("+1").has_value());
+  EXPECT_FALSE(parseUint("12x").has_value());
+  EXPECT_FALSE(parseUint("").has_value());
+  EXPECT_FALSE(parseUint("18446744073709551616").has_value()); // 2^64
+}

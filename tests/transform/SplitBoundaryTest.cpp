@@ -1,0 +1,222 @@
+//===- tests/transform/SplitBoundaryTest.cpp - split boundaries -*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boundary regressions for convInputRowsFor: N-way H-splits of a single
+/// convolution must reproduce the unsplit interpreter result bit-exactly,
+/// including the hard cases — odd output heights that split unevenly,
+/// stride 2 (where the last part's first input row is not the previous
+/// part's last), and kernels 3/5/7 with symmetric padding. A per-row
+/// oracle cross-checks the returned row ranges against the conv
+/// definition directly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transform/SplitUtil.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "ir/ShapeInference.h"
+#include "ir/Verifier.h"
+#include "runtime/Interpreter.h"
+#include "support/Format.h"
+
+using namespace pf;
+
+namespace {
+
+/// input -> conv(K, Stride, Pad) -> output.
+Graph convGraph(int64_t H, int64_t K, int64_t Stride, int64_t Pad,
+                bool Bias = false) {
+  GraphBuilder B("split-boundary");
+  ValueId X = B.input("x", TensorShape{1, H, H, 3});
+  B.output(B.conv2d(X, 4, K, Stride, Pad, 1, Bias));
+  return B.take();
+}
+
+NodeId firstConv(const Graph &G) {
+  for (const Node &N : G.nodes())
+    if (!N.Dead && N.Kind == OpKind::Conv2d)
+      return N.Id;
+  return InvalidNode;
+}
+
+/// Rewrites the first conv of a copy of \p Original into \p Parts
+/// row-contiguous sub-convs (same weights, pads from convInputRowsFor)
+/// joined by a Concat — the N-way generalization of the MD-DP split.
+Graph splitConvNWays(const Graph &Original, int64_t Parts) {
+  Graph G = Original;
+  const Node N = G.node(firstConv(G)); // Copy: references would dangle.
+  const Conv2dAttrs Attrs = N.conv();
+  const int64_t InH = G.value(N.Inputs[0]).Shape.dim(1);
+  const int64_t Ho = G.value(N.Outputs[0]).Shape.dim(1);
+  PiecewiseTensor Input(G, N.Inputs[0]);
+
+  std::vector<ValueId> PartOuts;
+  int64_t PartNo = 0;
+  for (auto [Lo, Hi] : splitRange(Ho, Parts)) {
+    const ConvInputReq Req = convInputRowsFor(Attrs, InH, Lo, Hi);
+    Conv2dAttrs A = Attrs;
+    A.PadTop = Req.PadTop;
+    A.PadBottom = Req.PadBottom;
+    std::vector<ValueId> Ins = {Input.range(Req.InBegin, Req.InEnd),
+                                N.Inputs[1]};
+    if (N.Inputs.size() > 2)
+      Ins.push_back(N.Inputs[2]);
+    const std::string Name =
+        formatStr("%s.part%lld", N.Name.c_str(),
+                  static_cast<long long>(PartNo++));
+    ValueId Out = G.addValue(Name + ".out", TensorShape{});
+    NodeId P =
+        G.addNode(OpKind::Conv2d, Name, A, std::move(Ins), {Out});
+    EXPECT_FALSE(inferNodeShapes(G, P).has_value());
+    EXPECT_EQ(G.value(Out).Shape.dim(1), Hi - Lo)
+        << "part [" << Lo << ", " << Hi << ") height mismatch";
+    PartOuts.push_back(Out);
+  }
+
+  const ValueId OrigOut = N.Outputs[0];
+  G.removeNode(N.Id);
+  ConcatAttrs CA;
+  CA.Axis = 1;
+  NodeId Join = G.addNode(OpKind::Concat, N.Name + ".join", CA,
+                          std::move(PartOuts), {OrigOut});
+  EXPECT_FALSE(inferNodeShapes(G, Join).has_value());
+  return G;
+}
+
+/// Runs \p G on deterministic random inputs.
+std::vector<Tensor> runGraph(const Graph &G) {
+  std::vector<Tensor> Inputs;
+  for (ValueId In : G.graphInputs())
+    Inputs.push_back(
+        Interpreter::randomInput(G.value(In).Shape, 17 + In));
+  return Interpreter(G).run(Inputs);
+}
+
+void expectBitIdentical(const Graph &A, const Graph &B) {
+  auto OutA = runGraph(A);
+  auto OutB = runGraph(B);
+  ASSERT_EQ(OutA.size(), OutB.size());
+  for (size_t I = 0; I < OutA.size(); ++I) {
+    ASSERT_EQ(OutA[I].shape(), OutB[I].shape());
+    for (int64_t E = 0; E < OutA[I].numElements(); ++E)
+      ASSERT_EQ(OutA[I].at(E), OutB[I].at(E)) << "element " << E;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Per-row oracle: the returned range matches the conv definition
+//===----------------------------------------------------------------------===
+
+TEST(SplitBoundaryTest, RowRangesMatchConvDefinition) {
+  for (int64_t K : {3, 5, 7}) {
+    for (int64_t Stride : {1, 2, 3}) {
+      for (int64_t Pad = 0; Pad < K; ++Pad) {
+        for (int64_t InH : {9, 14, 15}) {
+          const int64_t Ho = (InH + 2 * Pad - K) / Stride + 1;
+          if (Ho <= 0)
+            continue;
+          Conv2dAttrs A;
+          A.KernelH = A.KernelW = K;
+          A.StrideH = A.StrideW = Stride;
+          A.PadTop = A.PadBottom = Pad;
+          for (int64_t R = 0; R < Ho; ++R) {
+            // Output row R reads padded rows [R*S, R*S + K), i.e. real
+            // input rows clamped to [0, InH).
+            const int64_t First = R * Stride - Pad;
+            const int64_t Last = First + K;
+            SCOPED_TRACE(formatStr("K=%lld S=%lld P=%lld InH=%lld R=%lld",
+                                   static_cast<long long>(K),
+                                   static_cast<long long>(Stride),
+                                   static_cast<long long>(Pad),
+                                   static_cast<long long>(InH),
+                                   static_cast<long long>(R)));
+            const ConvInputReq Req = convInputRowsFor(A, InH, R, R + 1);
+            EXPECT_EQ(Req.InBegin, std::max<int64_t>(First, 0));
+            EXPECT_EQ(Req.InEnd, std::min(Last, InH));
+            EXPECT_EQ(Req.PadTop, std::max<int64_t>(-First, 0));
+            EXPECT_EQ(Req.PadBottom, std::max<int64_t>(Last - InH, 0));
+            EXPECT_LT(Req.InBegin, Req.InEnd); // Reads a real row.
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SplitBoundaryTest, FullRangeReproducesOriginalPads) {
+  Conv2dAttrs A;
+  A.KernelH = A.KernelW = 5;
+  A.StrideH = A.StrideW = 2;
+  A.PadTop = A.PadBottom = 2;
+  const int64_t Ho = (15 + 4 - 5) / 2 + 1; // 8
+  const ConvInputReq Req = convInputRowsFor(A, 15, 0, Ho);
+  EXPECT_EQ(Req.InBegin, 0);
+  EXPECT_EQ(Req.InEnd, 15);
+  EXPECT_EQ(Req.PadTop, 2);
+  EXPECT_EQ(Req.PadBottom, 2);
+}
+
+//===----------------------------------------------------------------------===
+// End-to-end: N-way splits are bit-identical to the unsplit conv
+//===----------------------------------------------------------------------===
+
+struct BoundaryCase {
+  int64_t H, K, Stride, Pad, Parts;
+  bool Bias;
+};
+
+class SplitBoundaryEquivalence
+    : public ::testing::TestWithParam<BoundaryCase> {};
+
+TEST_P(SplitBoundaryEquivalence, NWaySplitBitIdentical) {
+  const BoundaryCase C = GetParam();
+  const Graph Original =
+      convGraph(C.H, C.K, C.Stride, C.Pad, C.Bias);
+  const Graph Split = splitConvNWays(Original, C.Parts);
+  // The rewritten graph must satisfy every verifier invariant...
+  ASSERT_FALSE(verify(Split).has_value());
+  // ...and compute the same function.
+  expectBitIdentical(Original, Split);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SplitBoundaryEquivalence,
+    ::testing::Values(
+        // Odd output heights splitting unevenly (15 -> 4+4+4+3).
+        BoundaryCase{15, 3, 1, 1, 4, false},
+        BoundaryCase{15, 5, 1, 2, 4, true},
+        BoundaryCase{9, 7, 1, 3, 2, false},
+        // Stride 2: part boundaries land between sampled rows. 15
+        // rows, k=3, s=2, p=1 -> 8 output rows -> 3+3+2.
+        BoundaryCase{15, 3, 2, 1, 3, false},
+        BoundaryCase{15, 5, 2, 2, 3, true},
+        BoundaryCase{16, 7, 2, 3, 3, false},
+        // Stride 2 without padding (bottom rows partially consumed).
+        BoundaryCase{15, 3, 2, 0, 3, false},
+        // Asymmetric-looking case: stride larger than half the kernel.
+        BoundaryCase{14, 7, 2, 3, 4, true},
+        // One part per output row: every boundary is exercised.
+        BoundaryCase{9, 7, 1, 3, 9, false},
+        BoundaryCase{11, 5, 2, 2, 6, false},
+        BoundaryCase{15, 3, 2, 1, 8, true}));
+
+TEST(SplitBoundaryTest, SplitCountsSweepOddHeight) {
+  // Sweep every part count for one odd-height strided conv: 15 rows,
+  // k=3, s=2, p=1 gives 8 output rows; parts 2..8 cover every uneven
+  // partition shape.
+  const Graph Original = convGraph(15, 3, 2, 1);
+  for (int64_t Parts = 2; Parts <= 8; ++Parts) {
+    SCOPED_TRACE(formatStr("parts=%lld", static_cast<long long>(Parts)));
+    const Graph Split = splitConvNWays(Original, Parts);
+    ASSERT_FALSE(verify(Split).has_value());
+    expectBitIdentical(Original, Split);
+  }
+}

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-#===- tools/ci.sh - tier-1 verification + thread-sanitized search tests ---===#
+#===- tools/ci.sh - tier-1 verification + checked/sanitized trees ---------===#
 #
 # Part of the PIMFlow reproduction, released under the MIT license.
 #
-# Two passes:
+# Three passes:
 #   1. The tier-1 gate: configure, build, and run the full test suite in
 #      build/ (exactly what ROADMAP.md specifies).
-#   2. A ThreadSanitizer tree in build-tsan/ running the concurrency-facing
+#   2. A PIMFLOW_CHECKED tree in build-checked/ running the full suite with
+#      the graph verifier active at every pass boundary (PF_VERIFY_PASS in
+#      ir/Verifier.h), so an invariant-breaking transform fails in CI even
+#      when no test inspects the intermediate graph.
+#   3. A ThreadSanitizer tree in build-tsan/ running the concurrency-facing
 #      suites (thread pool, profiler, search) to catch data races in the
 #      parallel candidate-profiling pre-pass.
 #
@@ -23,7 +27,12 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== tier 2: ThreadSanitizer on the concurrency-facing suites =="
+echo "== tier 2: full suite with per-pass graph verification =="
+cmake -B build-checked -S . -DPIMFLOW_CHECKED=ON
+cmake --build build-checked -j "$JOBS"
+ctest --test-dir build-checked --output-on-failure -j "$JOBS"
+
+echo "== tier 3: ThreadSanitizer on the concurrency-facing suites =="
 cmake -B build-tsan -S . -DPIMFLOW_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target support_test search_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \

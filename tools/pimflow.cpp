@@ -23,6 +23,12 @@
 /// Compile-time knobs:
 ///   --jobs=N  profiling worker threads (default: all hardware threads;
 ///             --jobs=1 reproduces the serial search bit for bit)
+/// Verification knobs:
+///   --verify        verify input/loaded graphs and every pass boundary;
+///                   diagnostics go to stderr and exit non-zero
+///   --differential  cross-run the interpreter on original vs. transformed
+///                   graphs at each pass boundary (slow; debugging aid)
+///   --max-errors=N  cap collected diagnostics (default 64)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +44,7 @@
 #include "pim/TraceIO.h"
 #include "ir/GraphPrinter.h"
 #include "ir/GraphSerializer.h"
+#include "ir/Verifier.h"
 #include "models/Zoo.h"
 #include "obs/ChromeTrace.h"
 #include "obs/Counters.h"
@@ -67,6 +74,7 @@ struct CliOptions {
   int Verbose = 0;
   bool GpuOnly = false;
   bool Stats = false;
+  bool Verify = false; // --verify: run the graph verifier on inputs/outputs.
   PimFlowOptions Flow;
 
   CliOptions() {
@@ -89,6 +97,7 @@ void usage() {
       "[--no-memopt] [--stats]\n"
       "               [--jobs=N]   (profiling threads; default all cores, "
       "1 = serial)\n"
+      "               [--verify] [--differential] [--max-errors=N]\n"
       "               [--trace-out=<file>] [--json-stats=<file>] "
       "[-v|-vv]\n"
       "nets: efficientnet-v1-b0 mobilenet-v2 mnasnet-1.0 resnet-50 vgg-16 "
@@ -97,7 +106,34 @@ void usage() {
       "PIMFlow\n");
 }
 
-bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+/// Parses the value of an `--opt=N` argument as a bounded integer.
+/// Malformed or out-of-range values become cli.bad-option diagnostics
+/// instead of std::atoi's silent 0 (which used to configure 0 PIM channels
+/// from `--pim-channels=abc` and run the whole flow on garbage).
+bool parseIntOption(const std::string &Arg, const std::string &Val,
+                    int64_t Min, int64_t Max, int &Out,
+                    DiagnosticEngine &DE) {
+  const std::string Name = Arg.substr(0, Arg.find('='));
+  const std::optional<int64_t> Parsed = parseInt(Val);
+  if (!Parsed) {
+    DE.error(DiagCode::BadOption, Name,
+             formatStr("expects an integer, got '%s'", Val.c_str()));
+    return false;
+  }
+  if (*Parsed < Min || *Parsed > Max) {
+    DE.error(DiagCode::BadOption, Name,
+             formatStr("value %lld is outside the legal range [%lld, %lld]",
+                       static_cast<long long>(*Parsed),
+                       static_cast<long long>(Min),
+                       static_cast<long long>(Max)));
+    return false;
+  }
+  Out = static_cast<int>(*Parsed);
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
+  bool Ok = true;
   for (int I = 1; I < Argc; ++I) {
     const std::string Arg = Argv[I];
     auto Val = [&Arg]() { return Arg.substr(Arg.find('=') + 1); };
@@ -126,32 +162,57 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
     else if (Arg == "-vv")
       O.Verbose = 2;
     else if (startsWith(Arg, "--pim-channels="))
-      O.Flow.PimChannels = std::atoi(Val().c_str());
+      // SystemConfig::dual requires 0 < PimChannels < TotalChannels.
+      Ok &= parseIntOption(Arg, Val(), 1, O.Flow.TotalChannels - 1,
+                           O.Flow.PimChannels, DE);
     else if (startsWith(Arg, "--stages="))
-      O.Flow.PipelineStages = std::atoi(Val().c_str());
+      Ok &= parseIntOption(Arg, Val(), 2, 64, O.Flow.PipelineStages, DE);
     else if (startsWith(Arg, "--jobs="))
-      O.Flow.SearchJobs = std::atoi(Val().c_str());
+      // 0 = all hardware threads.
+      Ok &= parseIntOption(Arg, Val(), 0, 4096, O.Flow.SearchJobs, DE);
+    else if (startsWith(Arg, "--max-errors="))
+      Ok &= parseIntOption(Arg, Val(), 1, 1 << 20, O.Flow.MaxVerifyErrors,
+                           DE);
+    else if (Arg == "--verify") {
+      O.Verify = true;
+      O.Flow.VerifyPasses = true;
+    } else if (Arg == "--differential")
+      O.Flow.DifferentialCheck = true;
     else if (Arg == "--autotune")
       O.Flow.AutoTuneRatios = true;
     else if (Arg == "--no-memopt")
       O.Flow.MemoryOptimizer = false;
     else {
-      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
-      return false;
+      DE.error(DiagCode::BadOption, Arg, "unknown argument");
+      Ok = false;
     }
   }
   if (O.Mode != "profile" && O.Mode != "solve" && O.Mode != "run" &&
       O.Mode != "trace") {
-    std::fprintf(stderr,
-                 "error: -m must be profile, solve, run or trace\n");
-    return false;
+    DE.error(DiagCode::BadOption, "-m",
+             "must be profile, solve, run or trace");
+    Ok = false;
   }
   if (O.Mode == "profile" && O.ProfileTarget != "split" &&
       O.ProfileTarget != "pipeline") {
-    std::fprintf(stderr, "error: -t must be split or pipeline\n");
-    return false;
+    DE.error(DiagCode::BadOption, "-t", "must be split or pipeline");
+    Ok = false;
   }
-  return true;
+  return Ok;
+}
+
+/// --verify support: runs the graph verifier over \p G and renders every
+/// finding to stderr. Returns non-zero when diagnostics were produced so
+/// callers can exit instead of computing on a broken graph.
+int verifyGraphCli(const Graph &G, const CliOptions &O, const char *What) {
+  if (!O.Verify)
+    return 0;
+  DiagnosticEngine DE(O.Flow.MaxVerifyErrors);
+  if (verify(G, DE))
+    return 0;
+  std::fprintf(stderr, "error: %s '%s' failed verification:\n%s", What,
+               G.name().c_str(), DE.render().c_str());
+  return 1;
 }
 
 OffloadPolicy policyFromName(const std::string &Name) {
@@ -247,6 +308,8 @@ int runSolve(const CliOptions &O) {
     return 2;
   }
   Graph Model = std::move(*Maybe);
+  if (const int Rc = verifyGraphCli(Model, O, "model"))
+    return Rc;
   PimFlow Flow(policyFromName(O.Policy), O.Flow);
   Flow.profiler().loadCache(cachePath(O));
   CompileResult R = Flow.compileAndRun(Model);
@@ -293,6 +356,9 @@ int runExecuteGraphFile(const CliOptions &O) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
+  // Graph files are hand-editable: verify before executing when asked.
+  if (const int Rc = verifyGraphCli(*Loaded, O, "graph file"))
+    return Rc;
   const SystemConfig Config =
       systemConfigFor(O.GpuOnly ? OffloadPolicy::GpuOnly
                                 : policyFromName(O.Policy),
@@ -325,6 +391,8 @@ int runExecute(const CliOptions &O) {
     return 2;
   }
   Graph Model = std::move(*Maybe);
+  if (const int Rc = verifyGraphCli(Model, O, "model"))
+    return Rc;
   const OffloadPolicy Policy =
       O.GpuOnly ? OffloadPolicy::GpuOnly : policyFromName(O.Policy);
   PimFlow Flow(Policy, O.Flow);
@@ -360,6 +428,8 @@ int runTrace(const CliOptions &O) {
     return 2;
   }
   Graph Model = std::move(*Maybe);
+  if (const int Rc = verifyGraphCli(Model, O, "model"))
+    return Rc;
   PimFlow Flow(policyFromName(O.Policy), O.Flow);
   Flow.profiler().loadCache(cachePath(O));
   CompileResult R = Flow.compileAndRun(Model);
@@ -391,7 +461,9 @@ int runTrace(const CliOptions &O) {
 
 int main(int Argc, char **Argv) {
   CliOptions O;
-  if (!parseArgs(Argc, Argv, O)) {
+  DiagnosticEngine DE;
+  if (!parseArgs(Argc, Argv, O, DE)) {
+    std::fprintf(stderr, "%s", DE.render().c_str());
     usage();
     return 2;
   }
