@@ -11,6 +11,7 @@
 #include "obs/Counters.h"
 #include "obs/Trace.h"
 #include "runtime/Equivalence.h"
+#include "runtime/Recovery.h"
 #include "support/Format.h"
 #include "support/Log.h"
 #include "transform/Canonicalize.h"
@@ -102,6 +103,16 @@ CompileResult PimFlow::compileAndRun(const Graph &Model) {
   R.Policy = Policy;
   R.Config = Config;
 
+  {
+    // Reject out-of-range configurations before they configure anything; the
+    // factories always produce valid configs, so this only fires for
+    // hand-assembled option sets.
+    DiagnosticEngine DE;
+    if (!validateSystemConfig(Config, DE))
+      fatal(formatStr("invalid system configuration:\n%s",
+                      DE.render().c_str()));
+  }
+
   SearchEngine Search(Prof, searchOptionsFor(Policy, Options));
   R.Plan = Search.search(Model);
   PF_LOG_INFO("search: %zu segments, %.2f us predicted (%zu/%zu profile "
@@ -169,10 +180,48 @@ CompileResult PimFlow::compileAndRun(const Graph &Model) {
     }
   }
 
-  {
+  if (Options.FaultSpec.empty()) {
     PF_TRACE_SCOPE_CAT("pimflow.execute", "compile");
     ExecutionEngine Engine(Config);
     R.Schedule = Engine.execute(R.Transformed);
+  } else {
+    // Fault-injected execution: build the fault schedule, then let the
+    // recovery executor retry, remap, or fall back as needed. Recovery only
+    // flips device annotations, so the executed graph stays bit-identical
+    // to the transformed one.
+    PF_TRACE_SCOPE_CAT("pimflow.execute_with_faults", "compile");
+    DiagnosticEngine DE;
+    FaultModel Faults;
+    if (Options.FaultSpec == "chaos") {
+      Faults = FaultModel::chaos(Options.FaultSeed, Config.Pim.Channels);
+    } else if (auto Parsed = FaultModel::parse(Options.FaultSpec, DE)) {
+      Faults = *std::move(Parsed);
+    } else {
+      fatal(formatStr("bad --faults spec:\n%s", DE.render().c_str()));
+    }
+    PF_LOG_INFO("injecting faults: %s", Faults.describe().c_str());
+
+    RecoveryOptions RO;
+    RO.Retry.MaxRetries = Options.MaxRetries;
+    RO.PimFloor = Options.PimFloor;
+    RecoveryExecutor Exec(Config, Faults, RO);
+    RecoveryResult RR = Exec.run(R.Transformed, DE);
+    if (!RR.Ok)
+      fatal(formatStr("fault recovery failed for '%s':\n%s",
+                      R.Transformed.name().c_str(), DE.render().c_str()));
+    R.Transformed = std::move(RR.Executed);
+    R.Schedule = std::move(RR.Schedule);
+    R.Recovery.Active = true;
+    R.Recovery.Degraded = RR.Degraded;
+    R.Recovery.DeadChannels = RR.DeadChannels;
+    R.Recovery.StalledChannels = RR.StalledChannels;
+    R.Recovery.SurvivingChannels = RR.SurvivingChannels;
+    R.Recovery.NodesRemapped = RR.NodesRemapped;
+    R.Recovery.NodesFellBack = RR.NodesFellBack;
+    R.Recovery.TransientRetries = RR.TransientRetries;
+    R.Recovery.Notes = std::move(RR.Notes);
+    for (const std::string &Note : R.Recovery.Notes)
+      PF_LOG_INFO("recovery: %s", Note.c_str());
   }
   obs::addCounter("pimflow.compilations");
   PF_LOG_INFO("executed %s: %.2f us end-to-end, %.2f uJ",

@@ -85,6 +85,16 @@ struct PimFlowOptions {
   bool DifferentialCheck = false;
   /// Cap on collected diagnostics when verification fails (--max-errors).
   int MaxVerifyErrors = 64;
+  /// Fault-injection spec (--faults): the FaultModel::parse grammar, or the
+  /// literal "chaos" to derive a seeded random schedule. Empty = no faults.
+  std::string FaultSpec;
+  /// Seed for FaultSpec == "chaos" (--fault-seed).
+  uint64_t FaultSeed = 0;
+  /// Retry budget for transient command faults (--max-retries).
+  int MaxRetries = 3;
+  /// Minimum surviving PIM channels before whole-graph GPU fallback
+  /// (--pim-floor).
+  int PimFloor = 1;
 };
 
 /// Builds the system configuration a policy runs on.
@@ -92,6 +102,22 @@ SystemConfig systemConfigFor(OffloadPolicy P, const PimFlowOptions &O);
 
 /// Builds the search option set a policy is allowed to use.
 SearchOptions searchOptionsFor(OffloadPolicy P, const PimFlowOptions &O);
+
+/// Degradation summary of a fault-injected run (CompileResult::Recovery).
+struct RecoverySummary {
+  /// Fault injection was requested (FaultSpec non-empty).
+  bool Active = false;
+  /// Something degraded: channels lost, nodes remapped or demoted.
+  bool Degraded = false;
+  int DeadChannels = 0;
+  int StalledChannels = 0;
+  int SurvivingChannels = 0;
+  int NodesRemapped = 0;
+  int NodesFellBack = 0;
+  int TransientRetries = 0;
+  /// Human-readable degradation notes, one per event.
+  std::vector<std::string> Notes;
+};
 
 /// Outcome of compiling and executing one model under one policy.
 struct CompileResult {
@@ -112,6 +138,9 @@ struct CompileResult {
   double ConvLayerNs = 0.0;
   /// Likewise for FC (Gemm) layers.
   double FcLayerNs = 0.0;
+
+  /// Degradation summary when the run was fault-injected (--faults).
+  RecoverySummary Recovery;
 };
 
 /// The compiler-and-runtime facade.

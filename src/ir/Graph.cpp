@@ -173,6 +173,12 @@ std::vector<NodeId> Graph::consumers(ValueId Id) const {
 }
 
 std::vector<NodeId> Graph::topoOrder() const {
+  std::vector<NodeId> Order = tryTopoOrder();
+  PF_ASSERT(Order.size() == numNodes(), "graph contains a dataflow cycle");
+  return Order;
+}
+
+std::vector<NodeId> Graph::tryTopoOrder() const {
   // Kahn's algorithm: a node is ready once all of its non-parameter,
   // non-graph-input inputs have been produced.
   std::vector<int> PendingInputs(Nodes.size(), 0);
@@ -207,7 +213,9 @@ std::vector<NodeId> Graph::topoOrder() const {
         if (--PendingInputs[static_cast<size_t>(Consumer)] == 0)
           Ready.push_back(Consumer);
   }
-  PF_ASSERT(Order.size() == LiveCount, "graph contains a dataflow cycle");
+  // Cyclic dependency sets never become ready; the order is partial and
+  // the caller decides how to fail (topoOrder asserts, the execution
+  // engine and validate() diagnose).
   return Order;
 }
 
@@ -235,9 +243,9 @@ std::optional<std::string> Graph::validate() const {
   // serializer); live nodes with no graph outputs are not.
   if (Outputs.empty() && numNodes() > 0)
     return std::string("graph has no outputs");
-  // Run the toposort to assert acyclicity (it aborts on cycles in debug;
-  // verify count here for release builds too).
-  if (topoOrder().size() != numNodes())
+  // Run the toposort to check acyclicity without tripping topoOrder's
+  // must-be-acyclic assertion.
+  if (tryTopoOrder().size() != numNodes())
     return std::string("graph contains a dataflow cycle");
   return std::nullopt;
 }

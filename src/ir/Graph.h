@@ -157,6 +157,11 @@ public:
   /// Topologically sorted live node ids (Kahn). Aborts on cycles.
   std::vector<NodeId> topoOrder() const;
 
+  /// Like topoOrder, but a cyclic graph yields a partial order (the
+  /// schedulable prefix) instead of aborting — callers compare the size
+  /// against numNodes() to diagnose cycles gracefully.
+  std::vector<NodeId> tryTopoOrder() const;
+
   /// Structural validation: every live node's values exist, every flowing
   /// value consumed by a live node has a live producer or is a graph input,
   /// graph outputs are produced. Returns an error description or

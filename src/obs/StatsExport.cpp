@@ -61,6 +61,19 @@ std::string pf::obs::renderStatsJson(const CompileResult &R,
              static_cast<int64_t>(R.Schedule.Nodes.size()))
       .endObject();
 
+  if (R.Recovery.Active) {
+    W.key("recovery")
+        .beginObject()
+        .field("degraded", R.Recovery.Degraded)
+        .field("dead_channels", R.Recovery.DeadChannels)
+        .field("stalled_channels", R.Recovery.StalledChannels)
+        .field("surviving_channels", R.Recovery.SurvivingChannels)
+        .field("nodes_remapped", R.Recovery.NodesRemapped)
+        .field("node_fallbacks", R.Recovery.NodesFellBack)
+        .field("transient_retries", R.Recovery.TransientRetries)
+        .endObject();
+  }
+
   const Registry &Reg = Registry::instance();
   W.key("counters").beginObject();
   for (const auto &[Name, Value] : Reg.counterSnapshot())

@@ -1,0 +1,158 @@
+//===- pim/FaultModel.h - Deterministic PIM fault schedules -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seed-driven schedule of injectable PIM faults. Real
+/// DRAM-PIM deployments lose channels, see transient command failures on the
+/// shared bus, and stall on cross-channel fetches; the stack must degrade
+/// gracefully instead of producing wrong timings or hanging. The model
+/// covers four fault classes:
+///
+///  * DeadChannel     — a PIM channel is permanently unusable; its work must
+///                      be remapped across the survivors.
+///  * SlowChannel     — a channel completes commands at a latency multiple
+///                      (thermal throttling, marginal timing margins).
+///  * TransientCommand — the Nth COMP/READRES on a channel fails a bounded
+///                      number of times before succeeding; the runtime
+///                      retries with backoff.
+///  * StalledGwrite   — a GWRITE never completes; a per-command watchdog
+///                      bounds the loss and the channel counts as lost.
+///
+/// Every fault is a *pure function of the model's contents*: simulating the
+/// same trace against the same model twice gives identical results, so the
+/// recovery pre-check and the execution engine always agree on outcomes.
+/// FaultModel::chaos derives a randomized-but-seeded schedule for the chaos
+/// test harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_PIM_FAULTMODEL_H
+#define PIMFLOW_PIM_FAULTMODEL_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pim/PimCommand.h"
+#include "support/Diagnostics.h"
+
+namespace pf {
+
+/// The injectable fault classes.
+enum class FaultKind : uint8_t {
+  DeadChannel,
+  SlowChannel,
+  TransientCommand,
+  StalledGwrite,
+};
+
+/// Returns "dead"/"slow"/"transient"/"stall".
+const char *faultKindName(FaultKind Kind);
+
+/// One transient command failure: the \p Ordinal-th expanded command of
+/// \p Kind on \p Channel fails \p Fails consecutive times before
+/// succeeding. Kind is restricted to Comp and ReadRes (the bank-engine
+/// commands whose results cross the bus).
+struct TransientFault {
+  int Channel = 0;
+  PimCmdKind Kind = PimCmdKind::Comp;
+  int64_t Ordinal = 0;
+  int Fails = 1;
+};
+
+/// Retry/backoff policy applied to transient faults plus the per-command
+/// watchdog bounding stalled commands. All costs are in PIM clock cycles so
+/// the simulator can price them directly.
+struct RetryPolicy {
+  /// Maximum re-issues of a failed command before the fault is treated as
+  /// persistent and the kernel falls back.
+  int MaxRetries = 3;
+  /// Backoff before the first retry; doubles per attempt (exponential).
+  int64_t BackoffBaseCycles = 64;
+  /// Multiplier applied to the backoff after every failed attempt.
+  int BackoffMultiplier = 2;
+  /// Per-command completion bound: a command not done after this many
+  /// cycles is declared stalled, so a hung trace can never hang the
+  /// makespan computation.
+  int64_t WatchdogCycles = 1 << 20;
+
+  /// Total extra cycles of \p Attempts retries of a command whose base
+  /// latency is \p CmdCycles (re-issue cost plus accumulated backoff).
+  int64_t retryCostCycles(int Attempts, int64_t CmdCycles) const;
+};
+
+/// A deterministic schedule of faults against one PIM channel group.
+/// Channel indices refer to the PIM channel group (0-based, below
+/// PimConfig::Channels); entries aimed at out-of-range channels are inert.
+class FaultModel {
+public:
+  FaultModel() = default;
+
+  /// Parses a comma-separated fault spec:
+  ///   dead:<ch>                 permanently dead channel
+  ///   stall:<ch>                stalled GWRITE on the channel
+  ///   slow:<ch>:<mult>          latency multiplier (float >= 1)
+  ///   comp:<ch>:<ord>:<fails>   Nth COMP fails <fails> times
+  ///   readres:<ch>:<ord>:<fails>  likewise for READRES
+  /// Malformed entries produce fault.bad-spec diagnostics and nullopt.
+  static std::optional<FaultModel> parse(const std::string &Spec,
+                                         DiagnosticEngine &DE);
+
+  /// Randomized-but-seeded schedule over \p NumChannels channels: 1-3
+  /// faults of mixed classes drawn from a deterministic PRNG. Identical
+  /// (Seed, NumChannels) pairs yield identical models.
+  static FaultModel chaos(uint64_t Seed, int NumChannels);
+
+  void addDead(int Channel) { Dead.insert(Channel); }
+  void addStalled(int Channel) { Stalled.insert(Channel); }
+  void addSlow(int Channel, double Factor);
+  void addTransient(TransientFault F) { Transients.push_back(F); }
+
+  bool empty() const {
+    return Dead.empty() && Stalled.empty() && Slow.empty() &&
+           Transients.empty();
+  }
+  int faultCount() const {
+    return static_cast<int>(Dead.size() + Stalled.size() + Slow.size() +
+                            Transients.size());
+  }
+
+  bool channelDead(int Channel) const { return Dead.count(Channel) > 0; }
+  bool channelStalled(int Channel) const {
+    return Stalled.count(Channel) > 0;
+  }
+  /// Latency multiplier of \p Channel (1.0 when healthy).
+  double slowFactor(int Channel) const;
+  const std::vector<TransientFault> &transients() const { return Transients; }
+  /// Transient faults aimed at \p Channel.
+  std::vector<TransientFault> transientsOn(int Channel) const;
+
+  /// Channels in [0, NumChannels) that are neither dead nor stalled, in
+  /// ascending order.
+  std::vector<int> survivors(int NumChannels) const;
+
+  /// Projects the model onto a compacted survivor channel group: survivor
+  /// \p Survivors[i] becomes channel i of the result. Dead/stalled entries
+  /// vanish (their channels are gone); slow factors and transients follow
+  /// their channel to its new index.
+  FaultModel compactedFor(const std::vector<int> &Survivors) const;
+
+  /// Human-readable one-line summary ("dead:3 slow:2:4.0 comp:1:8:2").
+  std::string describe() const;
+
+private:
+  std::set<int> Dead;
+  std::set<int> Stalled;
+  std::map<int, double> Slow;
+  std::vector<TransientFault> Transients;
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_PIM_FAULTMODEL_H

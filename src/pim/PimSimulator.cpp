@@ -141,6 +141,84 @@ void runPattern(const PimConfig &C, ChannelState &S,
 
 } // namespace
 
+const char *pf::channelHealthName(ChannelHealth H) {
+  switch (H) {
+  case ChannelHealth::Ok:
+    return "ok";
+  case ChannelHealth::Degraded:
+    return "degraded";
+  case ChannelHealth::Dead:
+    return "dead";
+  case ChannelHealth::Stalled:
+    return "stalled";
+  case ChannelHealth::RetriesExhausted:
+    return "retries-exhausted";
+  }
+  pf_unreachable("unknown channel health");
+}
+
+namespace {
+
+/// Accumulates \p Channel's expanded command counts into \p Stats.
+void accumulateCommands(const ChannelTrace &Channel, PimRunStats &Stats) {
+  for (const CommandBlock &B : Channel.Blocks) {
+    for (const PimCommand &Cmd : B.Pattern) {
+      switch (Cmd.Kind) {
+      case PimCmdKind::Gwrite:
+        Stats.GwriteCmds += B.Repeats;
+        Stats.GwriteBursts += B.Repeats * Cmd.Count;
+        break;
+      case PimCmdKind::Gwrite2:
+        Stats.GwriteCmds += B.Repeats;
+        Stats.GwriteBursts += B.Repeats * Cmd.Count * 2;
+        break;
+      case PimCmdKind::Gwrite4:
+        Stats.GwriteCmds += B.Repeats;
+        Stats.GwriteBursts += B.Repeats * Cmd.Count * 4;
+        break;
+      case PimCmdKind::GAct:
+        Stats.GActs += B.Repeats * Cmd.Count;
+        break;
+      case PimCmdKind::Comp:
+        Stats.CompCmds += B.Repeats;
+        Stats.CompColumns += B.Repeats * Cmd.Count;
+        break;
+      case PimCmdKind::ReadRes:
+        Stats.ReadResCmds += B.Repeats * Cmd.Count;
+        break;
+      }
+    }
+  }
+}
+
+bool isGwrite(PimCmdKind Kind) {
+  return Kind == PimCmdKind::Gwrite || Kind == PimCmdKind::Gwrite2 ||
+         Kind == PimCmdKind::Gwrite4;
+}
+
+/// Expanded command instances of \p Kind in \p Channel (COMP: one instance
+/// per issued command; READRES: Count repetitions per command).
+int64_t instancesOf(const ChannelTrace &Channel, PimCmdKind Kind) {
+  int64_t N = 0;
+  for (const CommandBlock &B : Channel.Blocks)
+    for (const PimCommand &Cmd : B.Pattern) {
+      if (Cmd.Kind != Kind)
+        continue;
+      N += Kind == PimCmdKind::Comp ? B.Repeats : B.Repeats * Cmd.Count;
+    }
+  return N;
+}
+
+bool hasGwrite(const ChannelTrace &Channel) {
+  for (const CommandBlock &B : Channel.Blocks)
+    for (const PimCommand &Cmd : B.Pattern)
+      if (isGwrite(Cmd.Kind))
+        return true;
+  return false;
+}
+
+} // namespace
+
 int64_t PimSimulator::simulateChannel(const ChannelTrace &Trace) const {
   ChannelState S;
   for (const CommandBlock &B : Trace.Blocks) {
@@ -180,34 +258,7 @@ PimRunStats PimSimulator::run(const DeviceTrace &Trace) const {
     Stats.Cycles = std::max(Stats.Cycles, Cycles);
     Stats.BusyCycleSum += Cycles;
     ++Stats.ActiveChannels;
-    for (const CommandBlock &B : Channel.Blocks) {
-      for (const PimCommand &Cmd : B.Pattern) {
-        switch (Cmd.Kind) {
-        case PimCmdKind::Gwrite:
-          Stats.GwriteCmds += B.Repeats;
-          Stats.GwriteBursts += B.Repeats * Cmd.Count;
-          break;
-        case PimCmdKind::Gwrite2:
-          Stats.GwriteCmds += B.Repeats;
-          Stats.GwriteBursts += B.Repeats * Cmd.Count * 2;
-          break;
-        case PimCmdKind::Gwrite4:
-          Stats.GwriteCmds += B.Repeats;
-          Stats.GwriteBursts += B.Repeats * Cmd.Count * 4;
-          break;
-        case PimCmdKind::GAct:
-          Stats.GActs += B.Repeats * Cmd.Count;
-          break;
-        case PimCmdKind::Comp:
-          Stats.CompCmds += B.Repeats;
-          Stats.CompColumns += B.Repeats * Cmd.Count;
-          break;
-        case PimCmdKind::ReadRes:
-          Stats.ReadResCmds += B.Repeats * Cmd.Count;
-          break;
-        }
-      }
-    }
+    accumulateCommands(Channel, Stats);
   }
   Stats.Ns = Config.cyclesToNs(Stats.Cycles);
   // The GWRITE fetch traffic of all channels is supplied by the GPU channel
@@ -226,6 +277,88 @@ PimRunStats PimSimulator::run(const DeviceTrace &Trace) const {
   obs::addCounter("pim.sim.commands", Stats.GwriteCmds + Stats.GActs +
                                           Stats.CompCmds + Stats.ReadResCmds);
   return Stats;
+}
+
+FaultyRunStats PimSimulator::runWithFaults(const DeviceTrace &Trace,
+                                           const FaultModel &Faults,
+                                           const RetryPolicy &Retry) const {
+  FaultyRunStats R;
+  PimRunStats &Stats = R.Stats;
+  for (size_t ChIdx = 0; ChIdx < Trace.Channels.size(); ++ChIdx) {
+    const ChannelTrace &Channel = Trace.Channels[ChIdx];
+    if (Channel.empty())
+      continue;
+    const int Ch = static_cast<int>(ChIdx);
+    ChannelFaultOutcome O;
+    O.Channel = Ch;
+    ++Stats.ActiveChannels;
+    accumulateCommands(Channel, Stats);
+
+    if (Faults.channelDead(Ch)) {
+      // No progress at all: the channel's share of the kernel is lost.
+      O.Health = ChannelHealth::Dead;
+      obs::addCounter("pim.sim.dead_channel_hits");
+      R.Outcomes.push_back(O);
+      continue;
+    }
+    if (Faults.channelStalled(Ch) && hasGwrite(Channel)) {
+      // The stalled GWRITE never completes; the per-command watchdog bounds
+      // the loss so the makespan computation cannot hang.
+      O.Health = ChannelHealth::Stalled;
+      O.Cycles = Retry.WatchdogCycles;
+      obs::addCounter("pim.sim.watchdog_trips");
+      Stats.Cycles = std::max(Stats.Cycles, O.Cycles);
+      Stats.BusyCycleSum += O.Cycles;
+      R.Outcomes.push_back(O);
+      continue;
+    }
+
+    int64_t Cycles = simulateChannel(Channel);
+    const double Slow = Faults.slowFactor(Ch);
+    if (Slow > 1.0) {
+      Cycles = static_cast<int64_t>(static_cast<double>(Cycles) * Slow);
+      O.Health = ChannelHealth::Degraded;
+      obs::addCounter("pim.sim.slow_channel_hits");
+    }
+    for (const TransientFault &T : Faults.transientsOn(Ch)) {
+      if (T.Kind != PimCmdKind::Comp && T.Kind != PimCmdKind::ReadRes)
+        continue;
+      // Faults aimed past the end of the trace never fire.
+      if (T.Ordinal >= instancesOf(Channel, T.Kind))
+        continue;
+      ++O.TransientFaults;
+      const int64_t CmdCycles =
+          T.Kind == PimCmdKind::Comp ? Config.TComp : Config.TReadRes;
+      const int Attempts = std::min(T.Fails, Retry.MaxRetries);
+      O.Retries += Attempts;
+      const int64_t Extra = Retry.retryCostCycles(Attempts, CmdCycles);
+      O.RetryCycles += Extra;
+      Cycles += Extra;
+      obs::addCounter("pim.sim.transient_faults");
+      obs::addCounter("pim.sim.retries", Attempts);
+      if (T.Fails > Retry.MaxRetries)
+        O.Health = ChannelHealth::RetriesExhausted;
+      else if (O.Health == ChannelHealth::Ok)
+        O.Health = ChannelHealth::Degraded;
+    }
+    O.Cycles = Cycles;
+    R.TotalRetries += O.Retries;
+    Stats.Cycles = std::max(Stats.Cycles, Cycles);
+    Stats.BusyCycleSum += Cycles;
+    R.Outcomes.push_back(O);
+  }
+  Stats.Ns = Config.cyclesToNs(Stats.Cycles);
+  // Same fetch-supply floor as the fault-free path: retries do not add
+  // GWRITE traffic, so the floor is unchanged.
+  const double FetchBytes = static_cast<double>(Stats.GwriteBursts) *
+                            static_cast<double>(Config.BurstBytes);
+  const double FetchFloorNs = FetchBytes / (Config.FetchSupplyGBs * 1e9) * 1e9;
+  if (FetchFloorNs > Stats.Ns) {
+    Stats.Ns = FetchFloorNs;
+    Stats.Cycles = static_cast<int64_t>(FetchFloorNs * Config.ClockGhz);
+  }
+  obs::addCounter("pim.sim.fault_runs");
+  return R;
 }
 
 double PimSimulator::energyJ(const PimRunStats &Stats,

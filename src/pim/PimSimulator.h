@@ -23,6 +23,9 @@
 #ifndef PIMFLOW_PIM_PIMSIMULATOR_H
 #define PIMFLOW_PIM_PIMSIMULATOR_H
 
+#include <vector>
+
+#include "pim/FaultModel.h"
 #include "pim/PimCommand.h"
 #include "pim/PimConfig.h"
 
@@ -48,6 +51,63 @@ struct PimRunStats {
   int ActiveChannels = 0;
 };
 
+/// Health classification of one channel after a fault-aware run.
+enum class ChannelHealth : uint8_t {
+  Ok,               ///< Completed fault-free.
+  Degraded,         ///< Completed, but slower (retries / slow channel).
+  Dead,             ///< Permanently unusable; made no progress.
+  Stalled,          ///< A GWRITE never completed; watchdog fired.
+  RetriesExhausted, ///< A transient fault outlived the retry budget.
+};
+
+/// Returns "ok"/"degraded"/"dead"/"stalled"/"retries-exhausted".
+const char *channelHealthName(ChannelHealth H);
+
+/// Per-channel outcome of a fault-aware run.
+struct ChannelFaultOutcome {
+  int Channel = 0;
+  ChannelHealth Health = ChannelHealth::Ok;
+  /// Commands that failed at least once.
+  int TransientFaults = 0;
+  /// Retry attempts actually issued.
+  int Retries = 0;
+  /// Extra cycles spent re-issuing commands and backing off.
+  int64_t RetryCycles = 0;
+  /// Channel completion time (watchdog bound for stalled channels, 0 for
+  /// dead ones).
+  int64_t Cycles = 0;
+
+  /// True when the channel cannot finish its trace under any retry budget.
+  bool persistent() const {
+    return Health == ChannelHealth::Dead ||
+           Health == ChannelHealth::Stalled ||
+           Health == ChannelHealth::RetriesExhausted;
+  }
+};
+
+/// Aggregate results of a fault-aware run: retry-inflated timing plus the
+/// per-channel outcomes recovery decides on.
+struct FaultyRunStats {
+  PimRunStats Stats;
+  std::vector<ChannelFaultOutcome> Outcomes;
+  int TotalRetries = 0;
+
+  /// True when at least one channel ended in a persistent failure — the
+  /// kernel as planned did not complete and its result must not be used.
+  bool anyPersistent() const {
+    for (const ChannelFaultOutcome &O : Outcomes)
+      if (O.persistent())
+        return true;
+    return false;
+  }
+  bool degraded() const {
+    for (const ChannelFaultOutcome &O : Outcomes)
+      if (O.Health != ChannelHealth::Ok)
+        return true;
+    return false;
+  }
+};
+
 /// Executes DeviceTraces under a PimConfig.
 class PimSimulator {
 public:
@@ -60,6 +120,18 @@ public:
 
   /// Runs every channel and returns the makespan and aggregate counts.
   PimRunStats run(const DeviceTrace &Trace) const;
+
+  /// Fault-aware run: executes \p Trace with \p Faults injected under the
+  /// retry/backoff/watchdog rules of \p Retry. Slow channels multiply their
+  /// completion time, transient COMP/READRES failures cost bounded retries
+  /// with exponential backoff, stalled GWRITEs are cut off at the watchdog
+  /// bound, and dead channels make no progress. Deterministic: identical
+  /// inputs yield identical outcomes. Callers must check anyPersistent()
+  /// before trusting Stats — a persistent outcome means the kernel did not
+  /// complete as planned.
+  FaultyRunStats runWithFaults(const DeviceTrace &Trace,
+                               const FaultModel &Faults,
+                               const RetryPolicy &Retry) const;
 
   /// Energy in joules of a run: per-command energies plus the MAC energy of
   /// \p EffectiveMacs (the codegen knows how many multipliers were actually

@@ -13,14 +13,23 @@
 #include "obs/Counters.h"
 #include "obs/Trace.h"
 #include "pim/PimSimulator.h"
+#include "support/Format.h"
 
 using namespace pf;
 
-const NodeSchedule &Timeline::scheduleOf(NodeId Id) const {
+const NodeSchedule *Timeline::find(NodeId Id) const {
   for (const NodeSchedule &S : Nodes)
     if (S.Id == Id)
-      return S;
-  pf_unreachable("node not present in timeline");
+      return &S;
+  return nullptr;
+}
+
+const NodeSchedule &Timeline::scheduleOf(NodeId Id) const {
+  if (const NodeSchedule *S = find(Id))
+    return *S;
+  fatal(formatStr("timeline has no schedule entry for node %d (%zu nodes "
+                  "scheduled); use Timeline::find to probe partial timelines",
+                  static_cast<int>(Id), Nodes.size()));
 }
 
 ExecutionEngine::ExecutionEngine(const SystemConfig &Config)
@@ -110,7 +119,20 @@ double ExecutionEngine::nodeEnergyJ(const Graph &G, NodeId Id,
 }
 
 Timeline ExecutionEngine::execute(const Graph &G) const {
+  DiagnosticEngine DE;
+  std::optional<Timeline> TL = tryExecute(G, DE);
+  if (!TL)
+    fatal(formatStr("cannot execute graph '%s':\n%s", G.name().c_str(),
+                    DE.render().c_str()));
+  return *std::move(TL);
+}
+
+std::optional<Timeline>
+ExecutionEngine::tryExecute(const Graph &G, DiagnosticEngine &DE,
+                            const FaultModel *Faults,
+                            const RetryPolicy *Retry) const {
   PF_TRACE_SCOPE_CAT("engine.execute", "execute");
+  PF_ASSERT(!Faults || Retry, "fault-aware execution needs a retry policy");
   obs::addCounter("engine.executions");
   obs::addCounter("engine.nodes_scheduled",
                   static_cast<int64_t>(G.numNodes()));
@@ -126,9 +148,23 @@ Timeline ExecutionEngine::execute(const Graph &G) const {
   // device queues greedily by earliest start time, so independent GPU and
   // PIM work (MD-DP halves, pipeline stages) overlaps as the hardware
   // would run it rather than serializing in topological order.
-  auto SchedulePass = [&](double GpuScale) {
+  auto SchedulePass = [&](double GpuScale) -> std::optional<Timeline> {
     Timeline TL;
-    const std::vector<NodeId> Order = G.topoOrder();
+    const std::vector<NodeId> Order = G.tryTopoOrder();
+
+    // A cyclic dependency set never becomes ready, so Kahn's order comes up
+    // short — surface a diagnostic instead of silently scheduling a partial
+    // graph (or spinning forever looking for a ready node).
+    size_t LiveNodes = 0;
+    for (const Node &N : G.nodes())
+      LiveNodes += N.Dead ? 0 : 1;
+    if (Order.size() != LiveNodes) {
+      DE.error(DiagCode::ExecUnschedulable, G.name(),
+               formatStr("dependency cycle: only %zu of %zu live nodes are "
+                         "schedulable",
+                         Order.size(), LiveNodes));
+      return std::nullopt;
+    }
 
     // Static per-node properties (device annotations fix the producing
     // device of every value up front).
@@ -149,10 +185,31 @@ Timeline ExecutionEngine::execute(const Graph &G) const {
       NI.TopoIdx = I;
       NI.Dev = N.Dev == Device::Pim ? Device::Pim : Device::Gpu;
       if (NI.Dev == Device::Pim) {
-        PF_ASSERT(Config.hasPim(), "PIM node without PIM channels");
+        if (!Config.hasPim()) {
+          DE.error(DiagCode::ExecNoPimChannels, N.Name,
+                   "node is annotated for PIM but the system configuration "
+                   "has zero PIM channels");
+          return std::nullopt;
+        }
         const PimKernelPlan &Plan = Cache.planFor(G, Order[I], Gen);
-        NI.Duration = Plan.Ns;
-        NI.EnergyJ = Sim.energyJ(Plan.Stats, Plan.EffectiveMacs);
+        if (Faults && !Faults->empty()) {
+          const FaultyRunStats FS =
+              Sim.runWithFaults(Plan.Trace, *Faults, *Retry);
+          if (FS.anyPersistent()) {
+            // Recovery must remap or fall back before the engine runs; a
+            // persistent fault here would make the timeline silently wrong.
+            DE.error(DiagCode::FaultUnrecovered, N.Name,
+                     "persistent channel fault reached the execution engine "
+                     "unrecovered");
+            return std::nullopt;
+          }
+          obs::addCounter("engine.fault_retries", FS.TotalRetries);
+          NI.Duration = FS.Stats.Ns;
+          NI.EnergyJ = Sim.energyJ(FS.Stats, Plan.EffectiveMacs);
+        } else {
+          NI.Duration = Plan.Ns;
+          NI.EnergyJ = Sim.energyJ(Plan.Stats, Plan.EffectiveMacs);
+        }
       } else if (isFusableEpilogue(N.Kind)) {
         // Elementwise nodes fuse into their producer's epilogue (GPU) or
         // the PIM drain path: no standalone kernel either way.
@@ -192,7 +249,14 @@ Timeline ExecutionEngine::execute(const Graph &G) const {
         if (BestId == InvalidNode || Start < BestStart)
           BestId = Id, BestStart = Start;
       }
-      PF_ASSERT(BestId != InvalidNode, "scheduler deadlock");
+      if (BestId == InvalidNode) {
+        // Unreachable for acyclic graphs (checked above), but a diagnostic
+        // beats an infinite loop if the invariant ever breaks.
+        DE.error(DiagCode::ExecUnschedulable, G.name(),
+                 formatStr("scheduler deadlock with %zu node(s) unscheduled",
+                           Remaining));
+        return std::nullopt;
+      }
 
       NodeInfo &NI = Info.at(BestId);
       const double End = BestStart + NI.Duration;
@@ -237,7 +301,10 @@ Timeline ExecutionEngine::execute(const Graph &G) const {
     return TL;
   };
 
-  Timeline TL = SchedulePass(1.0);
+  std::optional<Timeline> MaybeTL = SchedulePass(1.0);
+  if (!MaybeTL)
+    return std::nullopt;
+  Timeline TL = *std::move(MaybeTL);
 
   if (Config.ModelContention && Config.hasPim() && TL.TotalNs > 0.0) {
     // PIM fetch traffic occupies the shared memory controller; GPU kernels
@@ -252,7 +319,12 @@ Timeline ExecutionEngine::execute(const Graph &G) const {
     const double Fraction = std::min(1.0, FetchNs / TL.TotalNs);
     const double Slowdown = 1.0 + Config.ContentionFactor * Fraction;
     obs::addCounter("engine.contention_reschedules");
-    TL = SchedulePass(Slowdown);
+    // The first pass succeeded, so the rescaled pass cannot fail: scaling
+    // GPU durations changes no schedulability property.
+    MaybeTL = SchedulePass(Slowdown);
+    if (!MaybeTL)
+      return std::nullopt;
+    TL = *std::move(MaybeTL);
     TL.ContentionSlowdown = Slowdown;
   }
 

@@ -21,11 +21,14 @@
 #ifndef PIMFLOW_RUNTIME_EXECUTIONENGINE_H
 #define PIMFLOW_RUNTIME_EXECUTIONENGINE_H
 
+#include <optional>
 #include <vector>
 
 #include "codegen/MemoryOptimizer.h"
 #include "gpu/GpuModel.h"
+#include "pim/FaultModel.h"
 #include "runtime/SystemConfig.h"
+#include "support/Diagnostics.h"
 
 namespace pf {
 
@@ -51,7 +54,15 @@ struct Timeline {
   /// GPU slowdown applied by the contention model (1.0 = none).
   double ContentionSlowdown = 1.0;
 
-  /// Schedule entry for node \p Id (must exist).
+  /// Schedule entry for node \p Id, or nullptr when the node was never
+  /// scheduled — the probe for recovery code inspecting partially-executed
+  /// timelines, where absence is an answer rather than a bug.
+  const NodeSchedule *find(NodeId Id) const;
+
+  /// Schedule entry for node \p Id. Unlike the old must-exist contract
+  /// (pf_unreachable), a missing node now dies through fatal() with a
+  /// diagnosable message naming the node; callers that can tolerate absence
+  /// should use find() instead.
   const NodeSchedule &scheduleOf(NodeId Id) const;
 };
 
@@ -63,7 +74,22 @@ public:
   const SystemConfig &config() const { return Config; }
 
   /// Executes \p G per its device annotations (Device::Any runs on GPU).
+  /// Aborts through fatal() on unschedulable inputs (dependency cycle, PIM
+  /// annotation without PIM channels); use tryExecute to get a diagnostic
+  /// instead.
   Timeline execute(const Graph &G) const;
+
+  /// Like execute, but unschedulable inputs produce coded diagnostics in
+  /// \p DE (exec.unschedulable, exec.no-pim-channels) and nullopt instead
+  /// of an abort. With a non-null \p Faults, PIM kernel timings are
+  /// simulated fault-aware under \p Retry (which must then also be
+  /// non-null): retries and slow channels inflate durations, and any
+  /// persistent fault reaching the engine is an error (fault.unrecovered)
+  /// — recovery must remap or fall back first, so a silently wrong
+  /// timeline is impossible.
+  std::optional<Timeline> tryExecute(const Graph &G, DiagnosticEngine &DE,
+                                     const FaultModel *Faults = nullptr,
+                                     const RetryPolicy *Retry = nullptr) const;
 
   /// Latency of one node on \p Dev in isolation (no transfers).
   double nodeLatencyNs(const Graph &G, NodeId Id, Device Dev) const;

@@ -17,6 +17,7 @@
 #include "codegen/CommandGenerator.h"
 #include "gpu/GpuConfig.h"
 #include "pim/PimConfig.h"
+#include "support/Diagnostics.h"
 
 namespace pf {
 
@@ -81,6 +82,15 @@ struct SystemConfig {
 
   bool hasPim() const { return Pim.Channels > 0; }
 };
+
+/// Validates \p C before it configures a run: channel-grouping consistency
+/// (PIM channels a proper subset of the physical channels), non-negative
+/// interconnect parameters, and non-degenerate PIM device parameters when
+/// PIM is enabled. Violations become config.invalid diagnostics in \p DE;
+/// returns true when no error was added. The factories (gpuOnly, dual)
+/// always produce valid configs — this gate catches hand-assembled ones
+/// before they silently yield nonsense timelines.
+bool validateSystemConfig(const SystemConfig &C, DiagnosticEngine &DE);
 
 } // namespace pf
 

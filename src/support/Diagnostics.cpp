@@ -46,6 +46,24 @@ const char *pf::diagCodeName(DiagCode Code) {
     return "verify.piece-overlap";
   case DiagCode::VerifyPieceGap:
     return "verify.piece-gap";
+  case DiagCode::ConfigInvalid:
+    return "config.invalid";
+  case DiagCode::FaultBadSpec:
+    return "fault.bad-spec";
+  case DiagCode::FaultDeadChannel:
+    return "fault.dead-channel";
+  case DiagCode::FaultStalledChannel:
+    return "fault.stalled-channel";
+  case DiagCode::FaultRetriesExhausted:
+    return "fault.retries-exhausted";
+  case DiagCode::FaultPimFloor:
+    return "fault.pim-floor";
+  case DiagCode::FaultUnrecovered:
+    return "fault.unrecovered";
+  case DiagCode::ExecNoPimChannels:
+    return "exec.no-pim-channels";
+  case DiagCode::ExecUnschedulable:
+    return "exec.unschedulable";
   }
   pf_unreachable("unknown diagnostic code");
 }

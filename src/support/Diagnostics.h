@@ -45,6 +45,18 @@ enum class DiagCode : uint8_t {
   VerifyDevice,         ///< verify.device: illegal device annotation.
   VerifyPieceOverlap,   ///< verify.piece-overlap: HPieces overlap.
   VerifyPieceGap,       ///< verify.piece-gap: HPieces not contiguous from 0.
+  // System-configuration validation.
+  ConfigInvalid,        ///< config.invalid: SystemConfig field out of range.
+  // Fault injection and recovery (pim/FaultModel, runtime/Recovery).
+  FaultBadSpec,         ///< fault.bad-spec: malformed --faults entry.
+  FaultDeadChannel,     ///< fault.dead-channel: PIM channel permanently lost.
+  FaultStalledChannel,  ///< fault.stalled-channel: GWRITE stall hit watchdog.
+  FaultRetriesExhausted,///< fault.retries-exhausted: transient fault persists.
+  FaultPimFloor,        ///< fault.pim-floor: capacity below floor, GPU fallback.
+  FaultUnrecovered,     ///< fault.unrecovered: persistent fault reached engine.
+  // Execution-engine scheduling failures.
+  ExecNoPimChannels,    ///< exec.no-pim-channels: PIM node, zero PIM channels.
+  ExecUnschedulable,    ///< exec.unschedulable: cyclic or stuck dependency set.
 };
 
 /// Returns the dotted slug for \p Code ("verify.use-before-def", ...).

@@ -186,6 +186,61 @@ TEST(ExecutionEngineTest, ContentionSlowdownIsTiny) {
   EXPECT_LT(TL.ContentionSlowdown, 1.02);
 }
 
+TEST(ExecutionEngineTest, EmptyGraphExecutesToEmptyTimeline) {
+  Graph G("empty");
+  ExecutionEngine E(dualConfig());
+  DiagnosticEngine DE;
+  std::optional<Timeline> TL = E.tryExecute(G, DE);
+  ASSERT_TRUE(TL.has_value());
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_TRUE(TL->Nodes.empty());
+  EXPECT_EQ(TL->TotalNs, 0.0);
+}
+
+TEST(ExecutionEngineTest, PimAnnotationWithoutPimChannelsIsDiagnosed) {
+  Graph G = parallelPair();
+  for (NodeId Id : G.topoOrder())
+    if (G.node(Id).Kind == OpKind::Conv2d) {
+      G.node(Id).Dev = Device::Pim;
+      break;
+    }
+  ExecutionEngine E(SystemConfig::gpuOnly());
+  DiagnosticEngine DE;
+  EXPECT_FALSE(E.tryExecute(G, DE).has_value());
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_NE(DE.render().find("exec.no-pim-channels"), std::string::npos);
+}
+
+TEST(ExecutionEngineTest, DependencyCycleIsDiagnosedNotHung) {
+  // Two relus feeding each other through a back-edge patched in after
+  // construction — unschedulable, and before tryExecute this tripped an
+  // assert deep in the scheduler (or scheduled a silently partial graph).
+  GraphBuilder B("cyclic");
+  ValueId X = B.input("x", TensorShape{1, 8, 8, 8});
+  ValueId R1 = B.relu(X);
+  ValueId R2 = B.relu(R1);
+  B.output(R2);
+  Graph G = B.take();
+  const NodeId First = G.topoOrder()[0];
+  G.node(First).Inputs[0] = R2;
+  ExecutionEngine E(dualConfig());
+  DiagnosticEngine DE;
+  EXPECT_FALSE(E.tryExecute(G, DE).has_value());
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_NE(DE.render().find("exec.unschedulable"), std::string::npos);
+}
+
+TEST(ExecutionEngineTest, TryExecuteMatchesExecute) {
+  Graph G = parallelPair();
+  ExecutionEngine E(dualConfig());
+  DiagnosticEngine DE;
+  std::optional<Timeline> TL = E.tryExecute(G, DE);
+  ASSERT_TRUE(TL.has_value());
+  const Timeline Plain = E.execute(G);
+  EXPECT_DOUBLE_EQ(TL->TotalNs, Plain.TotalNs);
+  EXPECT_EQ(TL->Nodes.size(), Plain.Nodes.size());
+}
+
 TEST(ExecutionEngineTest, EnergyPositiveAndDecomposes) {
   Graph G = parallelPair();
   ExecutionEngine E(dualConfig());

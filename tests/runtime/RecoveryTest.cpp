@@ -1,0 +1,237 @@
+//===- tests/runtime/RecoveryTest.cpp - fault recovery tests ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Builder.h"
+#include "runtime/Equivalence.h"
+
+using namespace pf;
+
+namespace {
+
+SystemConfig dualConfig() { return SystemConfig::dual(8, true); }
+
+/// Two PIM convs plus a GPU pool — enough structure for remap and
+/// per-node fallback to differ.
+Graph pimGraph() {
+  GraphBuilder B("pim-graph");
+  ValueId X = B.input("x", TensorShape{1, 16, 16, 16});
+  ValueId A = B.conv2d(X, 32, 1, 1, 0);
+  ValueId C = B.conv2d(A, 32, 3, 1, 1);
+  B.output(B.maxPool(C, 2, 2));
+  Graph G = B.take();
+  for (const Node &N : G.nodes())
+    if (isPimCandidate(N))
+      G.node(N.Id).Dev = Device::Pim;
+  return G;
+}
+
+int pimNodeCount(const Graph &G, const Timeline &TL) {
+  int N = 0;
+  for (const NodeSchedule &S : TL.Nodes)
+    N += S.Dev == Device::Pim ? 1 : 0;
+  (void)G;
+  return N;
+}
+
+} // namespace
+
+TEST(RecoveryTest, NoFaultsMatchesPlainExecution) {
+  Graph G = pimGraph();
+  DiagnosticEngine DE;
+  RecoveryExecutor Exec(dualConfig(), FaultModel{});
+  RecoveryResult R = Exec.run(G, DE);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_FALSE(R.Degraded);
+  EXPECT_TRUE(R.Notes.empty());
+  EXPECT_FALSE(DE.hasErrors());
+  const Timeline Plain = ExecutionEngine(dualConfig()).execute(G);
+  EXPECT_DOUBLE_EQ(R.Schedule.TotalNs, Plain.TotalNs);
+  EXPECT_EQ(R.Schedule.Nodes.size(), Plain.Nodes.size());
+}
+
+TEST(RecoveryTest, DeadChannelRemapsAndInflatesMakespan) {
+  Graph G = pimGraph();
+  FaultModel M;
+  M.addDead(0);
+  M.addDead(1);
+  DiagnosticEngine DE;
+  RecoveryExecutor Exec(dualConfig(), M);
+  RecoveryResult R = Exec.run(G, DE);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_EQ(R.DeadChannels, 2);
+  EXPECT_EQ(R.SurvivingChannels, 6);
+  EXPECT_GT(R.NodesRemapped, 0);
+  EXPECT_EQ(R.NodesFellBack, 0);
+  // Degradation is reported as warnings, never as errors.
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_NE(DE.render().find("fault.dead-channel"), std::string::npos);
+  // PIM nodes stayed on PIM, just over fewer channels — and fewer channels
+  // can never be faster.
+  EXPECT_GT(pimNodeCount(R.Executed, R.Schedule), 0);
+  const Timeline Plain = ExecutionEngine(dualConfig()).execute(G);
+  EXPECT_GE(R.Schedule.TotalNs, Plain.TotalNs - 1e-9);
+}
+
+TEST(RecoveryTest, StalledChannelCountsAsLost) {
+  Graph G = pimGraph();
+  FaultModel M;
+  M.addStalled(3);
+  DiagnosticEngine DE;
+  RecoveryExecutor Exec(dualConfig(), M);
+  RecoveryResult R = Exec.run(G, DE);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.StalledChannels, 1);
+  EXPECT_EQ(R.SurvivingChannels, 7);
+  EXPECT_NE(DE.render().find("fault.stalled-channel"), std::string::npos);
+}
+
+TEST(RecoveryTest, BelowFloorFallsBackToGpu) {
+  Graph G = pimGraph();
+  FaultModel M;
+  for (int Ch = 0; Ch < 6; ++Ch)
+    M.addDead(Ch);
+  RecoveryOptions RO;
+  RO.PimFloor = 4; // 2 survivors < 4.
+  DiagnosticEngine DE;
+  RecoveryExecutor Exec(dualConfig(), M, RO);
+  RecoveryResult R = Exec.run(G, DE);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_GT(R.NodesFellBack, 0);
+  EXPECT_EQ(pimNodeCount(R.Executed, R.Schedule), 0);
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_NE(DE.render().find("fault.pim-floor"), std::string::npos);
+  // The fallback graph is the same graph, just GPU-annotated.
+  EXPECT_EQ(compareGraphOutputs(G, R.Executed, /*Seed=*/42), std::nullopt);
+}
+
+TEST(RecoveryTest, AllChannelsDeadStillProducesTimeline) {
+  Graph G = pimGraph();
+  FaultModel M;
+  for (int Ch = 0; Ch < 8; ++Ch)
+    M.addDead(Ch);
+  DiagnosticEngine DE;
+  RecoveryExecutor Exec(dualConfig(), M);
+  RecoveryResult R = Exec.run(G, DE);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.SurvivingChannels, 0);
+  EXPECT_EQ(pimNodeCount(R.Executed, R.Schedule), 0);
+  EXPECT_GT(R.Schedule.TotalNs, 0.0);
+}
+
+TEST(RecoveryTest, ExhaustedRetriesDemoteOnlyTheAffectedNode) {
+  Graph G = pimGraph();
+  FaultModel M;
+  // Fails=10 > default MaxRetries=3 on every COMP ordinal 0: both PIM
+  // kernels would hit it, so both nodes demote.
+  M.addTransient(TransientFault{0, PimCmdKind::Comp, 0, 10});
+  DiagnosticEngine DE;
+  RecoveryExecutor Exec(dualConfig(), M);
+  RecoveryResult R = Exec.run(G, DE);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_GT(R.NodesFellBack, 0);
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_NE(DE.render().find("fault.retries-exhausted"), std::string::npos);
+  EXPECT_EQ(compareGraphOutputs(G, R.Executed, /*Seed=*/7), std::nullopt);
+}
+
+TEST(RecoveryTest, RecoverableTransientKeepsNodeOnPim) {
+  Graph G = pimGraph();
+  FaultModel M;
+  M.addTransient(TransientFault{0, PimCmdKind::Comp, 0, 2});
+  DiagnosticEngine DE;
+  RecoveryExecutor Exec(dualConfig(), M);
+  RecoveryResult R = Exec.run(G, DE);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_EQ(R.NodesFellBack, 0);
+  EXPECT_GT(R.TransientRetries, 0);
+  EXPECT_GT(pimNodeCount(R.Executed, R.Schedule), 0);
+  // Retries cost time but not correctness.
+  const Timeline Plain = ExecutionEngine(dualConfig()).execute(G);
+  EXPECT_GE(R.Schedule.TotalNs, Plain.TotalNs - 1e-9);
+}
+
+TEST(RecoveryTest, RecoveryIsDeterministic) {
+  Graph G = pimGraph();
+  const FaultModel M = FaultModel::chaos(123, 8);
+  DiagnosticEngine DA, DB;
+  RecoveryResult A = RecoveryExecutor(dualConfig(), M).run(G, DA);
+  RecoveryResult B = RecoveryExecutor(dualConfig(), M).run(G, DB);
+  ASSERT_TRUE(A.Ok);
+  ASSERT_TRUE(B.Ok);
+  EXPECT_DOUBLE_EQ(A.Schedule.TotalNs, B.Schedule.TotalNs);
+  EXPECT_EQ(A.Notes, B.Notes);
+  EXPECT_EQ(A.NodesRemapped, B.NodesRemapped);
+  EXPECT_EQ(A.NodesFellBack, B.NodesFellBack);
+}
+
+TEST(RecoveryTest, InvalidConfigFailsWithDiagnostics) {
+  SystemConfig C = dualConfig();
+  C.Pim.Channels = C.TotalChannels + 5;
+  DiagnosticEngine DE;
+  Graph G = pimGraph();
+  RecoveryResult R = RecoveryExecutor(C, FaultModel{}).run(G, DE);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_NE(DE.render().find("config.invalid"), std::string::npos);
+}
+
+TEST(ValidateConfigTest, FactoriesAreValid) {
+  DiagnosticEngine DE;
+  EXPECT_TRUE(validateSystemConfig(SystemConfig::gpuOnly(), DE));
+  EXPECT_TRUE(validateSystemConfig(SystemConfig::dual(16, true), DE));
+  EXPECT_TRUE(validateSystemConfig(SystemConfig::dual(8, false, 16), DE));
+  EXPECT_FALSE(DE.hasErrors());
+}
+
+TEST(ValidateConfigTest, RejectsOutOfRangeFields) {
+  const auto Rejects = [](void (*Mutate)(SystemConfig &)) {
+    SystemConfig C = SystemConfig::dual(16, true);
+    Mutate(C);
+    DiagnosticEngine DE;
+    const bool Valid = validateSystemConfig(C, DE);
+    EXPECT_TRUE(DE.hasErrors());
+    EXPECT_NE(DE.render().find("config.invalid"), std::string::npos);
+    return !Valid;
+  };
+  EXPECT_TRUE(Rejects([](SystemConfig &C) { C.Pim.Channels = 64; }));
+  EXPECT_TRUE(Rejects([](SystemConfig &C) { C.Pim.Channels = -1; }));
+  EXPECT_TRUE(Rejects([](SystemConfig &C) { C.TotalChannels = 0; }));
+  EXPECT_TRUE(Rejects([](SystemConfig &C) { C.CrossChannelGBs = -1.0; }));
+  EXPECT_TRUE(Rejects([](SystemConfig &C) { C.SyncOverheadNs = -5.0; }));
+  EXPECT_TRUE(Rejects([](SystemConfig &C) { C.ContentionFactor = -0.1; }));
+  EXPECT_TRUE(Rejects([](SystemConfig &C) { C.Pim.ClockGhz = 0.0; }));
+  EXPECT_TRUE(Rejects([](SystemConfig &C) { C.Pim.BanksPerChannel = 0; }));
+  EXPECT_TRUE(Rejects([](SystemConfig &C) { C.Pim.NumGlobalBuffers = 0; }));
+  EXPECT_TRUE(
+      Rejects([](SystemConfig &C) { C.Gpu.MemChannels = 0; }));
+}
+
+TEST(ValidateConfigTest, CollectsMultipleErrors) {
+  SystemConfig C = SystemConfig::dual(16, true);
+  C.CrossChannelGBs = -1.0;
+  C.SyncOverheadNs = -1.0;
+  DiagnosticEngine DE;
+  EXPECT_FALSE(validateSystemConfig(C, DE));
+  EXPECT_GE(DE.errorCount(), 2u);
+}
+
+TEST(TimelineFindTest, FindReturnsNullForUnscheduledNode) {
+  Timeline TL;
+  NodeSchedule S;
+  S.Id = 3;
+  TL.Nodes.push_back(S);
+  EXPECT_NE(TL.find(3), nullptr);
+  EXPECT_EQ(TL.find(7), nullptr);
+  EXPECT_EQ(&TL.scheduleOf(3), TL.find(3));
+}

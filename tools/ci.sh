@@ -13,6 +13,10 @@
 #   3. A ThreadSanitizer tree in build-tsan/ running the concurrency-facing
 #      suites (thread pool, profiler, search) to catch data races in the
 #      parallel candidate-profiling pre-pass.
+#   4. The chaos tier: the seeded fault-schedule suite (tests/chaos/) in the
+#      tier-1 tree, then again under TSan. The seeds are fixed inside the
+#      tests, so a failure always names a reproducible schedule; per-test
+#      ctest TIMEOUT properties turn any hang into a loud failure.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 #===----------------------------------------------------------------------===#
@@ -37,5 +41,10 @@ cmake -B build-tsan -S . -DPIMFLOW_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target support_test search_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|Profiler|SearchEngine|SearchDeterminism|AlgorithmDp|LayerExtract'
+
+echo "== tier 4: chaos fault-injection suite (fixed seeds), then under TSan =="
+ctest --test-dir build --output-on-failure -j "$JOBS" -R 'Chaos'
+cmake --build build-tsan -j "$JOBS" --target chaos_test
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R 'Chaos'
 
 echo "== ci.sh: all passes green =="

@@ -29,6 +29,15 @@
 ///   --differential  cross-run the interpreter on original vs. transformed
 ///                   graphs at each pass boundary (slow; debugging aid)
 ///   --max-errors=N  cap collected diagnostics (default 64)
+/// Fault-injection knobs (robustness testing):
+///   --faults=<spec>   inject PIM channel faults; spec is comma-separated
+///                     dead:<ch> | stall:<ch> | slow:<ch>:<mult> |
+///                     comp:<ch>:<ord>:<fails> | readres:<ch>:<ord>:<fails>,
+///                     or the literal 'chaos' for a seeded random schedule
+///   --fault-seed=N    seed for --faults=chaos (default 0)
+///   --max-retries=N   retry budget for transient command faults (default 3)
+///   --pim-floor=N     minimum surviving PIM channels before whole-graph
+///                     GPU fallback (default 1)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +49,7 @@
 #include "core/PimFlow.h"
 #include "core/Report.h"
 #include "runtime/ExecutionEngine.h"
+#include "runtime/Recovery.h"
 #include "codegen/CommandGenerator.h"
 #include "pim/TraceIO.h"
 #include "ir/GraphPrinter.h"
@@ -98,6 +108,8 @@ void usage() {
       "               [--jobs=N]   (profiling threads; default all cores, "
       "1 = serial)\n"
       "               [--verify] [--differential] [--max-errors=N]\n"
+      "               [--faults=<spec|chaos>] [--fault-seed=N] "
+      "[--max-retries=N] [--pim-floor=N]\n"
       "               [--trace-out=<file>] [--json-stats=<file>] "
       "[-v|-vv]\n"
       "nets: efficientnet-v1-b0 mobilenet-v2 mnasnet-1.0 resnet-50 vgg-16 "
@@ -173,6 +185,22 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
     else if (startsWith(Arg, "--max-errors="))
       Ok &= parseIntOption(Arg, Val(), 1, 1 << 20, O.Flow.MaxVerifyErrors,
                            DE);
+    else if (startsWith(Arg, "--faults="))
+      O.Flow.FaultSpec = Val();
+    else if (startsWith(Arg, "--fault-seed=")) {
+      const std::optional<int64_t> Seed = parseInt(Val());
+      if (!Seed || *Seed < 0) {
+        DE.error(DiagCode::BadOption, "--fault-seed",
+                 formatStr("expects a non-negative integer, got '%s'",
+                           Val().c_str()));
+        Ok = false;
+      } else {
+        O.Flow.FaultSeed = static_cast<uint64_t>(*Seed);
+      }
+    } else if (startsWith(Arg, "--max-retries="))
+      Ok &= parseIntOption(Arg, Val(), 0, 100, O.Flow.MaxRetries, DE);
+    else if (startsWith(Arg, "--pim-floor="))
+      Ok &= parseIntOption(Arg, Val(), 0, 4096, O.Flow.PimFloor, DE);
     else if (Arg == "--verify") {
       O.Verify = true;
       O.Flow.VerifyPasses = true;
@@ -249,6 +277,24 @@ int exportObservability(const CliOptions &O, const CompileResult &R) {
                 O.TraceOut.c_str());
   }
   return 0;
+}
+
+/// Prints the degradation summary of a fault-injected run.
+void printRecovery(const RecoverySummary &R) {
+  if (!R.Active)
+    return;
+  if (!R.Degraded) {
+    std::printf("fault injection: no degradation (all faults absorbed)\n");
+    return;
+  }
+  std::printf("fault injection: degraded run — %d dead, %d stalled, %d "
+              "surviving channel(s); %d node(s) remapped, %d fell back, %d "
+              "retr%s absorbed\n",
+              R.DeadChannels, R.StalledChannels, R.SurvivingChannels,
+              R.NodesRemapped, R.NodesFellBack, R.TransientRetries,
+              R.TransientRetries == 1 ? "y" : "ies");
+  for (const std::string &Note : R.Notes)
+    std::printf("  - %s\n", Note.c_str());
 }
 
 int runProfile(const CliOptions &O) {
@@ -363,22 +409,56 @@ int runExecuteGraphFile(const CliOptions &O) {
       systemConfigFor(O.GpuOnly ? OffloadPolicy::GpuOnly
                                 : policyFromName(O.Policy),
                       O.Flow);
-  ExecutionEngine Engine(Config);
-  const Timeline TL = Engine.execute(*Loaded);
-  std::printf("%s (%zu nodes): %.2f us end-to-end, %.2f uJ\n",
-              Loaded->name().c_str(), Loaded->numNodes(), TL.TotalNs / 1e3,
-              TL.EnergyJ * 1e6);
-  std::printf("device busy: GPU %.1f us, PIM %.1f us\n",
-              TL.GpuBusyNs / 1e3, TL.PimBusyNs / 1e3);
-  if (O.observed()) {
-    // No search ran: assemble the result the exporters need by hand.
-    CompileResult R;
-    R.Policy = O.GpuOnly ? OffloadPolicy::GpuOnly : policyFromName(O.Policy);
-    R.Config = Config;
-    R.Transformed = std::move(*Loaded);
-    R.Schedule = TL;
-    return exportObservability(O, R);
+  // No search ran: assemble the result the printers/exporters need by hand.
+  CompileResult R;
+  R.Policy = O.GpuOnly ? OffloadPolicy::GpuOnly : policyFromName(O.Policy);
+  R.Config = Config;
+  R.Transformed = std::move(*Loaded);
+  if (O.Flow.FaultSpec.empty()) {
+    ExecutionEngine Engine(Config);
+    R.Schedule = Engine.execute(R.Transformed);
+  } else {
+    DiagnosticEngine DE;
+    FaultModel Faults;
+    if (O.Flow.FaultSpec == "chaos") {
+      Faults = FaultModel::chaos(O.Flow.FaultSeed, Config.Pim.Channels);
+    } else if (auto Parsed = FaultModel::parse(O.Flow.FaultSpec, DE)) {
+      Faults = *std::move(Parsed);
+    } else {
+      std::fprintf(stderr, "error: bad --faults spec:\n%s",
+                   DE.render().c_str());
+      return 2;
+    }
+    RecoveryOptions RO;
+    RO.Retry.MaxRetries = O.Flow.MaxRetries;
+    RO.PimFloor = O.Flow.PimFloor;
+    RecoveryExecutor Exec(Config, Faults, RO);
+    RecoveryResult RR = Exec.run(R.Transformed, DE);
+    if (!RR.Ok) {
+      std::fprintf(stderr, "error: fault recovery failed:\n%s",
+                   DE.render().c_str());
+      return 1;
+    }
+    R.Transformed = std::move(RR.Executed);
+    R.Schedule = std::move(RR.Schedule);
+    R.Recovery.Active = true;
+    R.Recovery.Degraded = RR.Degraded;
+    R.Recovery.DeadChannels = RR.DeadChannels;
+    R.Recovery.StalledChannels = RR.StalledChannels;
+    R.Recovery.SurvivingChannels = RR.SurvivingChannels;
+    R.Recovery.NodesRemapped = RR.NodesRemapped;
+    R.Recovery.NodesFellBack = RR.NodesFellBack;
+    R.Recovery.TransientRetries = RR.TransientRetries;
+    R.Recovery.Notes = std::move(RR.Notes);
   }
+  std::printf("%s (%zu nodes): %.2f us end-to-end, %.2f uJ\n",
+              R.Transformed.name().c_str(), R.Transformed.numNodes(),
+              R.Schedule.TotalNs / 1e3, R.Schedule.EnergyJ * 1e6);
+  std::printf("device busy: GPU %.1f us, PIM %.1f us\n",
+              R.Schedule.GpuBusyNs / 1e3, R.Schedule.PimBusyNs / 1e3);
+  printRecovery(R.Recovery);
+  if (O.observed())
+    return exportObservability(O, R);
   return 0;
 }
 
@@ -402,6 +482,7 @@ int runExecute(const CliOptions &O) {
   std::printf("%s on %s: %.2f us end-to-end, %.2f uJ\n",
               policyName(Policy), O.Net.c_str(), R.endToEndNs() / 1e3,
               R.energyJ() * 1e6);
+  printRecovery(R.Recovery);
   if (O.Stats)
     std::printf("\n%s", renderReport(R).c_str());
   // Export before the baseline comparison below: its second compileAndRun
