@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/Counters.h"
 #include "obs/Json.h"
 
 namespace pf::bench {
@@ -59,11 +60,22 @@ CompileResult &cachedRun(const std::string &Key, const std::string &Model,
   auto It = Cache.find(Key);
   if (It != Cache.end())
     return It->second;
+  // Each fresh run starts from a clean registry, so the counters recorded
+  // with its result cover this iteration alone — a bench binary's JSON
+  // dump is then per-iteration, not cumulative across its sweep.
+  obs::resetAll();
   Graph G = buildModel(Model);
   PimFlow Flow(Policy, Options);
   CompileResult &R = Cache.emplace(Key, Flow.compileAndRun(G)).first->second;
-  recordResult(BenchResult{currentFigure(), Key, Model, policyName(Policy),
-                           R.endToEndNs(), R.energyJ()});
+  BenchResult BR;
+  BR.Figure = currentFigure();
+  BR.Key = Key;
+  BR.Model = Model;
+  BR.Policy = policyName(Policy);
+  BR.EndToEndNs = R.endToEndNs();
+  BR.EnergyJ = R.energyJ();
+  BR.Counters = obs::Registry::instance().counterSnapshot();
+  recordResult(BR);
   return R;
 }
 
@@ -92,8 +104,14 @@ std::string renderResultsJson() {
         .field("model", R.Model)
         .field("policy", R.Policy)
         .field("end_to_end_ns", R.EndToEndNs)
-        .field("energy_j", R.EnergyJ)
-        .endObject();
+        .field("energy_j", R.EnergyJ);
+    if (!R.Counters.empty()) {
+      W.key("counters").beginObject();
+      for (const auto &[Name, Value] : R.Counters)
+        W.field(Name, Value);
+      W.endObject();
+    }
+    W.endObject();
   }
   W.endArray().endObject();
   return W.take();

@@ -17,6 +17,8 @@
 
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/PimFlow.h"
 #include "models/Zoo.h"
@@ -49,6 +51,10 @@ struct BenchResult {
   std::string Policy;
   double EndToEndNs = 0.0;
   double EnergyJ = 0.0;
+  /// Counter snapshot of this iteration alone (cachedRun resets the
+  /// observability registry before each fresh run); empty when the
+  /// registry is disabled.
+  std::vector<std::pair<std::string, int64_t>> Counters;
 };
 
 /// Appends a data point to the results log (cachedRun does this

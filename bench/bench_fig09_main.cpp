@@ -9,7 +9,9 @@
 /// PIM-candidate CONV layers and (2) end-to-end inference time of the five
 /// CNN models under every offloading mechanism, normalized to the GPU
 /// baseline. Pass --contention to include the Section-7 memory-controller
-/// contention model.
+/// contention model. Positional arguments select the models to sweep
+/// (default: the paper's five); ci.sh uses `toy resnet-18` for a fast,
+/// deterministic baseline.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,9 +25,15 @@ using namespace pf::bench;
 
 int main(int Argc, char **Argv) {
   PimFlowOptions Options;
-  for (int I = 1; I < Argc; ++I)
+  std::vector<std::string> Models;
+  for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--contention") == 0)
       Options.ModelContention = true;
+    else
+      Models.push_back(Argv[I]);
+  }
+  if (Models.empty())
+    Models = modelNames();
 
   printHeader("Figure 9",
               "CONV-layer and end-to-end inference time per offloading "
@@ -42,7 +50,7 @@ int main(int Argc, char **Argv) {
   }
 
   std::vector<double> FlowE2e, FlowConv;
-  for (const std::string &Name : modelNames()) {
+  for (const std::string &Name : Models) {
     double BaseConv = 0.0, BaseE2e = 0.0;
     std::vector<std::string> ConvRow = {Name}, E2eRow = {Name};
     for (OffloadPolicy P : allPolicies()) {

@@ -8,7 +8,7 @@
 /// Regenerates Fig. 10: the layerwise performance breakdown for nodes
 /// executed in the MD-DP mode — per candidate layer, the GPU time, the PIM
 /// time, the chosen split ratio, and the MD-DP time, normalized to the GPU
-/// baseline. Pass a model name (default mobilenet-v2).
+/// baseline. Pass one or more model names (default mobilenet-v2).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,8 +20,9 @@
 using namespace pf;
 using namespace pf::bench;
 
-int main(int Argc, char **Argv) {
-  const std::string Model = Argc > 1 ? Argv[1] : "mobilenet-v2";
+namespace {
+
+void runModel(const std::string &Model) {
   printHeader("Figure 10",
               formatStr("Layerwise MD-DP breakdown for %s (times "
                         "normalized to the layer's GPU-baseline time)",
@@ -49,6 +50,18 @@ int main(int Argc, char **Argv) {
   }
   std::printf("%s\n(%d candidate CONV layers)\n", T.render().c_str(),
               Shown);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Models;
+  for (int I = 1; I < Argc; ++I)
+    Models.push_back(Argv[I]);
+  if (Models.empty())
+    Models.push_back("mobilenet-v2");
+  for (const std::string &Model : Models)
+    runModel(Model);
   std::printf("Expected shape: layers whose PIM time is within ~2x of GPU "
               "split at interior ratios and beat both devices; layers "
               "where PIM dominates offload fully (ratio 0%%).\n");

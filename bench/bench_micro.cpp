@@ -11,9 +11,19 @@
 /// performance (the Section-7 compilation-overhead discussion), not the
 /// simulated hardware.
 ///
+/// Besides the wall-clock benchmarks, the binary records deterministic
+/// *simulated* proxies (channel cycles, plan/search/engine times, toy and
+/// resnet-18 end-to-end) through the bench harness, so its
+/// PIMFLOW_BENCH_JSON dump is machine-independent and can be gated by
+/// pf_perf_diff. Pass --no-wall to skip the wall-clock runs (CI).
+///
 //===----------------------------------------------------------------------===//
 
+#include <cstring>
+
 #include <benchmark/benchmark.h>
+
+#include "BenchCommon.h"
 
 #include "codegen/CommandGenerator.h"
 #include "core/PimFlow.h"
@@ -111,4 +121,92 @@ static void BM_ExecutionEngineResNet50(benchmark::State &State) {
 }
 BENCHMARK(BM_ExecutionEngineResNet50)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Records the deterministic (simulated, not wall-clock) proxies of the
+/// hot paths above: the numbers are identical on every machine, so the
+/// baseline diff gates real behavior changes, never scheduler jitter.
+void recordDeterministicProxies() {
+  using namespace pf::bench;
+  printHeader("Micro", "Deterministic micro proxies (simulated units)");
+
+  {
+    PimConfig C = PimConfig::newtonPlusPlus();
+    PimSimulator Sim(C);
+    ChannelTrace Trace;
+    std::vector<PimCommand> Pattern;
+    for (int T = 0; T < 8; ++T) {
+      Pattern.push_back(PimCommand::gwrite(32, 4));
+      Pattern.push_back(PimCommand::gact(4));
+      Pattern.push_back(PimCommand::comp(512));
+    }
+    Pattern.push_back(PimCommand::readRes(64));
+    Trace.Blocks.push_back(CommandBlock{Pattern, 1000});
+    BenchResult R;
+    R.Figure = "Micro";
+    R.Key = "micro/sim_channel_cycles";
+    R.EndToEndNs = static_cast<double>(Sim.simulateChannel(Trace));
+    recordResult(R);
+  }
+  {
+    PimCommandGenerator Gen(PimConfig::newtonPlusPlus(), CodegenOptions{});
+    PimKernelSpec Spec;
+    Spec.M = 144;
+    Spec.K = 24;
+    Spec.NumVectors = 3136;
+    BenchResult R;
+    R.Figure = "Micro";
+    R.Key = "micro/plan_ns";
+    R.EndToEndNs = Gen.plan(Spec).Ns;
+    recordResult(R);
+  }
+  {
+    const Graph G = buildMobileNetV2();
+    Profiler P(SystemConfig::dual());
+    SearchEngine S(P, SearchOptions{});
+    BenchResult R;
+    R.Figure = "Micro";
+    R.Key = "micro/search_mobilenet_predicted_ns";
+    R.Model = "mobilenet-v2";
+    R.EndToEndNs = S.search(G).PredictedNs;
+    recordResult(R);
+  }
+  {
+    const Graph G = buildResNet50();
+    ExecutionEngine E(SystemConfig::gpuOnly());
+    BenchResult R;
+    R.Figure = "Micro";
+    R.Key = "micro/engine_resnet50_total_ns";
+    R.Model = "resnet-50";
+    R.EndToEndNs = E.execute(G).TotalNs;
+    recordResult(R);
+  }
+  // Whole-flow proxies on a small and a mid-size model.
+  cachedRun("micro/toy", "toy", OffloadPolicy::PimFlow);
+  cachedRun("micro/resnet-18", "resnet-18", OffloadPolicy::PimFlow);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool NoWall = false;
+  // Strip --no-wall before google-benchmark sees (and rejects) it.
+  int OutArgc = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--no-wall") == 0)
+      NoWall = true;
+    else
+      Argv[OutArgc++] = Argv[I];
+  }
+  Argc = OutArgc;
+
+  recordDeterministicProxies();
+  if (NoWall)
+    return 0;
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

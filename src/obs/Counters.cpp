@@ -72,7 +72,9 @@ bool pf::obs::observabilityEnabled() {
   return Tracer::instance().enabled() || Registry::instance().enabled();
 }
 
-void pf::obs::resetObservability() {
+void pf::obs::resetAll() {
   Tracer::instance().clear();
   Registry::instance().reset();
 }
+
+void pf::obs::resetObservability() { resetAll(); }

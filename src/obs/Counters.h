@@ -143,8 +143,13 @@ inline void recordHistogram(const char *Name, double X) {
 void setObservabilityEnabled(bool On);
 bool observabilityEnabled();
 
-/// Clears recorded spans and zeroes all metrics (used by tests and by the
-/// driver between independent compilations).
+/// Clears recorded spans and zeroes all metrics — counters, histograms,
+/// and the tracer (used by tests, by the driver between independent
+/// compilations, and by the bench harness between iterations so JSON
+/// dumps are per-iteration rather than cumulative).
+void resetAll();
+
+/// Alias of resetAll(), kept for existing call sites.
 void resetObservability();
 
 } // namespace pf::obs

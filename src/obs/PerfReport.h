@@ -1,0 +1,104 @@
+//===- obs/PerfReport.h - Unified performance report ------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable performance report behind the driver's
+/// `--perf-report=<path>` flag: one schema-versioned JSON document merging
+/// the stats export, the timeline attribution (critical path, slack, lane
+/// utilization, per-channel phase cycles) and the search's decision trail.
+/// `renderPerfReportText` renders a parsed report for humans (`pimflow
+/// report`), and `perfDiff` compares two reports (or two bench-results
+/// dumps) with per-metric relative thresholds — the regression gate behind
+/// `pf_perf_diff` and ci.sh tier 5.
+///
+/// Schema (version 1, lower-is-better metrics unless noted):
+///   { schema_version, kind: "pimflow-perf-report", model, policy,
+///     end_to_end_ns, energy_j, conv_layer_ns, fc_layer_ns,
+///     timeline:{total_ns, gpu_busy_ns, pim_busy_ns, energy_j,
+///               contention_slowdown, scheduled_nodes},
+///     critical_path:{length_ns, gpu_ns, pim_ns,
+///                    steps:[{node,id,device,start_ns,end_ns,reason,
+///                            blocker}]},
+///     slack:[{node,id,slack_ns,critical}],
+///     lanes:[{name,channel,busy_ns,idle_ns,utilization,intervals,gaps}],
+///     pim_phases:[{channel,gwrite_cycles,g_act_cycles,comp_cycles,
+///                  readres_cycles,retry_cycles,stall_cycles,busy_cycles,
+///                  bank_busy_cycles,utilization}],
+///     decisions:[{node,id,pim_candidate,chosen_mode,chosen_ratio_gpu,
+///                 chosen_ns,gpu_only_ns,gain_ns,
+///                 candidates:[{mode,ratio_gpu,ns}]}],
+///     segments:{gpu,pim,md_dp,pipeline}, stats:{...},
+///     recovery:{...} (only when fault recovery ran), counters:{...} }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_OBS_PERFREPORT_H
+#define PIMFLOW_OBS_PERFREPORT_H
+
+#include <string>
+#include <vector>
+
+#include "core/Report.h"
+#include "obs/Attribution.h"
+#include "obs/Json.h"
+
+namespace pf::obs {
+
+/// Current report schema version.
+inline constexpr int PerfReportSchemaVersion = 1;
+
+/// Renders the full performance report of \p R as JSON.
+std::string renderPerfReport(const CompileResult &R);
+
+/// Writes renderPerfReport(R) to \p Path; false on I/O failure.
+bool writePerfReport(const CompileResult &R, const std::string &Path);
+
+/// Renders a parsed report document as human-readable text (summary lines
+/// plus critical-path / lane-utilization / phase / decision tables).
+std::string renderPerfReportText(const JsonValue &Report);
+
+/// Relative-threshold configuration of the diff gate.
+struct PerfDiffOptions {
+  /// A gated metric regresses when Cur > Base * (1 + RelThreshold) and
+  /// Base > 0.
+  double RelThreshold = 0.25;
+};
+
+/// One compared metric.
+struct MetricDelta {
+  std::string Name;
+  double BaseValue = 0.0;
+  double CurValue = 0.0;
+  /// (Cur - Base) / Base; 0 when Base is 0.
+  double RelChange = 0.0;
+  bool Regressed = false;
+};
+
+/// Outcome of comparing two report (or bench-results) documents.
+struct PerfDiffResult {
+  std::vector<MetricDelta> Deltas;
+  /// Structural problems (metric present in the baseline but missing from
+  /// the current document); these also count as regressions.
+  std::vector<std::string> Notes;
+  bool HasRegression = false;
+};
+
+/// Compares \p Cur against \p Base. Both documents must be the same
+/// format: a perf report (gates end_to_end_ns, energy_j, conv_layer_ns,
+/// fc_layer_ns, critical_path.length_ns, timeline.gpu_busy_ns,
+/// timeline.pim_busy_ns) or a bench-results dump — detected by its
+/// "results" array — where every baseline (figure, key) row gates
+/// end_to_end_ns and energy_j. Rows only in \p Cur are new coverage and
+/// pass; rows missing from \p Cur are notes and fail.
+PerfDiffResult perfDiff(const JsonValue &Base, const JsonValue &Cur,
+                        const PerfDiffOptions &Options = {});
+
+/// Renders \p R as an aligned table plus notes.
+std::string renderPerfDiff(const PerfDiffResult &R);
+
+} // namespace pf::obs
+
+#endif // PIMFLOW_OBS_PERFREPORT_H

@@ -141,6 +141,54 @@ void runPattern(const PimConfig &C, ChannelState &S,
 
 } // namespace
 
+ChannelPhaseCycles &ChannelPhaseCycles::operator+=(const ChannelPhaseCycles &O) {
+  GwriteCycles += O.GwriteCycles;
+  GactCycles += O.GactCycles;
+  CompCycles += O.CompCycles;
+  ReadResCycles += O.ReadResCycles;
+  RetryCycles += O.RetryCycles;
+  StallCycles += O.StallCycles;
+  CompletionCycles += O.CompletionCycles;
+  return *this;
+}
+
+ChannelPhaseCycles pf::phaseCyclesOf(const PimConfig &Config,
+                                     const ChannelTrace &Trace) {
+  ChannelPhaseCycles P;
+  for (const CommandBlock &B : Trace.Blocks) {
+    if (B.Repeats <= 0)
+      continue;
+    for (const PimCommand &Cmd : B.Pattern) {
+      // Durations mirror step() exactly; only start times depend on state.
+      switch (Cmd.Kind) {
+      case PimCmdKind::Gwrite:
+      case PimCmdKind::Gwrite2:
+      case PimCmdKind::Gwrite4: {
+        const int64_t Buffers = Cmd.Kind == PimCmdKind::Gwrite    ? 1
+                                : Cmd.Kind == PimCmdKind::Gwrite2 ? 2
+                                                                  : 4;
+        const int64_t Bursts = Cmd.Count * Buffers;
+        P.GwriteCycles +=
+            B.Repeats * (Config.TGwrite + (Bursts - 1) * Config.TCcdl);
+        break;
+      }
+      case PimCmdKind::GAct:
+        P.GactCycles +=
+            B.Repeats * (Config.TGact + (Cmd.Count - 1) * Config.TRrd);
+        break;
+      case PimCmdKind::Comp:
+        P.CompCycles += B.Repeats * Cmd.Count * Config.TComp;
+        break;
+      case PimCmdKind::ReadRes:
+        P.ReadResCycles +=
+            B.Repeats * (Config.TReadRes + (Cmd.Count - 1) * Config.TCcdl);
+        break;
+      }
+    }
+  }
+  return P;
+}
+
 const char *pf::channelHealthName(ChannelHealth H) {
   switch (H) {
   case ChannelHealth::Ok:
@@ -251,7 +299,8 @@ int64_t PimSimulator::simulateChannel(const ChannelTrace &Trace) const {
 
 PimRunStats PimSimulator::run(const DeviceTrace &Trace) const {
   PimRunStats Stats;
-  for (const ChannelTrace &Channel : Trace.Channels) {
+  for (size_t ChIdx = 0; ChIdx < Trace.Channels.size(); ++ChIdx) {
+    const ChannelTrace &Channel = Trace.Channels[ChIdx];
     if (Channel.empty())
       continue;
     const int64_t Cycles = simulateChannel(Channel);
@@ -259,6 +308,10 @@ PimRunStats PimSimulator::run(const DeviceTrace &Trace) const {
     Stats.BusyCycleSum += Cycles;
     ++Stats.ActiveChannels;
     accumulateCommands(Channel, Stats);
+    ChannelPhaseCycles Phases = phaseCyclesOf(Config, Channel);
+    Phases.Channel = static_cast<int>(ChIdx);
+    Phases.CompletionCycles = Cycles;
+    Stats.ChannelPhases.push_back(Phases);
   }
   Stats.Ns = Config.cyclesToNs(Stats.Cycles);
   // The GWRITE fetch traffic of all channels is supplied by the GPU channel
@@ -293,30 +346,45 @@ FaultyRunStats PimSimulator::runWithFaults(const DeviceTrace &Trace,
     O.Channel = Ch;
     ++Stats.ActiveChannels;
     accumulateCommands(Channel, Stats);
+    ChannelPhaseCycles Phases;
+    Phases.Channel = Ch;
 
     if (Faults.channelDead(Ch)) {
       // No progress at all: the channel's share of the kernel is lost.
       O.Health = ChannelHealth::Dead;
       obs::addCounter("pim.sim.dead_channel_hits");
       R.Outcomes.push_back(O);
+      Stats.ChannelPhases.push_back(Phases);
       continue;
     }
     if (Faults.channelStalled(Ch) && hasGwrite(Channel)) {
       // The stalled GWRITE never completes; the per-command watchdog bounds
-      // the loss so the makespan computation cannot hang.
+      // the loss so the makespan computation cannot hang. The whole bound
+      // is attributed as stall time — the channel produced nothing usable.
       O.Health = ChannelHealth::Stalled;
       O.Cycles = Retry.WatchdogCycles;
       obs::addCounter("pim.sim.watchdog_trips");
       Stats.Cycles = std::max(Stats.Cycles, O.Cycles);
       Stats.BusyCycleSum += O.Cycles;
       R.Outcomes.push_back(O);
+      Phases.StallCycles = Retry.WatchdogCycles;
+      Phases.CompletionCycles = Retry.WatchdogCycles;
+      Stats.ChannelPhases.push_back(Phases);
       continue;
     }
 
     int64_t Cycles = simulateChannel(Channel);
+    Phases = phaseCyclesOf(Config, Channel);
+    Phases.Channel = Ch;
     const double Slow = Faults.slowFactor(Ch);
     if (Slow > 1.0) {
       Cycles = static_cast<int64_t>(static_cast<double>(Cycles) * Slow);
+      // A slow channel stretches every command uniformly, so each phase
+      // bucket inflates by the same factor.
+      for (int64_t *Bucket :
+           {&Phases.GwriteCycles, &Phases.GactCycles, &Phases.CompCycles,
+            &Phases.ReadResCycles})
+        *Bucket = static_cast<int64_t>(static_cast<double>(*Bucket) * Slow);
       O.Health = ChannelHealth::Degraded;
       obs::addCounter("pim.sim.slow_channel_hits");
     }
@@ -345,6 +413,9 @@ FaultyRunStats PimSimulator::runWithFaults(const DeviceTrace &Trace,
     R.TotalRetries += O.Retries;
     Stats.Cycles = std::max(Stats.Cycles, Cycles);
     Stats.BusyCycleSum += Cycles;
+    Phases.RetryCycles = O.RetryCycles;
+    Phases.CompletionCycles = Cycles;
+    Stats.ChannelPhases.push_back(Phases);
     R.Outcomes.push_back(O);
   }
   Stats.Ns = Config.cyclesToNs(Stats.Cycles);

@@ -31,6 +31,50 @@
 
 namespace pf {
 
+/// Busy cycles of one channel split by command phase. Command durations are
+/// state-independent (only start times depend on engine occupancy), so the
+/// per-phase totals are exact regardless of GWRITE latency hiding; with
+/// hiding enabled the fetch phase (GWRITE) overlaps the bank phases, which
+/// is why busyCycles() can exceed CompletionCycles. The fault path adds
+/// retry/backoff time (RetryCycles) and watchdog-bounded stall loss
+/// (StallCycles) so a degraded run's extra time is attributable, not just
+/// visible as a longer makespan.
+struct ChannelPhaseCycles {
+  int Channel = 0;
+  int64_t GwriteCycles = 0;
+  int64_t GactCycles = 0;
+  int64_t CompCycles = 0;
+  int64_t ReadResCycles = 0;
+  /// Fault path: re-issue plus accumulated backoff time of retried
+  /// commands.
+  int64_t RetryCycles = 0;
+  /// Fault path: cycles lost to a stalled GWRITE before the watchdog cut
+  /// the channel off.
+  int64_t StallCycles = 0;
+  /// Channel completion time (0 for dead channels).
+  int64_t CompletionCycles = 0;
+
+  /// Total attributed busy time: the phase buckets sum to this by
+  /// construction (the consistency the attribution tests pin down).
+  int64_t busyCycles() const {
+    return GwriteCycles + GactCycles + CompCycles + ReadResCycles +
+           RetryCycles + StallCycles;
+  }
+  /// Bank-engine busy time (the compute-side phases; excludes the fetch
+  /// engine, which may overlap under GWRITE latency hiding).
+  int64_t bankBusyCycles() const {
+    return GactCycles + CompCycles + ReadResCycles + RetryCycles;
+  }
+
+  ChannelPhaseCycles &operator+=(const ChannelPhaseCycles &O);
+};
+
+/// Per-phase busy cycles of \p Trace under \p Config's timing parameters
+/// (expanded over block repeats; no simulation needed since durations are
+/// state-independent).
+ChannelPhaseCycles phaseCyclesOf(const PimConfig &Config,
+                                 const ChannelTrace &Trace);
+
 /// Aggregate results of executing one device trace.
 struct PimRunStats {
   /// Makespan over all channels, in PIM clock cycles.
@@ -49,6 +93,11 @@ struct PimRunStats {
   /// Busy cycles summed over channels (for utilization reporting).
   int64_t BusyCycleSum = 0;
   int ActiveChannels = 0;
+
+  /// Per-channel phase accounting, one entry per non-empty channel in
+  /// channel order. Fault-aware runs fold retry/stall time into the
+  /// matching entry.
+  std::vector<ChannelPhaseCycles> ChannelPhases;
 };
 
 /// Health classification of one channel after a fault-aware run.

@@ -146,6 +146,10 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
     double Ns = 0.0;
   };
   std::vector<NodeOption> BestNode(N);
+  // Refined-ratio samples profiled during selection (only the auto-tuning
+  // path adds any); they join the decision records so every profiled point
+  // is explainable, not just the coarse grid.
+  std::vector<std::vector<CandidateOption>> Refined(N);
 
   {
   PF_TRACE_SCOPE_CAT("search.select_nodes", "search");
@@ -193,6 +197,8 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
           auto TrySplit = [&](double R) {
             const double Ns = Prof.mdDpNs(G, Seq[I], R);
             obs::addCounter("search.candidates_evaluated");
+            Refined[I].push_back(
+                CandidateOption{SegmentMode::MdDp, R, Ns});
             Consider(R, Ns);
           };
           const double Center = Opt.RatioGpu;
@@ -238,7 +244,28 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
     }
   }
 
-  // Reconstruct the segment covering.
+  // Reconstruct the segment covering, recording one decision per node as
+  // we go: what was profiled, what the DP chose, and the chosen option's
+  // cost — the report's explainability trail.
+  auto BaseDecision = [&](size_t I) {
+    SearchDecision D;
+    D.Id = Seq[I];
+    D.PimCandidate = Profiles[I].Candidate;
+    D.GpuOnlyNs = Profiles[I].GpuNs;
+    D.Candidates.push_back(
+        CandidateOption{SegmentMode::GpuNode, 1.0, Profiles[I].GpuNs});
+    if (Profiles[I].Candidate) {
+      D.Candidates.push_back(
+          CandidateOption{SegmentMode::FullPim, 0.0, Profiles[I].PimNs});
+      for (size_t R = 0; R < Grid.size(); ++R)
+        D.Candidates.push_back(
+            CandidateOption{SegmentMode::MdDp, Grid[R],
+                            Profiles[I].SplitNs[R]});
+      D.Candidates.insert(D.Candidates.end(), Refined[I].begin(),
+                          Refined[I].end());
+    }
+    return D;
+  };
   for (size_t I = 0; I < N;) {
     if (Chosen[I].IsPipe) {
       const PipeOption &P = Pipes[Chosen[I].PipeIdx];
@@ -248,6 +275,20 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
       S.Stages = Options.PipelineStages;
       S.Pattern = P.Cand.Pattern;
       S.PredictedNs = P.Ns;
+      // The pipelined segment's time covers the whole chain; split it over
+      // the chain proportionally to GPU-baseline times (the CONV-layer
+      // metric's attribution rule) so per-node gains stay comparable.
+      double ChainGpuNs = 0.0;
+      for (size_t Off = 0; Off < P.Len; ++Off)
+        ChainGpuNs += Profiles[I + Off].GpuNs;
+      for (size_t Off = 0; Off < P.Len; ++Off) {
+        SearchDecision D = BaseDecision(I + Off);
+        D.ChosenMode = SegmentMode::Pipeline;
+        D.ChosenNs = ChainGpuNs > 0.0
+                         ? P.Ns * Profiles[I + Off].GpuNs / ChainGpuNs
+                         : P.Ns / static_cast<double>(P.Len);
+        Plan.Decisions.push_back(std::move(D));
+      }
       Plan.Segments.push_back(std::move(S));
       I += P.Len;
       continue;
@@ -258,9 +299,16 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
     S.Nodes = {Seq[I]};
     S.RatioGpu = O.RatioGpu;
     S.PredictedNs = O.Ns;
+    SearchDecision D = BaseDecision(I);
+    D.ChosenMode = O.Mode;
+    D.ChosenRatioGpu = O.RatioGpu;
+    D.ChosenNs = O.Ns;
+    Plan.Decisions.push_back(std::move(D));
     Plan.Segments.push_back(std::move(S));
     ++I;
   }
+  obs::addCounter("search.decisions",
+                  static_cast<int64_t>(Plan.Decisions.size()));
   Plan.PredictedNs = Best[0];
   obs::addCounter("search.segments",
                   static_cast<int64_t>(Plan.Segments.size()));

@@ -64,10 +64,47 @@ struct LayerProfile {
   double BestRatioGpu = 1.0; ///< Over the profiled 10% grid.
 };
 
+/// One profiled option of a node (search explainability): what the
+/// candidate-profiling pre-pass measured before the DP chose.
+struct CandidateOption {
+  SegmentMode Mode = SegmentMode::GpuNode;
+  /// MD-DP candidates: the sampled GPU fraction.
+  double RatioGpu = 1.0;
+  /// Profiled time of the node under this option, in isolation.
+  double Ns = 0.0;
+};
+
+/// Per-node record of everything the search considered and what the DP
+/// chose — the raw material of the perf report's `decisions` array.
+struct SearchDecision {
+  NodeId Id = InvalidNode;
+  /// The node was a PIM-offloading candidate (profiled beyond GPU-only).
+  bool PimCandidate = false;
+  /// Every option profiled for this node (GPU first, then full-PIM, then
+  /// the MD-DP ratio grid in sweep order). Non-candidates have only the
+  /// GPU entry.
+  std::vector<CandidateOption> Candidates;
+  /// What the DP's segment covering assigned to this node.
+  SegmentMode ChosenMode = SegmentMode::GpuNode;
+  double ChosenRatioGpu = 1.0;
+  /// The chosen option's time share for this node (a pipeline segment's
+  /// time is split over its chain proportionally to GPU-baseline times,
+  /// the same attribution rule the CONV-layer metric uses).
+  double ChosenNs = 0.0;
+  /// The GPU-only reference cost.
+  double GpuOnlyNs = 0.0;
+
+  /// Marginal gain of the chosen option vs. running this node on the GPU
+  /// (positive when the DP found something faster).
+  double gainNs() const { return GpuOnlyNs - ChosenNs; }
+};
+
 /// The search result.
 struct ExecutionPlan {
   std::vector<SegmentPlan> Segments;
   std::vector<LayerProfile> Layers;
+  /// One decision record per covered node, in topological order.
+  std::vector<SearchDecision> Decisions;
   /// DP objective: sum of profiled segment times.
   double PredictedNs = 0.0;
 };

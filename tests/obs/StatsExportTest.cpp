@@ -1,0 +1,103 @@
+//===- tests/obs/StatsExportTest.cpp - Stats JSON round-trip ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StatsExport.h"
+
+#include <gtest/gtest.h>
+
+#include "core/PimFlow.h"
+#include "models/Zoo.h"
+#include "obs/Json.h"
+
+using namespace pf;
+using namespace pf::obs;
+
+namespace {
+
+JsonValue exportAndParse(const CompileResult &R) {
+  const std::string Json = renderStatsJson(R);
+  std::string Error;
+  auto Doc = JsonValue::parse(Json, &Error);
+  EXPECT_TRUE(Doc.has_value()) << Error;
+  return Doc ? *Doc : JsonValue{};
+}
+
+} // namespace
+
+// The emitted document parses back and its numbers are the CompileResult's
+// numbers — golden round-trip through the obs::Json parser.
+TEST(StatsExportTest, RoundTripMatchesCompileResult) {
+  PimFlow Flow(OffloadPolicy::PimFlow);
+  const CompileResult R = Flow.compileAndRun(buildToy());
+  const JsonValue Doc = exportAndParse(R);
+
+  ASSERT_NE(Doc.find("model"), nullptr);
+  EXPECT_EQ(Doc.find("model")->Str, R.Transformed.name());
+  ASSERT_NE(Doc.find("policy"), nullptr);
+  EXPECT_EQ(Doc.find("policy")->Str, policyName(R.Policy));
+  EXPECT_DOUBLE_EQ(Doc.numberOr("end_to_end_ns", -1.0), R.endToEndNs());
+  EXPECT_DOUBLE_EQ(Doc.numberOr("energy_j", -1.0), R.energyJ());
+  EXPECT_DOUBLE_EQ(Doc.numberOr("conv_layer_ns", -1.0), R.ConvLayerNs);
+  EXPECT_DOUBLE_EQ(Doc.numberOr("fc_layer_ns", -1.0), R.FcLayerNs);
+
+  const JsonValue *Tl = Doc.find("timeline");
+  ASSERT_NE(Tl, nullptr);
+  EXPECT_DOUBLE_EQ(Tl->numberOr("total_ns", -1.0), R.Schedule.TotalNs);
+  EXPECT_DOUBLE_EQ(Tl->numberOr("gpu_busy_ns", -1.0), R.Schedule.GpuBusyNs);
+  EXPECT_DOUBLE_EQ(Tl->numberOr("pim_busy_ns", -1.0), R.Schedule.PimBusyNs);
+  EXPECT_DOUBLE_EQ(Tl->numberOr("energy_j", -1.0), R.Schedule.EnergyJ);
+
+  // The segment census counts every planned segment exactly once.
+  const JsonValue *Segments = Doc.find("segments");
+  ASSERT_NE(Segments, nullptr);
+  const double Census = Segments->numberOr("gpu", 0) +
+                        Segments->numberOr("pim", 0) +
+                        Segments->numberOr("md_dp", 0) +
+                        Segments->numberOr("pipeline", 0);
+  EXPECT_DOUBLE_EQ(Census, static_cast<double>(R.Plan.Segments.size()));
+
+  // The derived stats agree with computeStats on the same result.
+  const ExecutionStats S = computeStats(R);
+  const JsonValue *Stats = Doc.find("stats");
+  ASSERT_NE(Stats, nullptr);
+  EXPECT_DOUBLE_EQ(Stats->numberOr("gpu_kernels", -1.0), S.GpuKernels);
+  EXPECT_DOUBLE_EQ(Stats->numberOr("pim_kernels", -1.0), S.PimKernels);
+  EXPECT_DOUBLE_EQ(Stats->numberOr("gpu_busy_fraction", -1.0),
+                   S.GpuBusyFraction);
+
+  ASSERT_NE(Doc.find("counters"), nullptr);
+  EXPECT_TRUE(Doc.find("counters")->isObject());
+}
+
+// A fault-free run exports no recovery section; a faulted one does, and the
+// numbers survive the round-trip.
+TEST(StatsExportTest, RecoverySectionOnlyWhenActive) {
+  PimFlow Clean(OffloadPolicy::PimFlow);
+  const CompileResult R = Clean.compileAndRun(buildToy());
+  EXPECT_EQ(exportAndParse(R).find("recovery"), nullptr);
+
+  PimFlowOptions Options;
+  Options.FaultSpec = "dead:0";
+  PimFlow Faulted(OffloadPolicy::PimFlow, Options);
+  const CompileResult RF = Faulted.compileAndRun(buildToy());
+  ASSERT_TRUE(RF.Recovery.Active);
+  const JsonValue Doc = exportAndParse(RF);
+  const JsonValue *Rec = Doc.find("recovery");
+  ASSERT_NE(Rec, nullptr);
+  EXPECT_DOUBLE_EQ(Rec->numberOr("dead_channels", -1.0),
+                   RF.Recovery.DeadChannels);
+  EXPECT_DOUBLE_EQ(Rec->numberOr("surviving_channels", -1.0),
+                   RF.Recovery.SurvivingChannels);
+}
+
+// Precomputed-stats overload emits byte-identical output to the one-arg
+// form (both must call computeStats on the same inputs).
+TEST(StatsExportTest, PrecomputedStatsOverloadIsIdentical) {
+  PimFlow Flow(OffloadPolicy::GpuOnly);
+  const CompileResult R = Flow.compileAndRun(buildToy());
+  const ExecutionStats S = computeStats(R);
+  EXPECT_EQ(renderStatsJson(R), renderStatsJson(R, S));
+}

@@ -10,6 +10,7 @@
 
 #include "ir/Builder.h"
 #include "ir/GraphPrinter.h"
+#include "support/Format.h"
 #include "support/StringUtil.h"
 
 using namespace pf;
@@ -73,6 +74,48 @@ TEST(TimelineDumpTest, ScheduleListSortedByStart) {
     EXPECT_GE(Start, Prev);
     Prev = Start;
   }
+}
+
+TEST(TimelineDumpTest, GanttGoldenString) {
+  // Hand-built timeline with round numbers: the rendering is exact.
+  Graph G("golden");
+  Timeline TL;
+  NodeSchedule A;
+  A.Id = 0;
+  A.Dev = Device::Gpu;
+  A.StartNs = 0.0;
+  A.EndNs = 50.0;
+  NodeSchedule B;
+  B.Id = 1;
+  B.Dev = Device::Pim;
+  B.StartNs = 50.0;
+  B.EndNs = 100.0;
+  TL.Nodes = {A, B};
+  TL.TotalNs = 100.0;
+  EXPECT_EQ(renderGantt(G, TL, 10), "gpu |######....|\n"
+                                    "pim |.....#####|\n"
+                                    "    0      0.1 us\n");
+}
+
+TEST(TimelineDumpTest, ScheduleListGoldenString) {
+  NodeId Pim = InvalidNode;
+  Graph G = dualDeviceGraph();
+  for (NodeId Id : G.topoOrder())
+    if (G.node(Id).Dev == Device::Pim)
+      Pim = Id;
+  ASSERT_NE(Pim, InvalidNode);
+
+  Timeline TL;
+  NodeSchedule S;
+  S.Id = Pim;
+  S.Dev = Device::Pim;
+  S.StartNs = 1500.0;
+  S.EndNs = 4000.0;
+  TL.Nodes = {S};
+  TL.TotalNs = 4000.0;
+  const std::string Expected = formatStr(
+      "[     1.50 ..      4.00 us] pim %s\n", G.node(Pim).Name.c_str());
+  EXPECT_EQ(renderScheduleList(G, TL), Expected);
 }
 
 TEST(TimelineDumpTest, DotExportStructure) {

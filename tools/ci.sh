@@ -17,6 +17,11 @@
 #      tier-1 tree, then again under TSan. The seeds are fixed inside the
 #      tests, so a failure always names a reproducible schedule; per-test
 #      ctest TIMEOUT properties turn any hang into a loud failure.
+#   5. The perf smoke tier: regenerate the bench JSON dumps (toy +
+#      resnet-18, deterministic simulated metrics only) and perf reports,
+#      then gate them against the checked-in bench/baselines/ with
+#      pf_perf_diff at a generous ±25% threshold, and prove the gate
+#      itself trips on a perturbed report.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 #===----------------------------------------------------------------------===#
@@ -46,5 +51,35 @@ echo "== tier 4: chaos fault-injection suite (fixed seeds), then under TSan =="
 ctest --test-dir build --output-on-failure -j "$JOBS" -R 'Chaos'
 cmake --build build-tsan -j "$JOBS" --target chaos_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R 'Chaos'
+
+echo "== tier 5: perf smoke — bench + report regression gate =="
+PERF_DIR=build/perf-smoke
+mkdir -p "$PERF_DIR"
+PIMFLOW_BENCH_JSON="$PERF_DIR/BENCH_fig09_main.json" \
+  ./build/bench/bench_fig09_main toy resnet-18 > /dev/null
+PIMFLOW_BENCH_JSON="$PERF_DIR/BENCH_fig10_layerwise.json" \
+  ./build/bench/bench_fig10_layerwise toy resnet-18 > /dev/null
+PIMFLOW_BENCH_JSON="$PERF_DIR/BENCH_micro.json" \
+  ./build/bench/bench_micro --no-wall > /dev/null
+for B in BENCH_fig09_main BENCH_fig10_layerwise BENCH_micro; do
+  ./build/tools/pf_perf_diff --threshold=0.25 \
+    "bench/baselines/$B.json" "$PERF_DIR/$B.json"
+done
+for NET in toy resnet-18; do
+  ./build/tools/pimflow -m=run -n="$NET" --dir="$PERF_DIR" \
+    --perf-report="$PERF_DIR/$NET.perf.json" > /dev/null
+  # A report never regresses against itself...
+  ./build/tools/pf_perf_diff --threshold=0.25 \
+    "$PERF_DIR/$NET.perf.json" "$PERF_DIR/$NET.perf.json" > /dev/null
+done
+# ...and the gate must actually trip on a >threshold perturbation.
+sed 's/"end_to_end_ns":/"end_to_end_ns":9e99, "was_end_to_end_ns":/' \
+  "$PERF_DIR/toy.perf.json" > "$PERF_DIR/toy.perf.perturbed.json"
+if ./build/tools/pf_perf_diff --threshold=0.25 \
+  "$PERF_DIR/toy.perf.json" "$PERF_DIR/toy.perf.perturbed.json" \
+  > /dev/null; then
+  echo "error: pf_perf_diff did not flag a perturbed report" >&2
+  exit 1
+fi
 
 echo "== ci.sh: all passes green =="

@@ -1,0 +1,99 @@
+//===- tools/pf_perf_diff.cpp - Perf-report regression gate -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares a current performance document against a committed baseline
+/// and exits nonzero when any gated metric regressed past the relative
+/// threshold — the CI tier-5 gate:
+///
+///   pf_perf_diff [--threshold=0.25] <baseline.json> <current.json>
+///
+/// Both `pimflow --perf-report` documents and bench `PIMFLOW_BENCH_JSON`
+/// results dumps are understood (detected by the latter's "results"
+/// array); see obs::perfDiff for the gated metric sets. Exit codes:
+/// 0 = no regression, 1 = regression, 2 = usage or unreadable input.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/Json.h"
+#include "obs/PerfReport.h"
+
+using namespace pf;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: pf_perf_diff [--threshold=<rel>] "
+                       "<baseline.json> <current.json>\n");
+  return 2;
+}
+
+std::optional<obs::JsonValue> load(const char *Path) {
+  const auto Text = obs::readTextFile(Path);
+  if (!Text) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path);
+    return std::nullopt;
+  }
+  std::string Error;
+  auto Doc = obs::JsonValue::parse(*Text, &Error);
+  if (!Doc)
+    std::fprintf(stderr, "error: %s: %s\n", Path, Error.c_str());
+  return Doc;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  obs::PerfDiffOptions Options;
+  const char *BasePath = nullptr, *CurPath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--threshold=", 12) == 0) {
+      char *End = nullptr;
+      Options.RelThreshold = std::strtod(Arg + 12, &End);
+      if (!End || *End != '\0' || Options.RelThreshold < 0.0) {
+        std::fprintf(stderr,
+                     "error: --threshold expects a non-negative number\n");
+        return 2;
+      }
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg);
+      return usage();
+    } else if (!BasePath) {
+      BasePath = Arg;
+    } else if (!CurPath) {
+      CurPath = Arg;
+    } else {
+      return usage();
+    }
+  }
+  if (!BasePath || !CurPath)
+    return usage();
+
+  const auto Base = load(BasePath);
+  if (!Base)
+    return 2;
+  const auto Cur = load(CurPath);
+  if (!Cur)
+    return 2;
+
+  const obs::PerfDiffResult R = obs::perfDiff(*Base, *Cur, Options);
+  if (R.Deltas.empty() && R.Notes.empty()) {
+    std::fprintf(stderr,
+                 "error: no gated metrics found in %s (neither a perf "
+                 "report nor a bench results dump?)\n",
+                 BasePath);
+    return 2;
+  }
+  std::printf("%s vs %s (threshold %.0f%%):\n%s", CurPath, BasePath,
+              100.0 * Options.RelThreshold,
+              obs::renderPerfDiff(R).c_str());
+  return R.HasRegression ? 1 : 0;
+}

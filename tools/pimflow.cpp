@@ -59,6 +59,7 @@
 #include "obs/ChromeTrace.h"
 #include "obs/Counters.h"
 #include "obs/Json.h"
+#include "obs/PerfReport.h"
 #include "obs/StatsExport.h"
 #include "obs/Trace.h"
 #include "support/Format.h"
@@ -81,6 +82,8 @@ struct CliOptions {
   std::string GraphFile; // -m=run --graph=<file>: skip search, execute.
   std::string TraceOut;  // --trace-out=<file>: Chrome trace-event JSON.
   std::string JsonStats; // --json-stats=<file>: machine-readable report.
+  std::string PerfReport; // --perf-report=<file>: attribution report JSON.
+  std::string ReportFile; // `pimflow report <file>`: report to render.
   int Verbose = 0;
   bool GpuOnly = false;
   bool Stats = false;
@@ -93,7 +96,9 @@ struct CliOptions {
     Flow.SearchJobs = 0;
   }
 
-  bool observed() const { return !TraceOut.empty() || !JsonStats.empty(); }
+  bool observed() const {
+    return !TraceOut.empty() || !JsonStats.empty() || !PerfReport.empty();
+  }
 };
 
 void usage() {
@@ -101,6 +106,7 @@ void usage() {
       stderr,
       "usage: pimflow -m=<profile|solve|run|trace> [-t=<split|pipeline>] "
       "-n=<net>\n"
+      "       pimflow report <perf-report.json>   (render a saved report)\n"
       "               [--gpu_only] [--policy=<mechanism>] [--dir=<path>]\n"
       "               [--graph=<solved.pimflow.graph>]\n"
       "               [--pim-channels=N] [--stages=N] [--autotune] "
@@ -111,7 +117,7 @@ void usage() {
       "               [--faults=<spec|chaos>] [--fault-seed=N] "
       "[--max-retries=N] [--pim-floor=N]\n"
       "               [--trace-out=<file>] [--json-stats=<file>] "
-      "[-v|-vv]\n"
+      "[--perf-report=<file>] [-v|-vv]\n"
       "nets: efficientnet-v1-b0 mobilenet-v2 mnasnet-1.0 resnet-50 vgg-16 "
       "bert toy\n"
       "mechanisms: Baseline Newton+ Newton++ PIMFlow-md PIMFlow-pl "
@@ -169,6 +175,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
       O.TraceOut = Val();
     else if (startsWith(Arg, "--json-stats="))
       O.JsonStats = Val();
+    else if (startsWith(Arg, "--perf-report="))
+      O.PerfReport = Val();
     else if (Arg == "-v" || Arg == "--verbose")
       O.Verbose = std::max(O.Verbose, 1);
     else if (Arg == "-vv")
@@ -210,15 +218,26 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
       O.Flow.AutoTuneRatios = true;
     else if (Arg == "--no-memopt")
       O.Flow.MemoryOptimizer = false;
+    else if (Arg == "report" && O.Mode.empty())
+      // `pimflow report <file>` — the subcommand spelling of -m=report.
+      O.Mode = "report";
+    else if (O.Mode == "report" && O.ReportFile.empty() &&
+             !startsWith(Arg, "-"))
+      O.ReportFile = Arg;
     else {
       DE.error(DiagCode::BadOption, Arg, "unknown argument");
       Ok = false;
     }
   }
   if (O.Mode != "profile" && O.Mode != "solve" && O.Mode != "run" &&
-      O.Mode != "trace") {
+      O.Mode != "trace" && O.Mode != "report") {
     DE.error(DiagCode::BadOption, "-m",
-             "must be profile, solve, run or trace");
+             "must be profile, solve, run, trace or report");
+    Ok = false;
+  }
+  if (O.Mode == "report" && O.ReportFile.empty()) {
+    DE.error(DiagCode::BadOption, "report",
+             "expects the path of a --perf-report JSON file");
     Ok = false;
   }
   if (O.Mode == "profile" && O.ProfileTarget != "split" &&
@@ -266,6 +285,15 @@ int exportObservability(const CliOptions &O, const CompileResult &R) {
       return 1;
     }
     std::printf("JSON stats written to %s\n", O.JsonStats.c_str());
+  }
+  if (!O.PerfReport.empty()) {
+    if (!obs::writePerfReport(R, O.PerfReport)) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.PerfReport.c_str());
+      return 1;
+    }
+    std::printf("perf report written to %s (render with `pimflow report "
+                "%s`)\n",
+                O.PerfReport.c_str(), O.PerfReport.c_str());
   }
   if (!O.TraceOut.empty()) {
     if (!obs::writeChromeTrace(R, O.TraceOut)) {
@@ -538,6 +566,25 @@ int runTrace(const CliOptions &O) {
   return exportObservability(O, R);
 }
 
+/// `pimflow report <file>`: renders a saved --perf-report document as
+/// human-readable text.
+int runReport(const CliOptions &O) {
+  const auto Text = obs::readTextFile(O.ReportFile);
+  if (!Text) {
+    std::fprintf(stderr, "error: cannot read %s\n", O.ReportFile.c_str());
+    return 1;
+  }
+  std::string Error;
+  const auto Doc = obs::JsonValue::parse(*Text, &Error);
+  if (!Doc) {
+    std::fprintf(stderr, "error: %s does not parse as JSON: %s\n",
+                 O.ReportFile.c_str(), Error.c_str());
+    return 1;
+  }
+  std::printf("%s", obs::renderPerfReportText(*Doc).c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -553,6 +600,8 @@ int main(int Argc, char **Argv) {
                                : LogLevel::Silent);
   if (O.observed())
     obs::setObservabilityEnabled(true);
+  if (O.Mode == "report")
+    return runReport(O);
   if (O.Mode == "profile")
     return runProfile(O);
   if (O.Mode == "solve")
