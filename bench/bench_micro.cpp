@@ -29,6 +29,7 @@
 #include "core/PimFlow.h"
 #include "ir/Builder.h"
 #include "models/Zoo.h"
+#include "obs/Metrics.h"
 #include "runtime/Interpreter.h"
 #include "search/SearchEngine.h"
 #include "transform/MdDpSplitPass.h"
@@ -179,6 +180,35 @@ void recordDeterministicProxies() {
     R.Key = "micro/engine_resnet50_total_ns";
     R.Model = "resnet-50";
     R.EndToEndNs = E.execute(G).TotalNs;
+    recordResult(R);
+  }
+  {
+    // Per-candidate profile-latency distribution: run the search with the
+    // streaming registry on and report the bounded-error p50/p99 of
+    // profiler.profile_sim_ns. Simulated nanoseconds, so the quantiles are
+    // identical on every machine and safe to gate in tier 5.
+    obs::MetricsRegistry &M = obs::MetricsRegistry::instance();
+    const bool WasEnabled = M.enabled();
+    M.reset();
+    M.setEnabled(true);
+    const Graph G = buildMobileNetV2();
+    Profiler P(SystemConfig::dual());
+    SearchEngine S(P, SearchOptions{});
+    (void)S.search(G);
+    obs::QuantileStats Q;
+    for (const auto &[Name, Stats] : M.histogramSnapshot())
+      if (Name == "profiler.profile_sim_ns")
+        Q = Stats;
+    M.setEnabled(WasEnabled);
+    M.reset();
+    BenchResult R;
+    R.Figure = "Micro";
+    R.Model = "mobilenet-v2";
+    R.Key = "micro/profile_ns_p50";
+    R.EndToEndNs = Q.P50;
+    recordResult(R);
+    R.Key = "micro/profile_ns_p99";
+    R.EndToEndNs = Q.P99;
     recordResult(R);
   }
   // Whole-flow proxies on a small and a mid-size model.

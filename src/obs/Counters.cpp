@@ -8,6 +8,8 @@
 
 #include <algorithm>
 
+#include "obs/FlightRecorder.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 using namespace pf::obs;
@@ -40,7 +42,11 @@ Registry::counterSnapshot() const {
   for (const auto &[Name, C] : Counters)
     if (C->value() != 0)
       Out.emplace_back(Name, C->value());
-  return Out; // std::map iteration is already name-sorted.
+  // Sorted-by-name emission is a documented contract (goldens and diffs
+  // depend on it), not an accident of the backing container.
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &L, const auto &R) { return L.first < R.first; });
+  return Out;
 }
 
 std::vector<std::pair<std::string, HistogramStats>>
@@ -52,6 +58,8 @@ Registry::histogramSnapshot() const {
     if (S.Count > 0)
       Out.emplace_back(Name, S);
   }
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &L, const auto &R) { return L.first < R.first; });
   return Out;
 }
 
@@ -66,15 +74,22 @@ void Registry::reset() {
 void pf::obs::setObservabilityEnabled(bool On) {
   Tracer::instance().setEnabled(On);
   Registry::instance().setEnabled(On);
+  MetricsRegistry::instance().setEnabled(On);
+  // The flight recorder stays always-on regardless (bounded rings make it
+  // free when idle); only its contents are lifecycle-managed, in
+  // resetAll().
 }
 
 bool pf::obs::observabilityEnabled() {
-  return Tracer::instance().enabled() || Registry::instance().enabled();
+  return Tracer::instance().enabled() || Registry::instance().enabled() ||
+         MetricsRegistry::instance().enabled();
 }
 
 void pf::obs::resetAll() {
   Tracer::instance().clear();
   Registry::instance().reset();
+  MetricsRegistry::instance().reset();
+  FlightRecorder::instance().clear();
 }
 
 void pf::obs::resetObservability() { resetAll(); }

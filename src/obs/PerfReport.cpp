@@ -7,8 +7,10 @@
 #include "obs/PerfReport.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/Counters.h"
+#include "obs/Metrics.h"
 #include "search/SearchEngine.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -201,6 +203,46 @@ std::string pf::obs::renderPerfReport(const CompileResult &R) {
     W.field(Name, Value);
   W.endObject();
 
+  // Schema v2: the streaming-metric section. Every snapshot is sorted by
+  // name, so two reports of the same run are byte-identical.
+  const MetricsRegistry &M = MetricsRegistry::instance();
+  W.key("metrics").beginObject();
+  W.key("histograms").beginObject();
+  for (const auto &[Name, Q] : M.histogramSnapshot()) {
+    W.key(Name)
+        .beginObject()
+        .field("count", Q.Count)
+        .field("sum", Q.Sum)
+        .field("min", Q.Min)
+        .field("max", Q.Max)
+        .field("mean", Q.mean())
+        .field("p50", Q.P50)
+        .field("p90", Q.P90)
+        .field("p99", Q.P99)
+        .field("p999", Q.P999)
+        .field("rel_error_bound", Q.RelErrorBound)
+        .endObject();
+  }
+  W.endObject();
+  W.key("gauges").beginObject();
+  for (const auto &[Name, V] : M.gaugeSnapshot())
+    W.field(Name, V);
+  W.endObject();
+  W.key("windows").beginObject();
+  for (const auto &[Name, WS] : M.windowSnapshot()) {
+    W.key(Name)
+        .beginObject()
+        .field("domain", tickDomainName(WS.Domain))
+        .field("bucket_width", WS.BucketWidth)
+        .field("span_ticks", WS.SpanTicks)
+        .field("count", WS.Count)
+        .field("sum", WS.Sum)
+        .field("mean", WS.mean())
+        .endObject();
+  }
+  W.endObject();
+  W.endObject();
+
   W.endObject();
   return W.take();
 }
@@ -283,6 +325,8 @@ std::string pf::obs::renderPerfReportText(const JsonValue &Report) {
     Out += T.render();
   }
 
+  Out += renderPerfReportMetricsText(Report);
+
   if (const JsonValue *Decisions = Report.find("decisions");
       Decisions && Decisions->isArray() && !Decisions->Array.empty()) {
     Out += "\nsearch decisions:\n";
@@ -300,6 +344,55 @@ std::string pf::obs::renderPerfReportText(const JsonValue &Report) {
                                     ? static_cast<int>(Cands->Array.size())
                                     : 0)});
     }
+    Out += T.render();
+  }
+  return Out;
+}
+
+std::string pf::obs::renderPerfReportMetricsText(const JsonValue &Report) {
+  std::string Out;
+  const JsonValue *M = Report.find("metrics");
+  if (!M || !M->isObject())
+    return Out;
+
+  if (const JsonValue *H = M->find("histograms");
+      H && H->isObject() && !H->Object.empty()) {
+    Out += "\nlatency histograms (bounded-error quantiles):\n";
+    Table T;
+    T.setHeader({"histogram", "count", "mean", "p50", "p90", "p99", "p999",
+                 "max", "err"});
+    for (const auto &[Name, Q] : H->Object)
+      T.addRow({Name, formatStr("%.0f", Q.numberOr("count", 0)),
+                formatStr("%.1f", Q.numberOr("mean", 0)),
+                formatStr("%.1f", Q.numberOr("p50", 0)),
+                formatStr("%.1f", Q.numberOr("p90", 0)),
+                formatStr("%.1f", Q.numberOr("p99", 0)),
+                formatStr("%.1f", Q.numberOr("p999", 0)),
+                formatStr("%.1f", Q.numberOr("max", 0)),
+                formatStr("%.2g", Q.numberOr("rel_error_bound", 0))});
+    Out += T.render();
+  }
+
+  if (const JsonValue *G = M->find("gauges");
+      G && G->isObject() && !G->Object.empty()) {
+    Out += "\ngauges:\n";
+    Table T;
+    T.setHeader({"gauge", "value"});
+    for (const auto &[Name, V] : G->Object)
+      T.addRow({Name, formatStr("%.6g", V.isNumber() ? V.Number : 0.0)});
+    Out += T.render();
+  }
+
+  if (const JsonValue *Ws = M->find("windows");
+      Ws && Ws->isObject() && !Ws->Object.empty()) {
+    Out += "\nsliding windows (trailing span):\n";
+    Table T;
+    T.setHeader({"window", "domain", "span", "count", "mean"});
+    for (const auto &[Name, V] : Ws->Object)
+      T.addRow({Name, strOr(V, "domain", "?"),
+                formatStr("%.0f", V.numberOr("span_ticks", 0)),
+                formatStr("%.0f", V.numberOr("count", 0)),
+                formatStr("%.1f", V.numberOr("mean", 0))});
     Out += T.render();
   }
   return Out;
@@ -330,19 +423,24 @@ const JsonValue *lookupPath(const JsonValue &Doc,
 }
 
 void compareMetric(PerfDiffResult &R, const std::string &Name, double Base,
-                   double Cur, double Threshold) {
+                   double Cur, const PerfDiffOptions &Options) {
   MetricDelta D;
   D.Name = Name;
   D.BaseValue = Base;
   D.CurValue = Cur;
   D.RelChange = Base != 0.0 ? (Cur - Base) / Base : 0.0;
-  D.Regressed = Base > 0.0 && Cur > Base * (1.0 + Threshold);
+  // Relative rule with an absolute floor: for Base > AbsEpsilon this is
+  // exactly Cur > Base * (1 + threshold); for a zero/near-zero baseline
+  // the floor takes over, so 0 -> nonzero regresses instead of hiding
+  // behind a division by zero.
+  D.Regressed = Cur - Base > Options.RelThreshold *
+                                std::max(std::abs(Base), Options.AbsEpsilon);
   R.HasRegression |= D.Regressed;
   R.Deltas.push_back(std::move(D));
 }
 
 void diffBenchResults(PerfDiffResult &R, const JsonValue &Base,
-                      const JsonValue &Cur, double Threshold) {
+                      const JsonValue &Cur, const PerfDiffOptions &Options) {
   const JsonValue *BaseRows = Base.find("results");
   const JsonValue *CurRows = Cur.find("results");
   auto rowKey = [](const JsonValue &Row) {
@@ -368,9 +466,41 @@ void diffBenchResults(PerfDiffResult &R, const JsonValue &Base,
       continue;
     }
     compareMetric(R, K + ".end_to_end_ns", BRow.numberOr("end_to_end_ns", 0),
-                  Match->numberOr("end_to_end_ns", 0), Threshold);
+                  Match->numberOr("end_to_end_ns", 0), Options);
     compareMetric(R, K + ".energy_j", BRow.numberOr("energy_j", 0),
-                  Match->numberOr("energy_j", 0), Threshold);
+                  Match->numberOr("energy_j", 0), Options);
+  }
+}
+
+/// Gates the p50/p99 of every baseline metrics.histograms entry whose name
+/// is not wall-clock derived (those are machine-dependent; everything else
+/// in the registry is simulated and deterministic).
+void diffHistogramRows(PerfDiffResult &R, const JsonValue &Base,
+                       const JsonValue &Cur, const PerfDiffOptions &Options) {
+  const JsonValue *BH = lookupPath(Base, {"metrics", "histograms"});
+  if (!BH || !BH->isObject())
+    return;
+  const JsonValue *CH = lookupPath(Cur, {"metrics", "histograms"});
+  for (const auto &[Name, BQ] : BH->Object) {
+    if (Name.find("wall") != std::string::npos)
+      continue;
+    const JsonValue *CQ =
+        CH && CH->isObject() ? CH->find(Name) : nullptr;
+    for (const char *Quant : {"p50", "p99"}) {
+      const JsonValue *BV = BQ.find(Quant);
+      if (!BV || !BV->isNumber())
+        continue;
+      const std::string Label = "metrics.histograms." + Name + "." + Quant;
+      const JsonValue *CV = CQ ? CQ->find(Quant) : nullptr;
+      if (!CV || !CV->isNumber()) {
+        R.Notes.push_back(
+            formatStr("metric '%s' missing from current report",
+                      Label.c_str()));
+        R.HasRegression = true;
+        continue;
+      }
+      compareMetric(R, Label, BV->Number, CV->Number, Options);
+    }
   }
 }
 
@@ -381,7 +511,7 @@ PerfDiffResult pf::obs::perfDiff(const JsonValue &Base, const JsonValue &Cur,
   PerfDiffResult R;
   const JsonValue *BaseRows = Base.find("results");
   if (BaseRows && BaseRows->isArray()) {
-    diffBenchResults(R, Base, Cur, Options.RelThreshold);
+    diffBenchResults(R, Base, Cur, Options);
     return R;
   }
   for (const auto &[Name, Path] : ReportMetrics) {
@@ -395,8 +525,9 @@ PerfDiffResult pf::obs::perfDiff(const JsonValue &Base, const JsonValue &Cur,
       R.HasRegression = true;
       continue;
     }
-    compareMetric(R, Name, B->Number, C->Number, Options.RelThreshold);
+    compareMetric(R, Name, B->Number, C->Number, Options);
   }
+  diffHistogramRows(R, Base, Cur, Options);
   return R;
 }
 

@@ -14,7 +14,7 @@
 /// dumps) with per-metric relative thresholds — the regression gate behind
 /// `pf_perf_diff` and ci.sh tier 5.
 ///
-/// Schema (version 1, lower-is-better metrics unless noted):
+/// Schema (version 2, lower-is-better metrics unless noted):
 ///   { schema_version, kind: "pimflow-perf-report", model, policy,
 ///     end_to_end_ns, energy_j, conv_layer_ns, fc_layer_ns,
 ///     timeline:{total_ns, gpu_busy_ns, pim_busy_ns, energy_j,
@@ -31,7 +31,16 @@
 ///                 chosen_ns,gpu_only_ns,gain_ns,
 ///                 candidates:[{mode,ratio_gpu,ns}]}],
 ///     segments:{gpu,pim,md_dp,pipeline}, stats:{...},
-///     recovery:{...} (only when fault recovery ran), counters:{...} }
+///     recovery:{...} (only when fault recovery ran), counters:{...},
+///     metrics:{histograms:{<name>:{count,sum,min,max,mean,p50,p90,p99,
+///                                  p999,rel_error_bound}},
+///              gauges:{<name>:value},
+///              windows:{<name>:{domain,bucket_width,span_ticks,count,
+///                               sum,mean}}} }
+///
+/// Version 2 added the `metrics` section (obs/Metrics: bounded-error
+/// quantile histograms, gauges, sliding windows); every v1 key is
+/// unchanged, so v1 consumers keep working.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,7 +57,7 @@
 namespace pf::obs {
 
 /// Current report schema version.
-inline constexpr int PerfReportSchemaVersion = 1;
+inline constexpr int PerfReportSchemaVersion = 2;
 
 /// Renders the full performance report of \p R as JSON.
 std::string renderPerfReport(const CompileResult &R);
@@ -57,14 +66,26 @@ std::string renderPerfReport(const CompileResult &R);
 bool writePerfReport(const CompileResult &R, const std::string &Path);
 
 /// Renders a parsed report document as human-readable text (summary lines
-/// plus critical-path / lane-utilization / phase / decision tables).
+/// plus critical-path / lane-utilization / phase / metric / decision
+/// tables).
 std::string renderPerfReportText(const JsonValue &Report);
+
+/// Renders only the schema-v2 `metrics` section (histogram quantiles,
+/// gauges, windows) of a parsed report — the `pimflow report --metrics`
+/// view. Empty string when the report has no metrics section.
+std::string renderPerfReportMetricsText(const JsonValue &Report);
 
 /// Relative-threshold configuration of the diff gate.
 struct PerfDiffOptions {
-  /// A gated metric regresses when Cur > Base * (1 + RelThreshold) and
-  /// Base > 0.
+  /// A gated metric regresses when
+  ///   Cur - Base > RelThreshold * max(|Base|, AbsEpsilon),
+  /// i.e. the usual relative rule, with an absolute floor so a zero or
+  /// near-zero baseline still gates: 0 -> nonzero is a regression, not a
+  /// divide-by-zero blind spot.
   double RelThreshold = 0.25;
+  /// Absolute floor substituted for |Base| in the rule above when the
+  /// baseline is smaller than this.
+  double AbsEpsilon = 1e-9;
 };
 
 /// One compared metric.
@@ -72,7 +93,8 @@ struct MetricDelta {
   std::string Name;
   double BaseValue = 0.0;
   double CurValue = 0.0;
-  /// (Cur - Base) / Base; 0 when Base is 0.
+  /// (Cur - Base) / Base; 0 when Base is 0 (display only — the gating
+  /// rule uses the epsilon-floored form in PerfDiffOptions).
   double RelChange = 0.0;
   bool Regressed = false;
 };
@@ -89,10 +111,13 @@ struct PerfDiffResult {
 /// Compares \p Cur against \p Base. Both documents must be the same
 /// format: a perf report (gates end_to_end_ns, energy_j, conv_layer_ns,
 /// fc_layer_ns, critical_path.length_ns, timeline.gpu_busy_ns,
-/// timeline.pim_busy_ns) or a bench-results dump — detected by its
-/// "results" array — where every baseline (figure, key) row gates
-/// end_to_end_ns and energy_j. Rows only in \p Cur are new coverage and
-/// pass; rows missing from \p Cur are notes and fail.
+/// timeline.pim_busy_ns, plus the p50/p99 of every baseline
+/// metrics.histograms entry whose name does not contain "wall" —
+/// wall-clock distributions are machine-dependent and never gate) or a
+/// bench-results dump — detected by its "results" array — where every
+/// baseline (figure, key) row gates end_to_end_ns and energy_j. Rows only
+/// in \p Cur are new coverage and pass; rows missing from \p Cur are
+/// notes and fail.
 PerfDiffResult perfDiff(const JsonValue &Base, const JsonValue &Cur,
                         const PerfDiffOptions &Options = {});
 

@@ -8,6 +8,7 @@
 
 #include "obs/Counters.h"
 #include "obs/Json.h"
+#include "obs/Metrics.h"
 
 using namespace pf;
 using namespace pf::obs;
@@ -91,6 +92,30 @@ std::string pf::obs::renderStatsJson(const CompileResult &R,
         .field("mean", H.mean())
         .endObject();
   }
+  W.endObject();
+
+  // Streaming metrics (obs/Metrics): quantile histograms and gauges, both
+  // name-sorted like every other section so stats dumps diff cleanly.
+  const MetricsRegistry &M = MetricsRegistry::instance();
+  W.key("metrics").beginObject();
+  W.key("histograms").beginObject();
+  for (const auto &[Name, Q] : M.histogramSnapshot()) {
+    W.key(Name)
+        .beginObject()
+        .field("count", Q.Count)
+        .field("mean", Q.mean())
+        .field("p50", Q.P50)
+        .field("p90", Q.P90)
+        .field("p99", Q.P99)
+        .field("p999", Q.P999)
+        .field("rel_error_bound", Q.RelErrorBound)
+        .endObject();
+  }
+  W.endObject();
+  W.key("gauges").beginObject();
+  for (const auto &[Name, V] : M.gaugeSnapshot())
+    W.field(Name, V);
+  W.endObject();
   W.endObject();
 
   W.endObject();

@@ -9,8 +9,32 @@
 #include <algorithm>
 
 #include "obs/Counters.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Metrics.h"
 
 using namespace pf;
+
+namespace {
+
+/// Sliding-window bucket width for per-channel completion metrics, in
+/// simulated cycles (the registry's SimCycles clock).
+constexpr int64_t ChannelCycleBucket = 1'000'000;
+
+/// Streams one channel's completion into the telemetry registry: the
+/// `pim.channel_cycles` quantile histogram plus its simulated-cycle
+/// window, keyed by the logical cycle clock the simulator advances.
+void recordChannelCycles(int64_t Cycles) {
+  pf::obs::MetricsRegistry &M = pf::obs::MetricsRegistry::instance();
+  if (!M.enabled())
+    return;
+  M.advanceCycles(Cycles);
+  pf::obs::recordMetricWindowed("pim.channel_cycles",
+                                pf::obs::TickDomain::SimCycles,
+                                ChannelCycleBucket, M.cycles(),
+                                static_cast<double>(Cycles));
+}
+
+} // namespace
 
 const char *pf::pimCmdName(PimCmdKind Kind) {
   switch (Kind) {
@@ -304,6 +328,7 @@ PimRunStats PimSimulator::run(const DeviceTrace &Trace) const {
     if (Channel.empty())
       continue;
     const int64_t Cycles = simulateChannel(Channel);
+    recordChannelCycles(Cycles);
     Stats.Cycles = std::max(Stats.Cycles, Cycles);
     Stats.BusyCycleSum += Cycles;
     ++Stats.ActiveChannels;
@@ -353,6 +378,7 @@ FaultyRunStats PimSimulator::runWithFaults(const DeviceTrace &Trace,
       // No progress at all: the channel's share of the kernel is lost.
       O.Health = ChannelHealth::Dead;
       obs::addCounter("pim.sim.dead_channel_hits");
+      obs::flightEvent(obs::FlightEventKind::ChannelDead, 0, Ch);
       R.Outcomes.push_back(O);
       Stats.ChannelPhases.push_back(Phases);
       continue;
@@ -364,6 +390,9 @@ FaultyRunStats PimSimulator::runWithFaults(const DeviceTrace &Trace,
       O.Health = ChannelHealth::Stalled;
       O.Cycles = Retry.WatchdogCycles;
       obs::addCounter("pim.sim.watchdog_trips");
+      obs::flightEvent(obs::FlightEventKind::WatchdogTrip, Retry.WatchdogCycles,
+                       Ch, -1,
+                       static_cast<double>(Retry.WatchdogCycles));
       Stats.Cycles = std::max(Stats.Cycles, O.Cycles);
       Stats.BusyCycleSum += O.Cycles;
       R.Outcomes.push_back(O);
@@ -404,6 +433,14 @@ FaultyRunStats PimSimulator::runWithFaults(const DeviceTrace &Trace,
       Cycles += Extra;
       obs::addCounter("pim.sim.transient_faults");
       obs::addCounter("pim.sim.retries", Attempts);
+      obs::flightEvent(obs::FlightEventKind::RetryIssued, Cycles, Ch, Attempts,
+                       static_cast<double>(Extra), pimCmdName(T.Kind));
+      // The backoff component is the retry cost beyond the plain re-issues.
+      const int64_t Backoff = Extra - Attempts * CmdCycles;
+      if (Backoff > 0)
+        obs::flightEvent(obs::FlightEventKind::BackoffWait, Cycles, Ch,
+                         Attempts, static_cast<double>(Backoff));
+      obs::recordMetric("pim.retry_cost_cycles", static_cast<double>(Extra));
       if (T.Fails > Retry.MaxRetries)
         O.Health = ChannelHealth::RetriesExhausted;
       else if (O.Health == ChannelHealth::Ok)
@@ -411,6 +448,10 @@ FaultyRunStats PimSimulator::runWithFaults(const DeviceTrace &Trace,
     }
     O.Cycles = Cycles;
     R.TotalRetries += O.Retries;
+    recordChannelCycles(Cycles);
+    obs::flightEvent(obs::FlightEventKind::PhaseTransition, Cycles, Ch, -1,
+                     static_cast<double>(Cycles),
+                     channelHealthName(O.Health));
     Stats.Cycles = std::max(Stats.Cycles, Cycles);
     Stats.BusyCycleSum += Cycles;
     Phases.RetryCycles = O.RetryCycles;

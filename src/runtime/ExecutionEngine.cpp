@@ -11,6 +11,8 @@
 
 #include "codegen/PimKernelSpec.h"
 #include "obs/Counters.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "pim/PimSimulator.h"
 #include "support/Format.h"
@@ -136,6 +138,14 @@ ExecutionEngine::tryExecute(const Graph &G, DiagnosticEngine &DE,
   obs::addCounter("engine.executions");
   obs::addCounter("engine.nodes_scheduled",
                   static_cast<int64_t>(G.numNodes()));
+  obs::flightEvent(obs::FlightEventKind::ExecStart, 0,
+                   static_cast<int32_t>(G.numNodes()), Config.Pim.Channels);
+  // Any failed tryExecute leaves a flight trace behind (when a dump path is
+  // configured): record the error event, then snapshot all rings.
+  auto FailExec = [](const char *What) {
+    obs::flightEvent(obs::FlightEventKind::ExecError, 0, -1, -1, 0.0, What);
+    obs::FlightRecorder::instance().autoDump(What);
+  };
   PimPlanCache Cache;
   PimCommandGenerator Gen(Config.Pim.Channels > 0
                               ? Config.Pim
@@ -163,6 +173,7 @@ ExecutionEngine::tryExecute(const Graph &G, DiagnosticEngine &DE,
                formatStr("dependency cycle: only %zu of %zu live nodes are "
                          "schedulable",
                          Order.size(), LiveNodes));
+      FailExec("exec.unschedulable: dependency cycle");
       return std::nullopt;
     }
 
@@ -189,6 +200,7 @@ ExecutionEngine::tryExecute(const Graph &G, DiagnosticEngine &DE,
           DE.error(DiagCode::ExecNoPimChannels, N.Name,
                    "node is annotated for PIM but the system configuration "
                    "has zero PIM channels");
+          FailExec("exec.no-pim-channels");
           return std::nullopt;
         }
         const PimKernelPlan &Plan = Cache.planFor(G, Order[I], Gen);
@@ -201,6 +213,7 @@ ExecutionEngine::tryExecute(const Graph &G, DiagnosticEngine &DE,
             DE.error(DiagCode::FaultUnrecovered, N.Name,
                      "persistent channel fault reached the execution engine "
                      "unrecovered");
+            FailExec("fault.unrecovered");
             return std::nullopt;
           }
           obs::addCounter("engine.fault_retries", FS.TotalRetries);
@@ -255,6 +268,7 @@ ExecutionEngine::tryExecute(const Graph &G, DiagnosticEngine &DE,
         DE.error(DiagCode::ExecUnschedulable, G.name(),
                  formatStr("scheduler deadlock with %zu node(s) unscheduled",
                            Remaining));
+        FailExec("exec.unschedulable: scheduler deadlock");
         return std::nullopt;
       }
 
@@ -336,5 +350,20 @@ ExecutionEngine::tryExecute(const Graph &G, DiagnosticEngine &DE,
     Energy += S.EnergyJ;
   Energy += Gpu.idleEnergyJ(std::max(0.0, TL.TotalNs - TL.GpuBusyNs));
   TL.EnergyJ = Energy;
+
+  // Streaming telemetry off the final timeline only (the contention model's
+  // first pass would double-count): per-node latency quantiles windowed
+  // over wall time, plus the completion event for the flight trace.
+  if (obs::MetricsRegistry::instance().enabled()) {
+    const int64_t NowUs =
+        static_cast<int64_t>(obs::Tracer::instance().nowUs());
+    for (const NodeSchedule &S : TL.Nodes)
+      obs::recordMetricWindowed("engine.node_duration_ns",
+                                obs::TickDomain::WallUs,
+                                /*BucketWidth=*/100'000, NowUs,
+                                S.EndNs - S.StartNs);
+  }
+  obs::flightEvent(obs::FlightEventKind::ExecDone, 0,
+                   static_cast<int32_t>(TL.Nodes.size()), -1, TL.TotalNs);
   return TL;
 }

@@ -10,6 +10,8 @@
 
 #include "codegen/PimKernelSpec.h"
 #include "obs/Counters.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "pim/PimSimulator.h"
 #include "support/Format.h"
@@ -49,12 +51,16 @@ RecoveryResult RecoveryExecutor::run(const Graph &G,
                    "PIM channel permanently lost; remapping its work");
         R.Notes.push_back(formatStr("dead PIM channel %d", Ch));
         obs::addCounter("recovery.dead_channels");
+        obs::flightEvent(obs::FlightEventKind::ChannelDead, 0, Ch, -1, 0.0,
+                         "recovery");
       } else if (Faults.channelStalled(Ch)) {
         ++R.StalledChannels;
         DE.warning(DiagCode::FaultStalledChannel, formatStr("channel %d", Ch),
                    "GWRITE stall hit the watchdog; channel treated as lost");
         R.Notes.push_back(formatStr("stalled PIM channel %d", Ch));
         obs::addCounter("recovery.stalled_channels");
+        obs::flightEvent(obs::FlightEventKind::WatchdogTrip, 0, Ch, -1, 0.0,
+                         "recovery");
       }
     }
 
@@ -84,6 +90,9 @@ RecoveryResult RecoveryExecutor::run(const Graph &G,
                     "back to GPU",
                     R.SurvivingChannels, Floor, Demoted));
       obs::addCounter("recovery.pim_floor_fallbacks");
+      obs::flightEvent(obs::FlightEventKind::FloorFallback, 0,
+                       R.SurvivingChannels, Floor,
+                       static_cast<double>(Demoted));
     } else {
       if (Lost > 0) {
         // Rule 1: remap — shrink the PIM channel group and let the command
@@ -103,6 +112,13 @@ RecoveryResult RecoveryExecutor::run(const Graph &G,
                         Remapped, R.SurvivingChannels));
           obs::addCounter("recovery.nodes_remapped",
                           static_cast<int64_t>(Remapped));
+          // One remap event per lost channel: its work moves onto the
+          // compacted surviving group (B = new group size).
+          for (int Ch = 0; Ch < NumPim; ++Ch)
+            if (Faults.channelDead(Ch) || Faults.channelStalled(Ch))
+              obs::flightEvent(obs::FlightEventKind::ChannelRemap, 0, Ch,
+                               R.SurvivingChannels,
+                               static_cast<double>(Remapped));
         }
       }
       Local = Faults.compactedFor(Survivors);
@@ -136,6 +152,9 @@ RecoveryResult RecoveryExecutor::run(const Graph &G,
                 formatStr("node %s fell back to GPU (retries exhausted)",
                           Name.c_str()));
             obs::addCounter("recovery.node_fallbacks");
+            obs::flightEvent(obs::FlightEventKind::NodeFallback, 0,
+                             static_cast<int32_t>(Id), -1, 0.0,
+                             "retries-exhausted");
             continue;
           }
           if (FS.TotalRetries > 0) {
@@ -156,11 +175,18 @@ RecoveryResult RecoveryExecutor::run(const Graph &G,
     }
   }
 
+  obs::setGauge("recovery.surviving_channels",
+                static_cast<double>(R.SurvivingChannels));
   ExecutionEngine Engine(Degraded);
   std::optional<Timeline> TL = Engine.tryExecute(
       R.Executed, DE, Local.empty() ? nullptr : &Local, &Options.Retry);
-  if (!TL)
+  if (!TL) {
+    // The engine already recorded its ExecError event; snapshot the rings
+    // once more under the recovery label so an unrecovered fault always
+    // leaves a trace even if the engine's own dump path changes.
+    obs::FlightRecorder::instance().autoDump("recovery: fault unrecovered");
     return R;
+  }
   R.Schedule = *std::move(TL);
   R.Ok = true;
   if (R.Degraded)

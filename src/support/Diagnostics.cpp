@@ -64,6 +64,12 @@ const char *pf::diagCodeName(DiagCode Code) {
     return "exec.no-pim-channels";
   case DiagCode::ExecUnschedulable:
     return "exec.unschedulable";
+  case DiagCode::AnomalyTailLatency:
+    return "anomaly.tail-latency";
+  case DiagCode::AnomalyIdleGap:
+    return "anomaly.idle-gap";
+  case DiagCode::AnomalyRetryRate:
+    return "anomaly.retry-rate";
   }
   pf_unreachable("unknown diagnostic code");
 }

@@ -57,6 +57,10 @@ enum class DiagCode : uint8_t {
   // Execution-engine scheduling failures.
   ExecNoPimChannels,    ///< exec.no-pim-channels: PIM node, zero PIM channels.
   ExecUnschedulable,    ///< exec.unschedulable: cyclic or stuck dependency set.
+  // In-run anomaly watchdog (obs/Anomaly) — always warnings.
+  AnomalyTailLatency,   ///< anomaly.tail-latency: p99/p50 ratio over budget.
+  AnomalyIdleGap,       ///< anomaly.idle-gap: lane idle fraction over budget.
+  AnomalyRetryRate,     ///< anomaly.retry-rate: retries per command over budget.
 };
 
 /// Returns the dotted slug for \p Code ("verify.use-before-def", ...).

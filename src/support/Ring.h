@@ -1,0 +1,58 @@
+//===- support/Ring.h - Fixed-capacity overwrite ring -----------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity ring that keeps the last N pushed values, overwriting
+/// the oldest on wraparound. Single-writer; callers that share a ring
+/// across threads must provide their own synchronization (the flight
+/// recorder wraps one per thread behind a per-ring mutex, so writers never
+/// contend with each other — see obs/FlightRecorder.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SUPPORT_RING_H
+#define PIMFLOW_SUPPORT_RING_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pf {
+
+template <typename T, size_t N> class BoundedRing {
+  static_assert(N > 0, "ring capacity must be positive");
+
+public:
+  /// Appends \p V, evicting the oldest element once full.
+  void push(const T &V) {
+    Slots[Head % N] = V;
+    ++Head;
+  }
+
+  /// Number of elements currently held (saturates at N).
+  size_t size() const { return Head < N ? static_cast<size_t>(Head) : N; }
+  /// Total number of pushes over the ring's lifetime, including evicted.
+  uint64_t pushed() const { return Head; }
+  bool empty() const { return Head == 0; }
+  static constexpr size_t capacity() { return N; }
+
+  /// Visits the retained elements oldest-first.
+  template <typename Fn> void forEach(Fn &&F) const {
+    const uint64_t Start = Head < N ? 0 : Head - N;
+    for (uint64_t I = Start; I < Head; ++I)
+      F(Slots[I % N]);
+  }
+
+  void clear() { Head = 0; }
+
+private:
+  std::array<T, N> Slots{};
+  uint64_t Head = 0;
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_SUPPORT_RING_H

@@ -1,0 +1,216 @@
+//===- tests/obs/MetricsTest.cpp - Streaming-metrics unit tests -*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The quantile tests check the histogram's advertised contract directly:
+// for closed-form sample sets (uniform, exponential, two-point) every
+// reported quantile must be within relErrorBound() of the exact sample at
+// rank ceil(Q * N).
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/Metrics.h"
+
+using namespace pf::obs;
+
+namespace {
+
+double exactQuantile(const std::vector<double> &Sorted, double Q) {
+  const size_t N = Sorted.size();
+  size_t Rank = static_cast<size_t>(std::ceil(Q * static_cast<double>(N)));
+  Rank = std::min(std::max<size_t>(Rank, 1), N);
+  return Sorted[Rank - 1];
+}
+
+void expectBoundedQuantiles(std::vector<double> Values) {
+  LogLinearHistogram H;
+  for (double V : Values)
+    H.record(V);
+  std::sort(Values.begin(), Values.end());
+  for (double Q : {0.5, 0.9, 0.99, 0.999}) {
+    const double Exact = exactQuantile(Values, Q);
+    const double Got = H.quantile(Q);
+    EXPECT_NEAR(Got, Exact,
+                std::abs(Exact) * LogLinearHistogram::relErrorBound() + 1e-12)
+        << "quantile " << Q;
+  }
+}
+
+TEST(LogLinearHistogram, UniformQuantilesWithinBound) {
+  std::vector<double> V;
+  for (int I = 1; I <= 10000; ++I)
+    V.push_back(static_cast<double>(I));
+  expectBoundedQuantiles(std::move(V));
+}
+
+TEST(LogLinearHistogram, ExponentialQuantilesWithinBound) {
+  // Inverse-CDF samples of Exp(1/1000): heavy tail across many octaves.
+  std::vector<double> V;
+  const int N = 5000;
+  for (int I = 0; I < N; ++I)
+    V.push_back(-std::log(1.0 - (I + 0.5) / N) * 1000.0);
+  expectBoundedQuantiles(std::move(V));
+}
+
+TEST(LogLinearHistogram, TwoPointQuantilesWithinBound) {
+  // 90% fast mode at 10, 10% slow mode at 1000: p50/p90 sit on the fast
+  // mode, p99/p999 on the slow one — the shape anomaly rules look for.
+  std::vector<double> V(900, 10.0);
+  V.insert(V.end(), 100, 1000.0);
+  expectBoundedQuantiles(std::move(V));
+}
+
+TEST(LogLinearHistogram, ExactCountSumMinMax) {
+  LogLinearHistogram H;
+  for (double V : {3.0, 7.0, 11.0, 200.0})
+    H.record(V);
+  const QuantileStats S = H.stats();
+  EXPECT_EQ(S.Count, 4);
+  EXPECT_DOUBLE_EQ(S.Sum, 221.0);
+  EXPECT_DOUBLE_EQ(S.Min, 3.0);
+  EXPECT_DOUBLE_EQ(S.Max, 200.0);
+  EXPECT_DOUBLE_EQ(S.RelErrorBound, LogLinearHistogram::relErrorBound());
+}
+
+TEST(LogLinearHistogram, ZeroAndNegativeLandInExactZeroBucket) {
+  LogLinearHistogram H;
+  H.record(0.0);
+  H.record(-5.0);
+  H.record(0.0);
+  H.record(100.0);
+  // Ranks 1..3 are the zero bucket (reported exactly), rank 4 is 100.
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 0.0);
+  EXPECT_NEAR(H.quantile(0.999), 100.0,
+              100.0 * LogLinearHistogram::relErrorBound());
+}
+
+TEST(LogLinearHistogram, NonFiniteSamplesDropped) {
+  LogLinearHistogram H;
+  H.record(std::nan(""));
+  H.record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(H.stats().Count, 0);
+  H.record(5.0);
+  EXPECT_EQ(H.stats().Count, 1);
+}
+
+TEST(LogLinearHistogram, QuantilesClampedToObservedRange) {
+  LogLinearHistogram H;
+  H.record(100.0);
+  // A single sample: every quantile must report it exactly (bucket
+  // midpoints are clamped to [Min, Max]).
+  EXPECT_DOUBLE_EQ(H.quantile(0.001), 100.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.999), 100.0);
+}
+
+TEST(SlidingWindow, TrailingSpanAndRecycling) {
+  SlidingWindow W(TickDomain::SimCycles, 10, 4); // span = 40 ticks
+  W.record(5, 1.0);
+  W.record(15, 2.0);
+  W.record(25, 3.0);
+  W.record(35, 4.0);
+  WindowStats S = W.stats(35);
+  EXPECT_EQ(S.Count, 4);
+  EXPECT_DOUBLE_EQ(S.Sum, 10.0);
+  EXPECT_EQ(S.SpanTicks, 40);
+
+  // Jump far ahead: the slot holding tick 35's bucket is recycled and the
+  // older epochs age out of the trailing span.
+  W.record(75, 5.0);
+  S = W.stats(75);
+  EXPECT_EQ(S.Count, 1);
+  EXPECT_DOUBLE_EQ(S.Sum, 5.0);
+}
+
+TEST(SlidingWindow, StaleBucketsExcludedWithoutRewrite) {
+  SlidingWindow W(TickDomain::WallUs, 100, 2); // span = 200 ticks
+  W.record(50, 7.0);
+  EXPECT_EQ(W.stats(50).Count, 1);
+  // Reading far in the future must not count the stale bucket even though
+  // its slot was never rewritten.
+  EXPECT_EQ(W.stats(10'000).Count, 0);
+}
+
+class MetricsRegistryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    MetricsRegistry::instance().reset();
+    WasEnabled = MetricsRegistry::instance().enabled();
+    MetricsRegistry::instance().setEnabled(true);
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().reset();
+    MetricsRegistry::instance().setEnabled(WasEnabled);
+  }
+  bool WasEnabled = false;
+};
+
+TEST_F(MetricsRegistryTest, SnapshotsAreNameSorted) {
+  recordMetric("unit.zz_last", 1.0);
+  recordMetric("unit.aa_first", 1.0);
+  recordMetric("unit.mm_middle", 1.0);
+  const auto Snap = MetricsRegistry::instance().histogramSnapshot();
+  ASSERT_EQ(Snap.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      Snap.begin(), Snap.end(),
+      [](const auto &A, const auto &B) { return A.first < B.first; }));
+}
+
+TEST_F(MetricsRegistryTest, DisabledRecordingIsDropped) {
+  MetricsRegistry::instance().setEnabled(false);
+  recordMetric("unit.gated", 1.0);
+  setGauge("unit.gated_gauge", 1.0);
+  MetricsRegistry::instance().setEnabled(true);
+  EXPECT_TRUE(MetricsRegistry::instance().histogramSnapshot().empty());
+  EXPECT_TRUE(MetricsRegistry::instance().gaugeSnapshot().empty());
+}
+
+TEST_F(MetricsRegistryTest, WindowedRecordFeedsBothViews) {
+  recordMetricWindowed("unit.windowed", TickDomain::SimCycles, 100,
+                       /*Tick=*/50, 42.0);
+  const auto Hists = MetricsRegistry::instance().histogramSnapshot();
+  ASSERT_EQ(Hists.size(), 1u);
+  EXPECT_EQ(Hists[0].second.Count, 1);
+  const auto Wins = MetricsRegistry::instance().windowSnapshot();
+  ASSERT_EQ(Wins.size(), 1u);
+  EXPECT_EQ(Wins[0].second.Count, 1);
+  EXPECT_DOUBLE_EQ(Wins[0].second.Sum, 42.0);
+}
+
+TEST_F(MetricsRegistryTest, CycleClockAdvancesAndResets) {
+  advanceSimCycles(123);
+  advanceSimCycles(77);
+  EXPECT_EQ(MetricsRegistry::instance().cycles(), 200);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(MetricsRegistry::instance().cycles(), 0);
+}
+
+TEST_F(MetricsRegistryTest, PrometheusRenderCarriesQuantileSamples) {
+  for (int I = 1; I <= 100; ++I)
+    recordMetric("unit.render-latency", static_cast<double>(I));
+  setGauge("unit.render_gauge", 3.5);
+  const std::string Text = renderPrometheus();
+  EXPECT_NE(Text.find("# TYPE pimflow_unit_render_latency summary"),
+            std::string::npos);
+  EXPECT_NE(Text.find("pimflow_unit_render_latency{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(Text.find("pimflow_unit_render_latency{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(Text.find("pimflow_unit_render_latency_count 100"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE pimflow_unit_render_gauge gauge"),
+            std::string::npos);
+  // Sanitizer: dots and dashes never reach the exposition.
+  EXPECT_EQ(Text.find("unit.render"), std::string::npos);
+  EXPECT_EQ(Text.find("render-latency"), std::string::npos);
+}
+
+} // namespace

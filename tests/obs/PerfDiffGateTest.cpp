@@ -1,0 +1,131 @@
+//===- tests/obs/PerfDiffGateTest.cpp - Diff-gate edge cases ----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The zero-baseline and histogram-row gating behavior of perfDiff: the
+// epsilon-floored rule must flag 0 -> nonzero, stay byte-compatible with
+// the old pure-relative rule for positive baselines, and gate the p50/p99
+// of deterministic (non-wall-clock) histograms from the report's metrics
+// section.
+//
+//===----------------------------------------------------------------------===//
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/Json.h"
+#include "obs/PerfReport.h"
+
+using namespace pf::obs;
+
+namespace {
+
+JsonValue parse(const std::string &Text) {
+  std::string Error;
+  auto Doc = JsonValue::parse(Text, &Error);
+  EXPECT_TRUE(Doc) << Error;
+  return *Doc;
+}
+
+const MetricDelta *findDelta(const PerfDiffResult &R,
+                             const std::string &Name) {
+  for (const MetricDelta &D : R.Deltas)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+TEST(PerfDiffGate, ZeroBaselineToNonzeroRegresses) {
+  const JsonValue Base = parse(
+      R"({"results":[{"figure":"f","key":"k","end_to_end_ns":0,"energy_j":0}]})");
+  const JsonValue Cur = parse(
+      R"({"results":[{"figure":"f","key":"k","end_to_end_ns":100,"energy_j":0}]})");
+  const PerfDiffResult R = perfDiff(Base, Cur);
+  EXPECT_TRUE(R.HasRegression);
+  const MetricDelta *D = findDelta(R, "f/k.end_to_end_ns");
+  ASSERT_NE(D, nullptr);
+  EXPECT_TRUE(D->Regressed);
+  // 0 -> 0 keeps passing.
+  const MetricDelta *E = findDelta(R, "f/k.energy_j");
+  ASSERT_NE(E, nullptr);
+  EXPECT_FALSE(E->Regressed);
+}
+
+TEST(PerfDiffGate, PositiveBaselineRuleUnchanged) {
+  const JsonValue Base =
+      parse(R"({"end_to_end_ns":100, "energy_j":1.0})");
+  // 24% over: inside the default 25% threshold.
+  const JsonValue CurOk =
+      parse(R"({"end_to_end_ns":124, "energy_j":1.0})");
+  EXPECT_FALSE(perfDiff(Base, CurOk).HasRegression);
+  // 26% over: out.
+  const JsonValue CurBad =
+      parse(R"({"end_to_end_ns":126, "energy_j":1.0})");
+  EXPECT_TRUE(perfDiff(Base, CurBad).HasRegression);
+}
+
+TEST(PerfDiffGate, AbsEpsilonWidensTheZeroFloor) {
+  const JsonValue Base = parse(
+      R"({"results":[{"figure":"f","key":"k","end_to_end_ns":0,"energy_j":0}]})");
+  const JsonValue Cur = parse(
+      R"({"results":[{"figure":"f","key":"k","end_to_end_ns":1,"energy_j":0}]})");
+  PerfDiffOptions Wide;
+  Wide.AbsEpsilon = 100.0; // floor: 0.25 * 100 = 25 absolute headroom
+  EXPECT_FALSE(perfDiff(Base, Cur, Wide).HasRegression);
+  EXPECT_TRUE(perfDiff(Base, Cur).HasRegression); // default 1e-9 floor
+}
+
+TEST(PerfDiffGate, HistogramRowsGateP50AndP99) {
+  const JsonValue Base = parse(R"({
+    "end_to_end_ns": 100,
+    "metrics": {"histograms": {
+      "engine.node_duration_ns": {"p50": 100, "p99": 200},
+      "profiler.measure_wall_us": {"p50": 1, "p99": 2}
+    }}})");
+  const JsonValue Cur = parse(R"({
+    "end_to_end_ns": 100,
+    "metrics": {"histograms": {
+      "engine.node_duration_ns": {"p50": 100, "p99": 400},
+      "profiler.measure_wall_us": {"p50": 50, "p99": 90}
+    }}})");
+  const PerfDiffResult R = perfDiff(Base, Cur);
+  EXPECT_TRUE(R.HasRegression);
+  const MetricDelta *P99 =
+      findDelta(R, "metrics.histograms.engine.node_duration_ns.p99");
+  ASSERT_NE(P99, nullptr);
+  EXPECT_TRUE(P99->Regressed);
+  const MetricDelta *P50 =
+      findDelta(R, "metrics.histograms.engine.node_duration_ns.p50");
+  ASSERT_NE(P50, nullptr);
+  EXPECT_FALSE(P50->Regressed);
+  // Wall-clock histograms are machine-dependent and never gate, no matter
+  // how badly they moved.
+  EXPECT_EQ(findDelta(R, "metrics.histograms.profiler.measure_wall_us.p50"),
+            nullptr);
+}
+
+TEST(PerfDiffGate, HistogramMissingFromCurrentIsARegression) {
+  const JsonValue Base = parse(R"({
+    "end_to_end_ns": 100,
+    "metrics": {"histograms": {"pim.channel_cycles": {"p50": 10, "p99": 20}}}})");
+  const JsonValue Cur = parse(R"({"end_to_end_ns": 100})");
+  const PerfDiffResult R = perfDiff(Base, Cur);
+  EXPECT_TRUE(R.HasRegression);
+  ASSERT_FALSE(R.Notes.empty());
+  EXPECT_NE(R.Notes[0].find("pim.channel_cycles"), std::string::npos);
+}
+
+TEST(PerfDiffGate, ReportsWithoutMetricsSectionStillDiff) {
+  // Schema-v1 reports (no metrics key) must keep diffing on the fixed
+  // metric set alone.
+  const JsonValue Base = parse(R"({"end_to_end_ns": 100})");
+  const JsonValue Cur = parse(R"({"end_to_end_ns": 90})");
+  const PerfDiffResult R = perfDiff(Base, Cur);
+  EXPECT_FALSE(R.HasRegression);
+  EXPECT_EQ(R.Deltas.size(), 1u);
+}
+
+} // namespace

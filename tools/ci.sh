@@ -22,6 +22,12 @@
 #      then gate them against the checked-in bench/baselines/ with
 #      pf_perf_diff at a generous ±25% threshold, and prove the gate
 #      itself trips on a perturbed report.
+#   6. The telemetry tier: a faulted chaos-seed run exporting the
+#      Prometheus metrics exposition (validated by pf_metrics_check, with
+#      quantile histograms required) and a flight-recorder dump (asserted
+#      non-empty and carrying the recovery ladder's events), then an
+#      unrecovered-fault run (--no-recovery) proving the auto-dump fires
+#      on the failure path.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 #===----------------------------------------------------------------------===#
@@ -43,9 +49,9 @@ ctest --test-dir build-checked --output-on-failure -j "$JOBS"
 
 echo "== tier 3: ThreadSanitizer on the concurrency-facing suites =="
 cmake -B build-tsan -S . -DPIMFLOW_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target support_test search_test
+cmake --build build-tsan -j "$JOBS" --target support_test search_test obs_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|Profiler|SearchEngine|SearchDeterminism|AlgorithmDp|LayerExtract'
+  -R 'ThreadPool|Profiler|SearchEngine|SearchDeterminism|AlgorithmDp|LayerExtract|FlightRecorder|MetricsRegistry|LogLinearHistogram|SlidingWindow'
 
 echo "== tier 4: chaos fault-injection suite (fixed seeds), then under TSan =="
 ctest --test-dir build --output-on-failure -j "$JOBS" -R 'Chaos'
@@ -81,5 +87,45 @@ if ./build/tools/pf_perf_diff --threshold=0.25 \
   echo "error: pf_perf_diff did not flag a perturbed report" >&2
   exit 1
 fi
+
+echo "== tier 6: telemetry — metrics exposition + flight recorder =="
+TEL_DIR=build/telemetry-smoke
+mkdir -p "$TEL_DIR"
+# A faulted (recovered) chaos run exporting both telemetry artifacts.
+./build/tools/pimflow -m=run -n=toy --dir="$TEL_DIR" \
+  --faults=chaos --fault-seed=7 \
+  --metrics-out="$TEL_DIR/toy.metrics.txt" \
+  --flight-dump="$TEL_DIR/toy.flight.txt" \
+  --perf-report="$TEL_DIR/toy.telemetry.perf.json" > /dev/null
+./build/tools/pf_metrics_check --min-quantile-metrics=3 \
+  "$TEL_DIR/toy.metrics.txt"
+./build/tools/pf_json_check "$TEL_DIR/toy.telemetry.perf.json" > /dev/null
+./build/tools/pimflow report --metrics \
+  "$TEL_DIR/toy.telemetry.perf.json" > /dev/null
+if ! [ -s "$TEL_DIR/toy.flight.txt" ]; then
+  echo "error: flight dump missing or empty" >&2
+  exit 1
+fi
+grep -q '# pimflow flight recorder dump' "$TEL_DIR/toy.flight.txt"
+# The faulted run's trace must replay the recovery ladder, not just exist.
+grep -qE 'kind=(retry|channel-remap|floor-fallback|node-fallback|channel-dead|watchdog-trip)' \
+  "$TEL_DIR/toy.flight.txt"
+# An unrecovered fault (--no-recovery lets a dead channel reach the
+# engine) must exit non-zero AND leave the flight trace behind.
+./build/tools/pimflow -m=solve -n=toy --dir="$TEL_DIR" > /dev/null
+rm -f "$TEL_DIR/toy.crash.txt"
+if ./build/tools/pimflow -m=run -n=toy \
+  --graph="$TEL_DIR/toy.pimflow.graph" --dir="$TEL_DIR" \
+  --faults=dead:0 --no-recovery \
+  --flight-dump="$TEL_DIR/toy.crash.txt" > /dev/null 2>&1; then
+  echo "error: --no-recovery run with a dead channel did not fail" >&2
+  exit 1
+fi
+if ! [ -s "$TEL_DIR/toy.crash.txt" ]; then
+  echo "error: unrecovered fault did not leave a flight dump" >&2
+  exit 1
+fi
+grep -q 'kind=channel-dead' "$TEL_DIR/toy.crash.txt"
+grep -q 'kind=exec-error' "$TEL_DIR/toy.crash.txt"
 
 echo "== ci.sh: all passes green =="

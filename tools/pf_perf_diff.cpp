@@ -9,7 +9,13 @@
 /// and exits nonzero when any gated metric regressed past the relative
 /// threshold — the CI tier-5 gate:
 ///
-///   pf_perf_diff [--threshold=0.25] <baseline.json> <current.json>
+///   pf_perf_diff [--threshold=0.25] [--abs-epsilon=1e-9]
+///       <baseline.json> <current.json>
+///
+/// The gate regresses a metric when
+///   Cur - Base > threshold * max(|Base|, abs-epsilon),
+/// so a zero or near-zero baseline still gates (0 -> nonzero fails)
+/// instead of hiding behind a divide-by-zero blind spot.
 ///
 /// Both `pimflow --perf-report` documents and bench `PIMFLOW_BENCH_JSON`
 /// results dumps are understood (detected by the latter's "results"
@@ -31,7 +37,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr, "usage: pf_perf_diff [--threshold=<rel>] "
-                       "<baseline.json> <current.json>\n");
+                       "[--abs-epsilon=<abs>] <baseline.json> "
+                       "<current.json>\n");
   return 2;
 }
 
@@ -61,6 +68,14 @@ int main(int Argc, char **Argv) {
       if (!End || *End != '\0' || Options.RelThreshold < 0.0) {
         std::fprintf(stderr,
                      "error: --threshold expects a non-negative number\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--abs-epsilon=", 14) == 0) {
+      char *End = nullptr;
+      Options.AbsEpsilon = std::strtod(Arg + 14, &End);
+      if (!End || *End != '\0' || Options.AbsEpsilon < 0.0) {
+        std::fprintf(stderr,
+                     "error: --abs-epsilon expects a non-negative number\n");
         return 2;
       }
     } else if (Arg[0] == '-') {

@@ -56,9 +56,13 @@
 #include "ir/GraphSerializer.h"
 #include "ir/Verifier.h"
 #include "models/Zoo.h"
+#include "obs/Anomaly.h"
+#include "obs/Attribution.h"
 #include "obs/ChromeTrace.h"
 #include "obs/Counters.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "obs/PerfReport.h"
 #include "obs/StatsExport.h"
 #include "obs/Trace.h"
@@ -84,10 +88,14 @@ struct CliOptions {
   std::string JsonStats; // --json-stats=<file>: machine-readable report.
   std::string PerfReport; // --perf-report=<file>: attribution report JSON.
   std::string ReportFile; // `pimflow report <file>`: report to render.
+  std::string MetricsOut; // --metrics-out=<file>: Prometheus exposition.
+  std::string FlightDump; // --flight-dump=<file>: flight-recorder dump.
   int Verbose = 0;
   bool GpuOnly = false;
   bool Stats = false;
   bool Verify = false; // --verify: run the graph verifier on inputs/outputs.
+  bool ReportMetrics = false; // report --metrics: metrics section only.
+  bool NoRecovery = false; // --no-recovery: faults bypass the ladder.
   PimFlowOptions Flow;
 
   CliOptions() {
@@ -97,7 +105,8 @@ struct CliOptions {
   }
 
   bool observed() const {
-    return !TraceOut.empty() || !JsonStats.empty() || !PerfReport.empty();
+    return !TraceOut.empty() || !JsonStats.empty() || !PerfReport.empty() ||
+           !MetricsOut.empty();
   }
 };
 
@@ -106,7 +115,8 @@ void usage() {
       stderr,
       "usage: pimflow -m=<profile|solve|run|trace> [-t=<split|pipeline>] "
       "-n=<net>\n"
-      "       pimflow report <perf-report.json>   (render a saved report)\n"
+      "       pimflow report <perf-report.json> [--metrics]   (render a "
+      "saved report)\n"
       "               [--gpu_only] [--policy=<mechanism>] [--dir=<path>]\n"
       "               [--graph=<solved.pimflow.graph>]\n"
       "               [--pim-channels=N] [--stages=N] [--autotune] "
@@ -115,9 +125,10 @@ void usage() {
       "1 = serial)\n"
       "               [--verify] [--differential] [--max-errors=N]\n"
       "               [--faults=<spec|chaos>] [--fault-seed=N] "
-      "[--max-retries=N] [--pim-floor=N]\n"
+      "[--max-retries=N] [--pim-floor=N] [--no-recovery]\n"
       "               [--trace-out=<file>] [--json-stats=<file>] "
       "[--perf-report=<file>] [-v|-vv]\n"
+      "               [--metrics-out=<file>] [--flight-dump=<file>]\n"
       "nets: efficientnet-v1-b0 mobilenet-v2 mnasnet-1.0 resnet-50 vgg-16 "
       "bert toy\n"
       "mechanisms: Baseline Newton+ Newton++ PIMFlow-md PIMFlow-pl "
@@ -177,6 +188,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
       O.JsonStats = Val();
     else if (startsWith(Arg, "--perf-report="))
       O.PerfReport = Val();
+    else if (startsWith(Arg, "--metrics-out="))
+      O.MetricsOut = Val();
+    else if (startsWith(Arg, "--flight-dump="))
+      O.FlightDump = Val();
+    else if (Arg == "--metrics")
+      O.ReportMetrics = true;
+    else if (Arg == "--no-recovery")
+      O.NoRecovery = true;
     else if (Arg == "-v" || Arg == "--verbose")
       O.Verbose = std::max(O.Verbose, 1);
     else if (Arg == "-vv")
@@ -279,6 +298,17 @@ std::string cachePath(const CliOptions &O) {
 /// first: rendering the Chrome trace re-plans the offloaded kernels, which
 /// bumps codegen counters that would otherwise leak into the stats dump.
 int exportObservability(const CliOptions &O, const CompileResult &R) {
+  // In-run anomaly watchdog: with telemetry collected, check tail-latency
+  // ratios, lane idle gaps and retry rates before anything is exported, so
+  // the warnings land next to the run they describe.
+  if (obs::MetricsRegistry::instance().enabled() &&
+      !R.Schedule.Nodes.empty()) {
+    DiagnosticEngine ADE;
+    const obs::AttributionReport A =
+        obs::attributeTimeline(R.Transformed, R.Schedule, R.Config);
+    if (obs::evaluateAnomalies(ADE, &A) > 0)
+      std::fprintf(stderr, "%s", ADE.render().c_str());
+  }
   if (!O.JsonStats.empty()) {
     if (!obs::writeStatsJson(R, O.JsonStats)) {
       std::fprintf(stderr, "error: cannot write %s\n", O.JsonStats.c_str());
@@ -303,6 +333,13 @@ int exportObservability(const CliOptions &O, const CompileResult &R) {
     std::printf("Chrome trace written to %s (load in chrome://tracing or "
                 "ui.perfetto.dev)\n",
                 O.TraceOut.c_str());
+  }
+  if (!O.MetricsOut.empty()) {
+    if (!obs::writeMetricsText(O.MetricsOut)) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.MetricsOut.c_str());
+      return 1;
+    }
+    std::printf("metrics exposition written to %s\n", O.MetricsOut.c_str());
   }
   return 0;
 }
@@ -457,27 +494,46 @@ int runExecuteGraphFile(const CliOptions &O) {
                    DE.render().c_str());
       return 2;
     }
-    RecoveryOptions RO;
-    RO.Retry.MaxRetries = O.Flow.MaxRetries;
-    RO.PimFloor = O.Flow.PimFloor;
-    RecoveryExecutor Exec(Config, Faults, RO);
-    RecoveryResult RR = Exec.run(R.Transformed, DE);
-    if (!RR.Ok) {
-      std::fprintf(stderr, "error: fault recovery failed:\n%s",
-                   DE.render().c_str());
-      return 1;
+    if (O.NoRecovery) {
+      // Drive the engine directly against the fault schedule, bypassing
+      // the retry -> remap -> floor ladder: any persistent fault reaches
+      // tryExecute and fails the run with fault.unrecovered — the
+      // deterministic trigger for the flight recorder's auto-dump
+      // (ci.sh tier 6 relies on this).
+      RetryPolicy Retry;
+      Retry.MaxRetries = O.Flow.MaxRetries;
+      ExecutionEngine Engine(Config);
+      auto TL = Engine.tryExecute(R.Transformed, DE, &Faults, &Retry);
+      if (!TL) {
+        std::fprintf(stderr, "error: execution failed under "
+                             "--no-recovery:\n%s",
+                     DE.render().c_str());
+        return 1;
+      }
+      R.Schedule = std::move(*TL);
+    } else {
+      RecoveryOptions RO;
+      RO.Retry.MaxRetries = O.Flow.MaxRetries;
+      RO.PimFloor = O.Flow.PimFloor;
+      RecoveryExecutor Exec(Config, Faults, RO);
+      RecoveryResult RR = Exec.run(R.Transformed, DE);
+      if (!RR.Ok) {
+        std::fprintf(stderr, "error: fault recovery failed:\n%s",
+                     DE.render().c_str());
+        return 1;
+      }
+      R.Transformed = std::move(RR.Executed);
+      R.Schedule = std::move(RR.Schedule);
+      R.Recovery.Active = true;
+      R.Recovery.Degraded = RR.Degraded;
+      R.Recovery.DeadChannels = RR.DeadChannels;
+      R.Recovery.StalledChannels = RR.StalledChannels;
+      R.Recovery.SurvivingChannels = RR.SurvivingChannels;
+      R.Recovery.NodesRemapped = RR.NodesRemapped;
+      R.Recovery.NodesFellBack = RR.NodesFellBack;
+      R.Recovery.TransientRetries = RR.TransientRetries;
+      R.Recovery.Notes = std::move(RR.Notes);
     }
-    R.Transformed = std::move(RR.Executed);
-    R.Schedule = std::move(RR.Schedule);
-    R.Recovery.Active = true;
-    R.Recovery.Degraded = RR.Degraded;
-    R.Recovery.DeadChannels = RR.DeadChannels;
-    R.Recovery.StalledChannels = RR.StalledChannels;
-    R.Recovery.SurvivingChannels = RR.SurvivingChannels;
-    R.Recovery.NodesRemapped = RR.NodesRemapped;
-    R.Recovery.NodesFellBack = RR.NodesFellBack;
-    R.Recovery.TransientRetries = RR.TransientRetries;
-    R.Recovery.Notes = std::move(RR.Notes);
   }
   std::printf("%s (%zu nodes): %.2f us end-to-end, %.2f uJ\n",
               R.Transformed.name().c_str(), R.Transformed.numNodes(),
@@ -581,6 +637,17 @@ int runReport(const CliOptions &O) {
                  O.ReportFile.c_str(), Error.c_str());
     return 1;
   }
+  if (O.ReportMetrics) {
+    const std::string Text = obs::renderPerfReportMetricsText(*Doc);
+    if (Text.empty()) {
+      std::fprintf(stderr,
+                   "error: %s has no metrics section (schema v1 report?)\n",
+                   O.ReportFile.c_str());
+      return 1;
+    }
+    std::printf("%s", Text.c_str());
+    return 0;
+  }
   std::printf("%s", obs::renderPerfReportText(*Doc).c_str());
   return 0;
 }
@@ -600,13 +667,31 @@ int main(int Argc, char **Argv) {
                                : LogLevel::Silent);
   if (O.observed())
     obs::setObservabilityEnabled(true);
+  // Arm the auto-dump path before any work runs so a failing tryExecute or
+  // unrecovered fault writes its trace even though the process is about to
+  // exit non-zero — the crash-safe part of the flight recorder.
+  if (!O.FlightDump.empty())
+    obs::FlightRecorder::instance().setAutoDumpPath(O.FlightDump);
+  int Rc;
   if (O.Mode == "report")
-    return runReport(O);
-  if (O.Mode == "profile")
-    return runProfile(O);
-  if (O.Mode == "solve")
-    return runSolve(O);
-  if (O.Mode == "trace")
-    return runTrace(O);
-  return runExecute(O);
+    Rc = runReport(O);
+  else if (O.Mode == "profile")
+    Rc = runProfile(O);
+  else if (O.Mode == "solve")
+    Rc = runSolve(O);
+  else if (O.Mode == "trace")
+    Rc = runTrace(O);
+  else
+    Rc = runExecute(O);
+  // The exit-time dump overwrites any mid-run auto-dump with the most
+  // recent window of events — the one containing whatever went wrong.
+  if (!O.FlightDump.empty() && O.Mode != "report") {
+    if (!obs::FlightRecorder::instance().dump(
+            O.FlightDump, Rc == 0 ? "cli: run complete" : "cli: run failed"))
+      std::fprintf(stderr, "error: cannot write %s\n", O.FlightDump.c_str());
+    else
+      std::printf("flight recorder dump written to %s\n",
+                  O.FlightDump.c_str());
+  }
+  return Rc;
 }
