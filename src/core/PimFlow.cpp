@@ -6,6 +6,8 @@
 
 #include "core/PimFlow.h"
 
+#include <map>
+
 #include "ir/ShapeInference.h"
 #include "ir/Verifier.h"
 #include "obs/Counters.h"
@@ -93,16 +95,25 @@ SearchOptions pf::searchOptionsFor(OffloadPolicy P,
 
 PimFlow::PimFlow(OffloadPolicy Policy, PimFlowOptions Options)
     : Policy(Policy), Options(Options),
-      Config(systemConfigFor(Policy, Options)), Prof(Config) {}
+      Config(systemConfigFor(Policy, Options)), Prof(Config) {
+  if (!this->Options.PlanCacheDir.empty())
+    Cache = std::make_unique<PlanCache>(this->Options.PlanCacheDir);
+}
+
+PlanKey PimFlow::planKey(const Graph &Model) const {
+  return makePlanKey(Model, Config, searchOptionsFor(Policy, Options),
+                     Options.PimFloor);
+}
 
 CompileResult PimFlow::compileAndRun(const Graph &Model) {
   PF_TRACE_SCOPE_CAT("pimflow.compile_and_run", "compile");
   PF_LOG_INFO("compiling %s under %s (%zu nodes)", Model.name().c_str(),
               policyName(Policy), Model.numNodes());
-  CompileResult R;
-  R.Policy = Policy;
-  R.Config = Config;
+  return executePlan(Model, plan(Model));
+}
 
+ExecutionPlan PimFlow::plan(const Graph &Model) {
+  PF_TRACE_SCOPE_CAT("pimflow.plan", "compile");
   {
     // Reject out-of-range configurations before they configure anything; the
     // factories always produce valid configs, so this only fires for
@@ -112,13 +123,35 @@ CompileResult PimFlow::compileAndRun(const Graph &Model) {
       fatal(formatStr("invalid system configuration:\n%s",
                       DE.render().c_str()));
   }
+  auto Fresh = [&] {
+    SearchEngine Search(Prof, searchOptionsFor(Policy, Options));
+    ExecutionPlan P = Search.search(Model);
+    PF_LOG_INFO("search: %zu segments, %.2f us predicted (%zu/%zu profile "
+                "cache hits)",
+                P.Segments.size(), P.PredictedNs / 1e3, Prof.cacheHits(),
+                Prof.cacheHits() + Prof.cacheMisses());
+    return P;
+  };
+  if (Cache)
+    return Cache->getOrCompute(planKey(Model), Fresh);
+  return Fresh();
+}
 
-  SearchEngine Search(Prof, searchOptionsFor(Policy, Options));
-  R.Plan = Search.search(Model);
-  PF_LOG_INFO("search: %zu segments, %.2f us predicted (%zu/%zu profile "
-              "cache hits)",
-              R.Plan.Segments.size(), R.Plan.PredictedNs / 1e3,
-              Prof.cacheHits(), Prof.cacheHits() + Prof.cacheMisses());
+CompileResult PimFlow::executePlan(const Graph &Model, ExecutionPlan Plan) {
+  PF_TRACE_SCOPE_CAT("pimflow.execute_plan", "compile");
+  CompileResult R;
+  R.Policy = Policy;
+  R.Config = Config;
+  R.Plan = std::move(Plan);
+
+  {
+    // Replays reach this path without going through plan(), so the
+    // configuration gate runs here as well.
+    DiagnosticEngine DE;
+    if (!validateSystemConfig(Config, DE))
+      fatal(formatStr("invalid system configuration:\n%s",
+                      DE.render().c_str()));
+  }
 
   // Pass-boundary checking: the structural verifier runs at each boundary
   // under PIMFLOW_CHECKED (or Options.VerifyPasses at runtime), and the
@@ -228,6 +261,13 @@ CompileResult PimFlow::compileAndRun(const Graph &Model) {
               R.Transformed.name().c_str(), R.endToEndNs() / 1e3,
               R.energyJ() * 1e6);
 
+  // Per-layer-class attribution reads GPU-baseline times out of the plan's
+  // decision trail rather than the profiler: every covered node carries its
+  // GpuOnlyNs, so a deserialized plan attributes identically to a fresh
+  // search without a single profiler query.
+  std::map<NodeId, double> GpuBaselineNs;
+  for (const SearchDecision &D : R.Plan.Decisions)
+    GpuBaselineNs[D.Id] = D.GpuOnlyNs;
   for (const SegmentPlan &S : R.Plan.Segments) {
     bool HasConv = false, HasFc = false;
     for (NodeId Id : S.Nodes) {
@@ -243,7 +283,8 @@ CompileResult PimFlow::compileAndRun(const Graph &Model) {
       // split, to the CONV-layer metric.
       double CandidateNs = 0.0, ChainNs = 0.0;
       for (NodeId Id : S.Nodes) {
-        const double Ns = Prof.gpuNodeNs(Model, Id);
+        auto It = GpuBaselineNs.find(Id);
+        const double Ns = It != GpuBaselineNs.end() ? It->second : 0.0;
         ChainNs += Ns;
         if (isPimCandidate(Model.node(Id)))
           CandidateNs += Ns;

@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 
+#include "plan/PlanCache.h"
 #include "runtime/ExecutionEngine.h"
 #include "search/SearchEngine.h"
 
@@ -95,6 +96,12 @@ struct PimFlowOptions {
   /// Minimum surviving PIM channels before whole-graph GPU fallback
   /// (--pim-floor).
   int PimFloor = 1;
+  /// Content-addressed plan cache directory (--plan-cache-dir). When set,
+  /// plan() consults the cache before searching and stores fresh results;
+  /// empty disables caching. Keys cover the canonical graph, system
+  /// configuration, search options, and fault floor, so any relevant
+  /// change misses.
+  std::string PlanCacheDir;
 };
 
 /// Builds the system configuration a policy runs on.
@@ -151,18 +158,35 @@ public:
   OffloadPolicy policy() const { return Policy; }
   const SystemConfig &config() const { return Config; }
 
-  /// Runs the full flow on \p Model: search, transform, validate, execute.
+  /// Runs the full flow on \p Model: search (or cache hit), transform,
+  /// validate, execute. Equivalent to executePlan(Model, plan(Model)).
   CompileResult compileAndRun(const Graph &Model);
+
+  /// The search half of the flow: produces the execution plan for
+  /// \p Model, consulting the plan cache when PlanCacheDir is set.
+  ExecutionPlan plan(const Graph &Model);
+
+  /// The execution half: applies \p Plan to \p Model, validates, and
+  /// executes — no search and no profiling, so a deserialized artifact
+  /// replays without ever touching the profiler.
+  CompileResult executePlan(const Graph &Model, ExecutionPlan Plan);
+
+  /// The content address a compile of \p Model would be cached under.
+  PlanKey planKey(const Graph &Model) const;
 
   /// The profiler (exposes the measurement cache for reuse and the
   /// compilation-overhead statistics of Section 7).
   Profiler &profiler() { return Prof; }
+
+  /// The plan cache, or nullptr when PlanCacheDir is empty.
+  PlanCache *planCache() { return Cache.get(); }
 
 private:
   OffloadPolicy Policy;
   PimFlowOptions Options;
   SystemConfig Config;
   Profiler Prof;
+  std::unique_ptr<PlanCache> Cache;
 };
 
 } // namespace pf

@@ -1,0 +1,468 @@
+//===- plan/PlanArtifact.cpp - Versioned on-disk execution plans ----------===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plan/PlanArtifact.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "ir/GraphSerializer.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/Format.h"
+#include "support/StringUtil.h"
+
+using namespace pf;
+
+namespace {
+
+const char *kMagic = "pimflow-plan";
+const char *kVersion = "v1";
+
+/// Full-token finite-double parser: the whole string must be a number
+/// strtod accepts, and the result must be finite (profiled times are).
+std::optional<double> parseDouble(const std::string &S) {
+  if (S.empty())
+    return std::nullopt;
+  errno = 0;
+  char *End = nullptr;
+  const double V = std::strtod(S.c_str(), &End);
+  if (End != S.c_str() + S.size() || errno == ERANGE || !std::isfinite(V))
+    return std::nullopt;
+  return V;
+}
+
+std::optional<SegmentMode> segmentModeFromName(const std::string &Name) {
+  for (SegmentMode M : {SegmentMode::GpuNode, SegmentMode::FullPim,
+                        SegmentMode::MdDp, SegmentMode::Pipeline})
+    if (Name == segmentModeName(M))
+      return M;
+  return std::nullopt;
+}
+
+/// %.17g: the shortest printf format that round-trips every finite double
+/// through strtod bit for bit, which is what makes serialize → parse →
+/// re-serialize byte-identical.
+std::string fmtNs(double X) { return formatStr("%.17g", X); }
+
+/// Splits \p S into whitespace-separated tokens (no empties).
+std::vector<std::string> tokens(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t I = 0;
+  while (I < S.size()) {
+    while (I < S.size() && S[I] == ' ')
+      ++I;
+    size_t Begin = I;
+    while (I < S.size() && S[I] != ' ')
+      ++I;
+    if (I > Begin)
+      Out.push_back(S.substr(Begin, I - Begin));
+  }
+  return Out;
+}
+
+/// Parser state shared by the record handlers: the corrupt() helper tags
+/// every finding with the physical line number (header = line 1).
+struct LineParser {
+  DiagnosticEngine &DE;
+  size_t LineNo = 1;
+
+  void corrupt(const std::string &Message) {
+    DE.error(DiagCode::PlanCorrupt, formatStr("line %zu", LineNo), Message);
+  }
+};
+
+} // namespace
+
+std::string pf::fnv1a64Hex(const std::string &Data) {
+  uint64_t H = 1469598103934665603ull; // FNV offset basis
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ull; // FNV prime
+  }
+  return formatStr("%016llx", static_cast<unsigned long long>(H));
+}
+
+std::string pf::canonicalGraphHash(const Graph &G) {
+  return fnv1a64Hex(serializeGraph(G));
+}
+
+std::string pf::systemConfigPlanSig(const SystemConfig &C) {
+  // Every field that feeds a profiled timing or the generated commands.
+  // Compiled-in Table-1 constants that no option can change are covered by
+  // the binary, not the signature.
+  std::string S = formatStr(
+      "tc%d/gmc%d/gbw%.9g/gclk%.9g/gf16%.9g/gsm%d/glan%d/gco%.9g",
+      C.TotalChannels, C.Gpu.MemChannels, C.Gpu.ChannelBandwidthGBs,
+      C.Gpu.ClockGhz, C.Gpu.Fp16Multiplier, C.Gpu.NumSms, C.Gpu.LanesPerSm,
+      C.Gpu.CoherenceSlowdown);
+  S += formatStr(
+      "/pc%d/pb%d/pm%d/pgb%d/prl%d/pclk%.9g/pfs%.9g/ngb%d/lh%d",
+      C.Pim.Channels, C.Pim.BanksPerChannel, C.Pim.MultipliersPerBank,
+      C.Pim.GlobalBufferBytes, C.Pim.ResultLatchesPerBank, C.Pim.ClockGhz,
+      C.Pim.FetchSupplyGBs, C.Pim.NumGlobalBuffers,
+      C.Pim.GwriteLatencyHiding ? 1 : 0);
+  S += formatStr(
+      "/sg%d/gr%d/mo%d/xb%.9g/sy%.9g/mc%d/cf%.9g",
+      C.Codegen.StridedGwrite ? 1 : 0,
+      static_cast<int>(C.Codegen.MaxGranularity), C.MemoryOptimizer ? 1 : 0,
+      C.CrossChannelGBs, C.SyncOverheadNs, C.ModelContention ? 1 : 0,
+      C.ContentionFactor);
+  return S;
+}
+
+std::string pf::searchOptionsPlanSig(const SearchOptions &S) {
+  // Jobs is excluded: the plan is byte-identical for every worker count
+  // (the SearchDeterminism contract), so it must not split the cache.
+  return formatStr("sp%d/pl%d/fo%d/st%d/rs%.9g/rf%d/rr%.9g",
+                   S.AllowSplit ? 1 : 0, S.AllowPipeline ? 1 : 0,
+                   S.AllowFullOffload ? 1 : 0, S.PipelineStages, S.RatioStep,
+                   S.RefineRatios ? 1 : 0, S.RefinedStep);
+}
+
+PlanKey pf::makePlanKey(const Graph &Model, const SystemConfig &Config,
+                        const SearchOptions &Search, int FaultFloor) {
+  PlanKey K;
+  K.GraphHash = canonicalGraphHash(Model);
+  K.ConfigSig = systemConfigPlanSig(Config);
+  K.SearchSig = searchOptionsPlanSig(Search);
+  K.FaultFloor = FaultFloor;
+  return K;
+}
+
+std::string PlanKey::digest() const {
+  return fnv1a64Hex(GraphHash + "|" + ConfigSig + "|" + SearchSig + "|" +
+                    formatStr("%d", FaultFloor));
+}
+
+std::string pf::serializePlanArtifact(const PlanArtifact &A) {
+  std::string Body;
+  Body += "graph " + A.Key.GraphHash + "\n";
+  Body += "config " + A.Key.ConfigSig + "\n";
+  Body += "search " + A.Key.SearchSig + "\n";
+  Body += formatStr("fault-floor %d\n", A.Key.FaultFloor);
+  Body += "predicted " + fmtNs(A.Plan.PredictedNs) + "\n";
+  for (const SegmentPlan &S : A.Plan.Segments) {
+    Body += formatStr("segment %s ratio %s stages %d pattern %d ns %s nodes",
+                      segmentModeName(S.Mode), fmtNs(S.RatioGpu).c_str(),
+                      S.Stages, static_cast<int>(S.Pattern),
+                      fmtNs(S.PredictedNs).c_str());
+    for (NodeId Id : S.Nodes)
+      Body += formatStr(" %d", Id);
+    Body += "\n";
+  }
+  for (const LayerProfile &L : A.Plan.Layers)
+    Body += formatStr("layer %d gpu %s pim %s mddp %s ratio %s\n", L.Id,
+                      fmtNs(L.GpuNs).c_str(), fmtNs(L.PimNs).c_str(),
+                      fmtNs(L.BestMdDpNs).c_str(),
+                      fmtNs(L.BestRatioGpu).c_str());
+  for (const SearchDecision &D : A.Plan.Decisions) {
+    Body += formatStr("decision %d cand %d chosen %s ratio %s ns %s "
+                      "gpuonly %s options",
+                      D.Id, D.PimCandidate ? 1 : 0,
+                      segmentModeName(D.ChosenMode),
+                      fmtNs(D.ChosenRatioGpu).c_str(),
+                      fmtNs(D.ChosenNs).c_str(), fmtNs(D.GpuOnlyNs).c_str());
+    for (const CandidateOption &C : D.Candidates)
+      Body += formatStr(" %s:%s:%s", segmentModeName(C.Mode),
+                        fmtNs(C.RatioGpu).c_str(), fmtNs(C.Ns).c_str());
+    Body += "\n";
+  }
+  Body += "end\n";
+  return formatStr("%s %s bytes %zu checksum %s\n", kMagic, kVersion,
+                   Body.size(), fnv1a64Hex(Body).c_str()) +
+         Body;
+}
+
+std::optional<PlanArtifact> pf::parsePlanArtifact(const std::string &Text,
+                                                  DiagnosticEngine &DE) {
+  LineParser P{DE};
+
+  const size_t HeaderEnd = Text.find('\n');
+  if (HeaderEnd == std::string::npos) {
+    P.corrupt("missing header line");
+    return std::nullopt;
+  }
+  const std::vector<std::string> H = tokens(Text.substr(0, HeaderEnd));
+  if (H.size() != 6 || H[0] != kMagic) {
+    P.corrupt("not a pimflow-plan artifact (bad magic)");
+    return std::nullopt;
+  }
+  if (H[1] != kVersion) {
+    DE.error(DiagCode::PlanVersion, "line 1",
+             formatStr("unsupported plan format version '%s' (this build "
+                       "reads %s)",
+                       H[1].c_str(), kVersion));
+    return std::nullopt;
+  }
+  if (H[2] != "bytes" || H[4] != "checksum") {
+    P.corrupt("malformed header (expected 'bytes <n> checksum <hex>')");
+    return std::nullopt;
+  }
+  const std::optional<uint64_t> DeclaredBytes = parseUint(H[3]);
+  if (!DeclaredBytes) {
+    P.corrupt(formatStr("bad byte count '%s'", H[3].c_str()));
+    return std::nullopt;
+  }
+  const std::string Body = Text.substr(HeaderEnd + 1);
+  if (Body.size() != *DeclaredBytes) {
+    P.corrupt(formatStr("truncated or padded artifact: header declares %llu "
+                        "payload bytes, file carries %zu",
+                        static_cast<unsigned long long>(*DeclaredBytes),
+                        Body.size()));
+    return std::nullopt;
+  }
+  if (const std::string Sum = fnv1a64Hex(Body); Sum != H[5]) {
+    P.corrupt(formatStr("checksum mismatch: header declares %s, payload "
+                        "hashes to %s",
+                        H[5].c_str(), Sum.c_str()));
+    return std::nullopt;
+  }
+
+  // The payload is authenticated; any malformation below is still reported
+  // as plan.corrupt (a forged checksum is as corrupt as a flipped bit).
+  PlanArtifact A;
+  bool SawGraph = false, SawConfig = false, SawSearch = false,
+       SawFloor = false, SawPredicted = false, SawEnd = false;
+  size_t Pos = 0;
+  while (Pos < Body.size()) {
+    const size_t Eol = Body.find('\n', Pos);
+    if (Eol == std::string::npos) {
+      P.LineNo += 1;
+      P.corrupt("unterminated final line");
+      return std::nullopt;
+    }
+    const std::string Line = Body.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    P.LineNo += 1;
+    if (SawEnd) {
+      P.corrupt("content after 'end'");
+      return std::nullopt;
+    }
+    const std::vector<std::string> T = tokens(Line);
+    if (T.empty()) {
+      P.corrupt("empty line");
+      return std::nullopt;
+    }
+    const std::string &Kw = T[0];
+    auto Need = [&](size_t N) {
+      if (T.size() == N)
+        return true;
+      P.corrupt(formatStr("'%s' record expects %zu fields, got %zu",
+                          Kw.c_str(), N - 1, T.size() - 1));
+      return false;
+    };
+    if (Kw == "graph") {
+      if (!Need(2))
+        return std::nullopt;
+      A.Key.GraphHash = T[1];
+      SawGraph = true;
+    } else if (Kw == "config") {
+      if (!Need(2))
+        return std::nullopt;
+      A.Key.ConfigSig = T[1];
+      SawConfig = true;
+    } else if (Kw == "search") {
+      if (!Need(2))
+        return std::nullopt;
+      A.Key.SearchSig = T[1];
+      SawSearch = true;
+    } else if (Kw == "fault-floor") {
+      if (!Need(2))
+        return std::nullopt;
+      const std::optional<int64_t> V = parseInt(T[1]);
+      if (!V || *V < 0 || *V > 1 << 20) {
+        P.corrupt(formatStr("bad fault floor '%s'", T[1].c_str()));
+        return std::nullopt;
+      }
+      A.Key.FaultFloor = static_cast<int>(*V);
+      SawFloor = true;
+    } else if (Kw == "predicted") {
+      if (!Need(2))
+        return std::nullopt;
+      const std::optional<double> V = parseDouble(T[1]);
+      if (!V) {
+        P.corrupt(formatStr("bad predicted time '%s'", T[1].c_str()));
+        return std::nullopt;
+      }
+      A.Plan.PredictedNs = *V;
+      SawPredicted = true;
+    } else if (Kw == "segment") {
+      // segment <mode> ratio <r> stages <s> pattern <p> ns <t> nodes <id...>
+      if (T.size() < 12 || T[2] != "ratio" || T[4] != "stages" ||
+          T[6] != "pattern" || T[8] != "ns" || T[10] != "nodes") {
+        P.corrupt("malformed segment record");
+        return std::nullopt;
+      }
+      SegmentPlan S;
+      const std::optional<SegmentMode> M = segmentModeFromName(T[1]);
+      const std::optional<double> Ratio = parseDouble(T[3]);
+      const std::optional<int64_t> Stages = parseInt(T[5]);
+      const std::optional<int64_t> Pattern = parseInt(T[7]);
+      const std::optional<double> Ns = parseDouble(T[9]);
+      if (!M || !Ratio || !Stages || !Pattern || !Ns || *Stages < 1 ||
+          *Stages > 1 << 16 || *Pattern < 0 || *Pattern > 2) {
+        P.corrupt("malformed segment fields");
+        return std::nullopt;
+      }
+      S.Mode = *M;
+      S.RatioGpu = *Ratio;
+      S.Stages = static_cast<int>(*Stages);
+      S.Pattern = static_cast<PipelinePattern>(*Pattern);
+      S.PredictedNs = *Ns;
+      for (size_t I = 11; I < T.size(); ++I) {
+        const std::optional<int64_t> Id = parseInt(T[I]);
+        if (!Id || *Id < 0 || *Id > INT32_MAX) {
+          P.corrupt(formatStr("bad node id '%s'", T[I].c_str()));
+          return std::nullopt;
+        }
+        S.Nodes.push_back(static_cast<NodeId>(*Id));
+      }
+      A.Plan.Segments.push_back(std::move(S));
+    } else if (Kw == "layer") {
+      // layer <id> gpu <t> pim <t> mddp <t> ratio <r>
+      if (T.size() != 10 || T[2] != "gpu" || T[4] != "pim" ||
+          T[6] != "mddp" || T[8] != "ratio") {
+        P.corrupt("malformed layer record");
+        return std::nullopt;
+      }
+      LayerProfile L;
+      const std::optional<int64_t> Id = parseInt(T[1]);
+      const std::optional<double> Gpu = parseDouble(T[3]);
+      const std::optional<double> Pim = parseDouble(T[5]);
+      const std::optional<double> MdDp = parseDouble(T[7]);
+      const std::optional<double> Ratio = parseDouble(T[9]);
+      if (!Id || *Id < 0 || *Id > INT32_MAX || !Gpu || !Pim || !MdDp ||
+          !Ratio) {
+        P.corrupt("malformed layer fields");
+        return std::nullopt;
+      }
+      L.Id = static_cast<NodeId>(*Id);
+      L.GpuNs = *Gpu;
+      L.PimNs = *Pim;
+      L.BestMdDpNs = *MdDp;
+      L.BestRatioGpu = *Ratio;
+      A.Plan.Layers.push_back(L);
+    } else if (Kw == "decision") {
+      // decision <id> cand <0|1> chosen <mode> ratio <r> ns <t> gpuonly <t>
+      //          options <mode>:<r>:<t> ...
+      if (T.size() < 13 || T[2] != "cand" || T[4] != "chosen" ||
+          T[6] != "ratio" || T[8] != "ns" || T[10] != "gpuonly" ||
+          T[12] != "options") {
+        P.corrupt("malformed decision record");
+        return std::nullopt;
+      }
+      SearchDecision D;
+      const std::optional<int64_t> Id = parseInt(T[1]);
+      const std::optional<int64_t> Cand = parseInt(T[3]);
+      const std::optional<SegmentMode> M = segmentModeFromName(T[5]);
+      const std::optional<double> Ratio = parseDouble(T[7]);
+      const std::optional<double> Ns = parseDouble(T[9]);
+      const std::optional<double> GpuOnly = parseDouble(T[11]);
+      if (!Id || *Id < 0 || *Id > INT32_MAX || !Cand ||
+          (*Cand != 0 && *Cand != 1) || !M || !Ratio || !Ns || !GpuOnly) {
+        P.corrupt("malformed decision fields");
+        return std::nullopt;
+      }
+      D.Id = static_cast<NodeId>(*Id);
+      D.PimCandidate = *Cand == 1;
+      D.ChosenMode = *M;
+      D.ChosenRatioGpu = *Ratio;
+      D.ChosenNs = *Ns;
+      D.GpuOnlyNs = *GpuOnly;
+      for (size_t I = 13; I < T.size(); ++I) {
+        const std::vector<std::string> Parts = split(T[I], ':');
+        if (Parts.size() != 3) {
+          P.corrupt(formatStr("malformed candidate option '%s'",
+                              T[I].c_str()));
+          return std::nullopt;
+        }
+        CandidateOption C;
+        const std::optional<SegmentMode> CM = segmentModeFromName(Parts[0]);
+        const std::optional<double> CR = parseDouble(Parts[1]);
+        const std::optional<double> CNs = parseDouble(Parts[2]);
+        if (!CM || !CR || !CNs) {
+          P.corrupt(formatStr("malformed candidate option '%s'",
+                              T[I].c_str()));
+          return std::nullopt;
+        }
+        C.Mode = *CM;
+        C.RatioGpu = *CR;
+        C.Ns = *CNs;
+        D.Candidates.push_back(C);
+      }
+      A.Plan.Decisions.push_back(std::move(D));
+    } else if (Kw == "end") {
+      if (!Need(1))
+        return std::nullopt;
+      SawEnd = true;
+    } else {
+      P.corrupt(formatStr("unknown record '%s'", Kw.c_str()));
+      return std::nullopt;
+    }
+  }
+  if (!SawEnd || !SawGraph || !SawConfig || !SawSearch || !SawFloor ||
+      !SawPredicted) {
+    P.corrupt("incomplete artifact (missing header records or 'end')");
+    return std::nullopt;
+  }
+  return A;
+}
+
+bool pf::savePlanArtifact(const PlanArtifact &A, const std::string &Path) {
+  const std::string Text = serializePlanArtifact(A);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  const size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  const bool Ok = std::fclose(F) == 0 && Written == Text.size();
+  return Ok;
+}
+
+std::optional<PlanArtifact> pf::loadPlanArtifact(const std::string &Path,
+                                                 DiagnosticEngine &DE) {
+  const double StartUs = obs::Tracer::instance().nowUs();
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    DE.error(DiagCode::PlanCorrupt, Path,
+             formatStr("cannot read plan artifact: %s", std::strerror(errno)));
+    return std::nullopt;
+  }
+  std::string Text;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  auto A = parsePlanArtifact(Text, DE);
+  obs::recordMetric("plan.load_us", obs::Tracer::instance().nowUs() - StartUs);
+  return A;
+}
+
+bool pf::validatePlanKey(const PlanKey &Artifact, const PlanKey &Live,
+                         DiagnosticEngine &DE) {
+  const double StartUs = obs::Tracer::instance().nowUs();
+  auto Mismatch = [&](const char *What, const std::string &Got,
+                      const std::string &Want) {
+    DE.error(DiagCode::PlanMismatch, What,
+             formatStr("artifact was compiled for %s, this run has %s",
+                       Got.c_str(), Want.c_str()));
+  };
+  if (Artifact.GraphHash != Live.GraphHash)
+    Mismatch("graph", Artifact.GraphHash, Live.GraphHash);
+  if (Artifact.ConfigSig != Live.ConfigSig)
+    Mismatch("system config", Artifact.ConfigSig, Live.ConfigSig);
+  if (Artifact.SearchSig != Live.SearchSig)
+    Mismatch("search options", Artifact.SearchSig, Live.SearchSig);
+  if (Artifact.FaultFloor != Live.FaultFloor)
+    Mismatch("fault floor", formatStr("%d", Artifact.FaultFloor),
+             formatStr("%d", Live.FaultFloor));
+  obs::recordMetric("plan.validate_us",
+                    obs::Tracer::instance().nowUs() - StartUs);
+  return Artifact == Live;
+}

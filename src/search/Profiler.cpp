@@ -253,8 +253,11 @@ bool Profiler::saveCache(const std::string &Path) const {
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)
     return false;
+  // %.17g round-trips doubles exactly through strtod, so a search resumed
+  // from the cache produces bit-identical plans (and byte-identical plan
+  // artifacts) to one that measured everything itself.
   for (const auto &[Key, Ns] : Rows)
-    std::fprintf(F, "%s\t%.6f\n", Key.c_str(), Ns);
+    std::fprintf(F, "%s\t%.17g\n", Key.c_str(), Ns);
   std::fclose(F);
   return true;
 }

@@ -58,6 +58,12 @@ const char *pf::diagCodeName(DiagCode Code) {
     return "fault.retries-exhausted";
   case DiagCode::FaultPimFloor:
     return "fault.pim-floor";
+  case DiagCode::PlanCorrupt:
+    return "plan.corrupt";
+  case DiagCode::PlanVersion:
+    return "plan.version";
+  case DiagCode::PlanMismatch:
+    return "plan.mismatch";
   case DiagCode::FaultUnrecovered:
     return "fault.unrecovered";
   case DiagCode::ExecNoPimChannels:

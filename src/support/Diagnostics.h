@@ -57,6 +57,10 @@ enum class DiagCode : uint8_t {
   // Execution-engine scheduling failures.
   ExecNoPimChannels,    ///< exec.no-pim-channels: PIM node, zero PIM channels.
   ExecUnschedulable,    ///< exec.unschedulable: cyclic or stuck dependency set.
+  // Plan artifacts and the content-addressed plan cache (src/plan).
+  PlanCorrupt,          ///< plan.corrupt: checksum/structure of artifact broken.
+  PlanVersion,          ///< plan.version: artifact format version unsupported.
+  PlanMismatch,         ///< plan.mismatch: artifact key disagrees with live run.
   // In-run anomaly watchdog (obs/Anomaly) — always warnings.
   AnomalyTailLatency,   ///< anomaly.tail-latency: p99/p50 ratio over budget.
   AnomalyIdleGap,       ///< anomaly.idle-gap: lane idle fraction over budget.

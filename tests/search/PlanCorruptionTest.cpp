@@ -1,0 +1,170 @@
+//===- tests/search/PlanCorruptionTest.cpp - artifact fuzzing ---*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-driven fuzzing of the plan-artifact parser, in the tests/chaos
+/// style: truncations, single-bit flips, version skew, and forged headers.
+/// The contract under attack is the replay failure discipline — a damaged
+/// artifact must produce a `plan.corrupt` / `plan.version` diagnostic, a
+/// key forgery must produce `plan.mismatch`, and under no input may the
+/// parser crash, hand back a wrong plan, or let a caller silently re-run
+/// the search it was asked to skip.
+///
+//===----------------------------------------------------------------------===//
+
+#include "plan/PlanArtifact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/PimFlow.h"
+#include "models/Zoo.h"
+#include "support/Random.h"
+
+using namespace pf;
+
+namespace {
+
+/// One serialized toy artifact, computed once for the whole suite.
+const std::string &artifactText() {
+  static const std::string Text = [] {
+    const Graph G = buildModel("toy");
+    Profiler P(systemConfigFor(OffloadPolicy::PimFlow, {}));
+    const SearchOptions S = searchOptionsFor(OffloadPolicy::PimFlow, {});
+    PlanArtifact A;
+    A.Key = makePlanKey(G, systemConfigFor(OffloadPolicy::PimFlow, {}), S,
+                        /*FaultFloor=*/1);
+    A.Plan = SearchEngine(P, S).search(G);
+    return serializePlanArtifact(A);
+  }();
+  return Text;
+}
+
+/// Every rejection must carry one of the plan-artifact codes — anything
+/// else (or a crash, which gtest turns into a process failure) means the
+/// parser guessed instead of diagnosing.
+void expectRejected(const std::string &Mutated, const char *What) {
+  DiagnosticEngine DE;
+  const auto Parsed = parsePlanArtifact(Mutated, DE);
+  EXPECT_FALSE(Parsed) << What << ": mutated artifact parsed successfully";
+  EXPECT_TRUE(DE.hasErrors()) << What;
+  EXPECT_TRUE(DE.hasCode(DiagCode::PlanCorrupt) ||
+              DE.hasCode(DiagCode::PlanVersion))
+      << What << ": rejected with the wrong code:\n"
+      << DE.render();
+}
+
+} // namespace
+
+TEST(PlanCorruption, EveryTruncationIsRejected) {
+  const std::string &Text = artifactText();
+  // The exact byte count in the header makes any proper prefix detectable.
+  // Sweep a deterministic sample of cut points plus every boundary near
+  // the header and the tail.
+  for (size_t Cut : {size_t{0}, size_t{1}, Text.size() - 1}) {
+    expectRejected(Text.substr(0, Cut), "boundary truncation");
+  }
+  Rng Rand(0xA47EFAC7);
+  for (int I = 0; I < 64; ++I) {
+    const size_t Cut = Rand.nextBelow(Text.size());
+    expectRejected(Text.substr(0, Cut), "random truncation");
+  }
+}
+
+TEST(PlanCorruption, EverySingleBitFlipIsRejected) {
+  const std::string &Text = artifactText();
+  Rng Rand(0xB17F11B5);
+  for (int I = 0; I < 128; ++I) {
+    std::string Mutated = Text;
+    const size_t Pos = Rand.nextBelow(Mutated.size());
+    Mutated[Pos] = static_cast<char>(
+        Mutated[Pos] ^ static_cast<char>(1u << Rand.nextBelow(8)));
+    expectRejected(Mutated, "single-bit flip");
+  }
+}
+
+TEST(PlanCorruption, RandomGarbageIsRejected) {
+  Rng Rand(0x6A4BA6E);
+  for (int I = 0; I < 32; ++I) {
+    std::string Garbage(Rand.nextBelow(4096), '\0');
+    for (char &C : Garbage)
+      C = static_cast<char>(Rand.next() & 0xFF);
+    expectRejected(Garbage, "random garbage");
+  }
+  expectRejected("", "empty input");
+  expectRejected("pimflow-plan", "bare magic");
+}
+
+TEST(PlanCorruption, VersionSkewIsPlanVersionNotCorrupt) {
+  std::string Mutated = artifactText();
+  const size_t Pos = Mutated.find(" v1 ");
+  ASSERT_NE(Pos, std::string::npos);
+  Mutated.replace(Pos, 4, " v9 ");
+  DiagnosticEngine DE;
+  EXPECT_FALSE(parsePlanArtifact(Mutated, DE));
+  EXPECT_TRUE(DE.hasCode(DiagCode::PlanVersion)) << DE.render();
+  EXPECT_FALSE(DE.hasCode(DiagCode::PlanCorrupt))
+      << "version skew misreported as corruption:\n"
+      << DE.render();
+}
+
+TEST(PlanCorruption, WrongMagicIsRejected) {
+  std::string Mutated = artifactText();
+  Mutated.replace(0, std::string("pimflow-plan").size(), "pimflow-graph");
+  expectRejected(Mutated, "wrong magic");
+}
+
+TEST(PlanCorruption, ForgedKeyParsesButFailsValidation) {
+  // A forgery that keeps the checksum honest: parse, swap the graph hash,
+  // re-serialize. The artifact is structurally valid — only the replay
+  // gate can (and must) catch it, with plan.mismatch.
+  DiagnosticEngine DE;
+  auto A = parsePlanArtifact(artifactText(), DE);
+  ASSERT_TRUE(A) << DE.render();
+  const PlanKey Live = A->Key;
+  A->Key.GraphHash = "0000000000000000";
+
+  DiagnosticEngine DE2;
+  const auto Reparsed = parsePlanArtifact(serializePlanArtifact(*A), DE2);
+  ASSERT_TRUE(Reparsed) << DE2.render();
+  DiagnosticEngine DE3;
+  EXPECT_FALSE(validatePlanKey(Reparsed->Key, Live, DE3));
+  EXPECT_TRUE(DE3.hasCode(DiagCode::PlanMismatch)) << DE3.render();
+  EXPECT_FALSE(DE3.hasCode(DiagCode::PlanCorrupt));
+}
+
+TEST(PlanCorruption, MismatchDiagnosticsNameEachDisagreeingField) {
+  DiagnosticEngine DE;
+  auto A = parsePlanArtifact(artifactText(), DE);
+  ASSERT_TRUE(A) << DE.render();
+  const PlanKey Live = A->Key;
+
+  struct Case {
+    const char *Field;
+    PlanKey Forged;
+  };
+  PlanKey G = Live, C = Live, S = Live, F = Live;
+  G.GraphHash += "x";
+  C.ConfigSig += "x";
+  S.SearchSig += "x";
+  F.FaultFloor += 1;
+  for (const Case &K : {Case{"graph", G}, Case{"config", C},
+                        Case{"search", S}, Case{"fault floor", F}}) {
+    DiagnosticEngine DM;
+    EXPECT_FALSE(validatePlanKey(K.Forged, Live, DM)) << K.Field;
+    EXPECT_TRUE(DM.hasCode(DiagCode::PlanMismatch)) << K.Field;
+    EXPECT_EQ(DM.errorCount(), 1u)
+        << K.Field << " forgery produced extra diagnostics:\n"
+        << DM.render();
+  }
+}
+
+TEST(PlanCorruption, ConcatenatedArtifactsAreRejected) {
+  // Appending anything (even a second valid artifact) breaks the declared
+  // byte count — a spliced file never half-parses.
+  expectRejected(artifactText() + artifactText(), "self-concatenation");
+  expectRejected(artifactText() + "\n", "trailing newline");
+  expectRejected(artifactText() + "junk", "trailing junk");
+}

@@ -28,6 +28,11 @@
 #      non-empty and carrying the recovery ladder's events), then an
 #      unrecovered-fault run (--no-recovery) proving the auto-dump fires
 #      on the failure path.
+#   7. The plan-artifact tier: compile -> replay determinism (a replayed
+#      plan reproduces the fresh run's execution line, skips the search,
+#      and hits the plan cache on a recompile), then the corruption
+#      matrix (truncation, bit flip, version skew, wrong-model replay),
+#      each rejected non-zero with the right diagnostic slug.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 #===----------------------------------------------------------------------===#
@@ -51,7 +56,7 @@ echo "== tier 3: ThreadSanitizer on the concurrency-facing suites =="
 cmake -B build-tsan -S . -DPIMFLOW_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target support_test search_test obs_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|Profiler|SearchEngine|SearchDeterminism|AlgorithmDp|LayerExtract|FlightRecorder|MetricsRegistry|LogLinearHistogram|SlidingWindow'
+  -R 'ThreadPool|Profiler|SearchEngine|SearchDeterminism|AlgorithmDp|LayerExtract|FlightRecorder|MetricsRegistry|LogLinearHistogram|SlidingWindow|PlanArtifact|PlanCache|PlanCorruption'
 
 echo "== tier 4: chaos fault-injection suite (fixed seeds), then under TSan =="
 ctest --test-dir build --output-on-failure -j "$JOBS" -R 'Chaos'
@@ -127,5 +132,65 @@ if ! [ -s "$TEL_DIR/toy.crash.txt" ]; then
 fi
 grep -q 'kind=channel-dead' "$TEL_DIR/toy.crash.txt"
 grep -q 'kind=exec-error' "$TEL_DIR/toy.crash.txt"
+
+echo "== tier 7: plan artifacts — compile/replay determinism + corruption matrix =="
+PLAN_DIR=build/plan-smoke
+rm -rf "$PLAN_DIR"
+mkdir -p "$PLAN_DIR"
+# Compile once, validate the artifact, and prove it matches the committed
+# golden byte for byte.
+./build/tools/pimflow compile toy --dir="$PLAN_DIR" \
+  --plan-out="$PLAN_DIR/toy.plan" > /dev/null
+./build/tools/pf_plan_check "$PLAN_DIR/toy.plan" > /dev/null
+cmp "$PLAN_DIR/toy.plan" tools/testdata/toy.plan
+# Replay determinism: the replayed run's execution line is byte-identical
+# to a fresh compile-and-run of the same model.
+./build/tools/pimflow -m=run -n=toy --dir="$PLAN_DIR" \
+  | grep 'us end-to-end' > "$PLAN_DIR/fresh.out"
+./build/tools/pimflow run toy --dir="$PLAN_DIR" \
+  --plan="$PLAN_DIR/toy.plan" \
+  --metrics-out="$PLAN_DIR/replay.metrics.txt" \
+  | grep 'us end-to-end' > "$PLAN_DIR/replay.out"
+cmp "$PLAN_DIR/fresh.out" "$PLAN_DIR/replay.out"
+# The replay really skipped the search: its metrics carry the replay
+# counter and not a single search/profiler counter.
+grep -q '^pimflow_plan_replays 1' "$PLAN_DIR/replay.metrics.txt"
+if grep -qE '^pimflow_(search|profiler)_' "$PLAN_DIR/replay.metrics.txt"; then
+  echo "error: replay run bumped search/profiler counters" >&2
+  exit 1
+fi
+# The content-addressed cache: a second compile of the same key hits.
+./build/tools/pimflow compile toy --dir="$PLAN_DIR" \
+  --plan-cache-dir="$PLAN_DIR/cache" > /dev/null
+./build/tools/pimflow compile toy --dir="$PLAN_DIR" \
+  --plan-cache-dir="$PLAN_DIR/cache" \
+  --metrics-out="$PLAN_DIR/cached.metrics.txt" > /dev/null
+grep -q '^pimflow_plan_cache_hit 1' "$PLAN_DIR/cached.metrics.txt"
+# Corruption matrix: every damaged artifact is rejected non-zero with the
+# right diagnostic slug, never executed and never silently re-searched.
+reject() { # <slug> <artifact>
+  if ./build/tools/pimflow run toy --dir="$PLAN_DIR" --plan="$2" \
+    > /dev/null 2> "$PLAN_DIR/reject.err"; then
+    echo "error: corrupted artifact $2 was accepted" >&2
+    exit 1
+  fi
+  grep -q "$1" "$PLAN_DIR/reject.err" || {
+    echo "error: $2 rejected without a $1 diagnostic:" >&2
+    cat "$PLAN_DIR/reject.err" >&2
+    exit 1
+  }
+}
+head -c 200 "$PLAN_DIR/toy.plan" > "$PLAN_DIR/truncated.plan"
+reject 'plan\.corrupt' "$PLAN_DIR/truncated.plan"
+sed '2s/./X/' "$PLAN_DIR/toy.plan" > "$PLAN_DIR/flipped.plan"
+reject 'plan\.corrupt' "$PLAN_DIR/flipped.plan"
+sed '1s/ v1 / v99 /' "$PLAN_DIR/toy.plan" > "$PLAN_DIR/skewed.plan"
+reject 'plan\.version' "$PLAN_DIR/skewed.plan"
+if ./build/tools/pimflow run mnasnet-1.0 --dir="$PLAN_DIR" \
+  --plan="$PLAN_DIR/toy.plan" > /dev/null 2> "$PLAN_DIR/mismatch.err"; then
+  echo "error: wrong-model replay was accepted" >&2
+  exit 1
+fi
+grep -q 'plan\.mismatch' "$PLAN_DIR/mismatch.err"
 
 echo "== ci.sh: all passes green =="

@@ -48,6 +48,7 @@
 
 #include "core/PimFlow.h"
 #include "core/Report.h"
+#include "plan/PlanArtifact.h"
 #include "runtime/ExecutionEngine.h"
 #include "runtime/Recovery.h"
 #include "codegen/CommandGenerator.h"
@@ -78,9 +79,10 @@ using namespace pf;
 namespace {
 
 struct CliOptions {
-  std::string Mode;            // profile | solve | run
+  std::string Mode;            // profile | solve | run | trace | compile
   std::string ProfileTarget;   // split | pipeline
   std::string Net = "toy";
+  bool NetSet = false; // a positional or -n= net was given explicitly
   std::string Dir = ".";
   std::string Policy = "PIMFlow";
   std::string GraphFile; // -m=run --graph=<file>: skip search, execute.
@@ -90,6 +92,8 @@ struct CliOptions {
   std::string ReportFile; // `pimflow report <file>`: report to render.
   std::string MetricsOut; // --metrics-out=<file>: Prometheus exposition.
   std::string FlightDump; // --flight-dump=<file>: flight-recorder dump.
+  std::string PlanOut;    // compile --plan-out=<file>: plan artifact.
+  std::string PlanIn;     // run --plan=<file>: replay a plan, skip search.
   int Verbose = 0;
   bool GpuOnly = false;
   bool Stats = false;
@@ -113,8 +117,14 @@ struct CliOptions {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: pimflow -m=<profile|solve|run|trace> [-t=<split|pipeline>] "
-      "-n=<net>\n"
+      "usage: pimflow -m=<profile|solve|run|trace|compile> "
+      "[-t=<split|pipeline>] -n=<net>\n"
+      "       pimflow <verb> <net|graph-file>   (subcommand spelling; net "
+      "may be a .graph path)\n"
+      "       pimflow compile <net> --plan-out=<file> [--plan-cache-dir=<"
+      "dir>]\n"
+      "       pimflow run <net> --plan=<file>   (replay a compiled plan; "
+      "search is skipped)\n"
       "       pimflow report <perf-report.json> [--metrics]   (render a "
       "saved report)\n"
       "               [--gpu_only] [--policy=<mechanism>] [--dir=<path>]\n"
@@ -170,8 +180,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
       O.Mode = Val();
     else if (startsWith(Arg, "-t="))
       O.ProfileTarget = Val();
-    else if (startsWith(Arg, "-n="))
+    else if (startsWith(Arg, "-n=")) {
       O.Net = Val();
+      O.NetSet = true;
+    }
     else if (startsWith(Arg, "--dir="))
       O.Dir = Val();
     else if (startsWith(Arg, "--policy="))
@@ -192,6 +204,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
       O.MetricsOut = Val();
     else if (startsWith(Arg, "--flight-dump="))
       O.FlightDump = Val();
+    else if (startsWith(Arg, "--plan-out="))
+      O.PlanOut = Val();
+    else if (startsWith(Arg, "--plan="))
+      O.PlanIn = Val();
+    else if (startsWith(Arg, "--plan-cache-dir="))
+      O.Flow.PlanCacheDir = Val();
     else if (Arg == "--metrics")
       O.ReportMetrics = true;
     else if (Arg == "--no-recovery")
@@ -237,21 +255,45 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
       O.Flow.AutoTuneRatios = true;
     else if (Arg == "--no-memopt")
       O.Flow.MemoryOptimizer = false;
-    else if (Arg == "report" && O.Mode.empty())
-      // `pimflow report <file>` — the subcommand spelling of -m=report.
-      O.Mode = "report";
+    else if (O.Mode.empty() && !startsWith(Arg, "-") &&
+             (Arg == "profile" || Arg == "solve" || Arg == "run" ||
+              Arg == "trace" || Arg == "compile" || Arg == "report"))
+      // Subcommand spelling: `pimflow compile toy` == `-m=compile -n=toy`.
+      O.Mode = Arg;
     else if (O.Mode == "report" && O.ReportFile.empty() &&
              !startsWith(Arg, "-"))
       O.ReportFile = Arg;
-    else {
+    else if (!O.Mode.empty() && O.Mode != "report" && !O.NetSet &&
+             !startsWith(Arg, "-")) {
+      // Positional net: a zoo model name or a serialized graph file.
+      O.Net = Arg;
+      O.NetSet = true;
+    } else {
       DE.error(DiagCode::BadOption, Arg, "unknown argument");
       Ok = false;
     }
   }
   if (O.Mode != "profile" && O.Mode != "solve" && O.Mode != "run" &&
-      O.Mode != "trace" && O.Mode != "report") {
+      O.Mode != "trace" && O.Mode != "compile" && O.Mode != "report") {
     DE.error(DiagCode::BadOption, "-m",
-             "must be profile, solve, run, trace or report");
+             "must be profile, solve, run, trace, compile or report");
+    Ok = false;
+  }
+  if (O.Mode == "compile" && O.PlanOut.empty() &&
+      O.Flow.PlanCacheDir.empty()) {
+    DE.error(DiagCode::BadOption, "compile",
+             "expects --plan-out=<file> and/or --plan-cache-dir=<dir>");
+    Ok = false;
+  }
+  if (!O.PlanIn.empty() && O.Mode != "run") {
+    DE.error(DiagCode::BadOption, "--plan",
+             "is only meaningful with run (replay a compiled plan)");
+    Ok = false;
+  }
+  if (!O.PlanIn.empty() && !O.GraphFile.empty()) {
+    DE.error(DiagCode::BadOption, "--plan",
+             "cannot be combined with --graph (a solved graph already "
+             "embeds its plan)");
     Ok = false;
   }
   if (O.Mode == "report" && O.ReportFile.empty()) {
@@ -291,7 +333,28 @@ OffloadPolicy policyFromName(const std::string &Name) {
 }
 
 std::string cachePath(const CliOptions &O) {
-  return O.Dir + "/profile_" + O.Net + ".tsv";
+  // The net may be a graph-file path; flatten separators so the profile
+  // log still lands inside --dir.
+  std::string Net = O.Net;
+  for (char &C : Net)
+    if (C == '/' || C == '\\')
+      C = '_';
+  return O.Dir + "/profile_" + Net + ".tsv";
+}
+
+/// Resolves the `-n=` / positional net argument: a model-zoo name, or a
+/// path to a serialized graph file (`pimflow compile m.graph`).
+std::optional<Graph> resolveModel(const std::string &NameOrPath) {
+  if (auto G = tryBuildModel(NameOrPath))
+    return G;
+  std::string Error;
+  if (auto G = loadGraph(NameOrPath, &Error))
+    return G;
+  std::fprintf(stderr,
+               "error: '%s' is neither a zoo model nor a loadable graph "
+               "file (%s)\n",
+               NameOrPath.c_str(), Error.c_str());
+  return std::nullopt;
 }
 
 /// Writes --json-stats and --trace-out for a finished compile. Stats go
@@ -363,11 +426,9 @@ void printRecovery(const RecoverySummary &R) {
 }
 
 int runProfile(const CliOptions &O) {
-  auto Maybe = tryBuildModel(O.Net);
-  if (!Maybe) {
-    std::fprintf(stderr, "error: unknown model '%s'\n", O.Net.c_str());
+  auto Maybe = resolveModel(O.Net);
+  if (!Maybe)
     return 2;
-  }
   Graph Model = std::move(*Maybe);
   Profiler P(systemConfigFor(OffloadPolicy::PimFlow, O.Flow));
   P.loadCache(cachePath(O)); // Resume previous profiling if present.
@@ -413,11 +474,9 @@ int runProfile(const CliOptions &O) {
 }
 
 int runSolve(const CliOptions &O) {
-  auto Maybe = tryBuildModel(O.Net);
-  if (!Maybe) {
-    std::fprintf(stderr, "error: unknown model '%s'\n", O.Net.c_str());
+  auto Maybe = resolveModel(O.Net);
+  if (!Maybe)
     return 2;
-  }
   Graph Model = std::move(*Maybe);
   if (const int Rc = verifyGraphCli(Model, O, "model"))
     return Rc;
@@ -546,14 +605,100 @@ int runExecuteGraphFile(const CliOptions &O) {
   return 0;
 }
 
+/// `pimflow compile <net> --plan-out=<file>`: run the search, serialize
+/// the plan artifact, and stop — no transform and no execution. With
+/// --plan-cache-dir the result is also (or only) stored content-addressed.
+int runCompile(const CliOptions &O) {
+  auto Maybe = resolveModel(O.Net);
+  if (!Maybe)
+    return 2;
+  Graph Model = std::move(*Maybe);
+  if (const int Rc = verifyGraphCli(Model, O, "model"))
+    return Rc;
+  const OffloadPolicy Policy =
+      O.GpuOnly ? OffloadPolicy::GpuOnly : policyFromName(O.Policy);
+  PimFlow Flow(Policy, O.Flow);
+  Flow.profiler().loadCache(cachePath(O));
+  const ExecutionPlan Plan = Flow.plan(Model);
+  const PlanKey Key = Flow.planKey(Model);
+  std::printf("compiled %s under %s: %zu segments, %.2f us predicted\n",
+              O.Net.c_str(), policyName(Policy), Plan.Segments.size(),
+              Plan.PredictedNs / 1e3);
+  std::printf("plan key: %s\n", Key.digest().c_str());
+  if (!O.PlanOut.empty()) {
+    if (!savePlanArtifact({Key, Plan}, O.PlanOut)) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.PlanOut.c_str());
+      return 1;
+    }
+    std::printf("plan artifact written to %s (replay with `pimflow run %s "
+                "--plan=%s`)\n",
+                O.PlanOut.c_str(), O.Net.c_str(), O.PlanOut.c_str());
+  }
+  if (PlanCache *Cache = Flow.planCache())
+    std::printf("plan cache %s: %zu hit(s), %zu miss(es), %zu store(s)\n",
+                Cache->dir().c_str(), Cache->hits(), Cache->misses(),
+                Cache->stores());
+  Flow.profiler().saveCache(cachePath(O));
+  if (!O.MetricsOut.empty()) {
+    if (!obs::writeMetricsText(O.MetricsOut)) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.MetricsOut.c_str());
+      return 1;
+    }
+    std::printf("metrics exposition written to %s\n", O.MetricsOut.c_str());
+  }
+  return 0;
+}
+
+/// `pimflow run <net> --plan=<file>`: replay a compiled plan artifact —
+/// validate its key against the live (model, config, options) and execute
+/// without running the search or touching the profiler. A key mismatch is
+/// a hard error: silently re-searching would hide that the artifact no
+/// longer describes this compile.
+int runReplay(const CliOptions &O) {
+  auto Maybe = resolveModel(O.Net);
+  if (!Maybe)
+    return 2;
+  Graph Model = std::move(*Maybe);
+  if (const int Rc = verifyGraphCli(Model, O, "model"))
+    return Rc;
+  const OffloadPolicy Policy =
+      O.GpuOnly ? OffloadPolicy::GpuOnly : policyFromName(O.Policy);
+  PimFlow Flow(Policy, O.Flow);
+
+  DiagnosticEngine DE;
+  auto Artifact = loadPlanArtifact(O.PlanIn, DE);
+  if (!Artifact) {
+    std::fprintf(stderr, "error: cannot replay %s:\n%s", O.PlanIn.c_str(),
+                 DE.render().c_str());
+    return 1;
+  }
+  if (!validatePlanKey(Artifact->Key, Flow.planKey(Model), DE)) {
+    std::fprintf(stderr,
+                 "error: plan %s does not match this compile:\n%s",
+                 O.PlanIn.c_str(), DE.render().c_str());
+    return 1;
+  }
+  obs::addCounter("plan.replays");
+  CompileResult R = Flow.executePlan(Model, std::move(Artifact->Plan));
+
+  std::printf("%s on %s: %.2f us end-to-end, %.2f uJ\n",
+              policyName(Policy), O.Net.c_str(), R.endToEndNs() / 1e3,
+              R.energyJ() * 1e6);
+  std::printf("replayed plan %s (search skipped)\n", O.PlanIn.c_str());
+  printRecovery(R.Recovery);
+  if (O.Stats)
+    std::printf("\n%s", renderReport(R).c_str());
+  return exportObservability(O, R);
+}
+
 int runExecute(const CliOptions &O) {
+  if (!O.PlanIn.empty())
+    return runReplay(O);
   if (!O.GraphFile.empty())
     return runExecuteGraphFile(O);
-  auto Maybe = tryBuildModel(O.Net);
-  if (!Maybe) {
-    std::fprintf(stderr, "error: unknown model '%s'\n", O.Net.c_str());
+  auto Maybe = resolveModel(O.Net);
+  if (!Maybe)
     return 2;
-  }
   Graph Model = std::move(*Maybe);
   if (const int Rc = verifyGraphCli(Model, O, "model"))
     return Rc;
@@ -587,11 +732,9 @@ int runExecute(const CliOptions &O) {
 /// Dumps the PIM command trace of every offloaded kernel of the solved
 /// graph — the artifact's generated DRAM-PIM simulator inputs.
 int runTrace(const CliOptions &O) {
-  auto Maybe = tryBuildModel(O.Net);
-  if (!Maybe) {
-    std::fprintf(stderr, "error: unknown model '%s'\n", O.Net.c_str());
+  auto Maybe = resolveModel(O.Net);
+  if (!Maybe)
     return 2;
-  }
   Graph Model = std::move(*Maybe);
   if (const int Rc = verifyGraphCli(Model, O, "model"))
     return Rc;
@@ -681,6 +824,8 @@ int main(int Argc, char **Argv) {
     Rc = runSolve(O);
   else if (O.Mode == "trace")
     Rc = runTrace(O);
+  else if (O.Mode == "compile")
+    Rc = runCompile(O);
   else
     Rc = runExecute(O);
   // The exit-time dump overwrites any mid-run auto-dump with the most
