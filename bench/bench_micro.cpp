@@ -30,6 +30,7 @@
 #include "ir/Builder.h"
 #include "models/Zoo.h"
 #include "obs/Metrics.h"
+#include "obs/Scope.h"
 #include "runtime/Interpreter.h"
 #include "search/SearchEngine.h"
 #include "transform/MdDpSplitPass.h"
@@ -187,20 +188,23 @@ void recordDeterministicProxies() {
     // streaming registry on and report the bounded-error p50/p99 of
     // profiler.profile_sim_ns. Simulated nanoseconds, so the quantiles are
     // identical on every machine and safe to gate in tier 5.
-    obs::MetricsRegistry &M = obs::MetricsRegistry::instance();
-    const bool WasEnabled = M.enabled();
-    M.reset();
-    M.setEnabled(true);
+    //
+    // A private scope instead of toggling + partially resetting the
+    // process globals: the old MetricsRegistry::reset() dance also wiped
+    // whatever counters earlier iterations had accumulated globally while
+    // leaving the Registry half intact (the obs::resetAll() misuse this
+    // sweep removes). SearchOptions::Jobs defaults to 1, so the serial
+    // search stays on this thread and the guard covers every record.
+    obs::Scope Scoped;
+    obs::ScopeGuard Guard(Scoped);
     const Graph G = buildMobileNetV2();
     Profiler P(SystemConfig::dual());
     SearchEngine S(P, SearchOptions{});
     (void)S.search(G);
     obs::QuantileStats Q;
-    for (const auto &[Name, Stats] : M.histogramSnapshot())
+    for (const auto &[Name, Stats] : Scoped.metrics().histogramSnapshot())
       if (Name == "profiler.profile_sim_ns")
         Q = Stats;
-    M.setEnabled(WasEnabled);
-    M.reset();
     BenchResult R;
     R.Figure = "Micro";
     R.Model = "mobilenet-v2";

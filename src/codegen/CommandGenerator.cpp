@@ -235,7 +235,7 @@ PimKernelPlan PimCommandGenerator::plan(const PimKernelSpec &Spec) const {
   }
   PF_ASSERT(HaveBest, "no feasible PIM mapping found");
   obs::addCounter("codegen.plans");
-  if (obs::Registry::instance().enabled())
+  if (obs::activeRegistry().enabled())
     recordPlanCounters(Best);
   return Best;
 }

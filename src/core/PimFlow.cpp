@@ -137,21 +137,19 @@ ExecutionPlan PimFlow::plan(const Graph &Model) {
   return Fresh();
 }
 
-CompileResult PimFlow::executePlan(const Graph &Model, ExecutionPlan Plan) {
-  PF_TRACE_SCOPE_CAT("pimflow.execute_plan", "compile");
-  CompileResult R;
-  R.Policy = Policy;
-  R.Config = Config;
-  R.Plan = std::move(Plan);
+Graph PimFlow::materialize(const Graph &Model, const ExecutionPlan &Plan) {
+  PF_TRACE_SCOPE_CAT("pimflow.materialize", "compile");
 
   {
-    // Replays reach this path without going through plan(), so the
-    // configuration gate runs here as well.
+    // Replays and serve sessions reach this path without going through
+    // plan(), so the configuration gate runs here as well.
     DiagnosticEngine DE;
     if (!validateSystemConfig(Config, DE))
       fatal(formatStr("invalid system configuration:\n%s",
                       DE.render().c_str()));
   }
+
+  Graph G = Model; // Copy, then rewrite in place.
 
   // Pass-boundary checking: the structural verifier runs at each boundary
   // under PIMFLOW_CHECKED (or Options.VerifyPasses at runtime), and the
@@ -160,13 +158,12 @@ CompileResult PimFlow::executePlan(const Graph &Model, ExecutionPlan Plan) {
   // so any difference is a transform bug worth stopping for.
   auto AtPassBoundary = [&](const char *When) {
     if (Options.VerifyPasses)
-      verifyOrDie(R.Transformed, When);
+      verifyOrDie(G, When);
     else
-      PF_VERIFY_PASS(R.Transformed, When);
+      PF_VERIFY_PASS(G, When);
     if (Options.DifferentialCheck) {
       PF_TRACE_SCOPE_CAT("pimflow.differential_check", "compile");
-      if (auto Diff =
-              compareGraphOutputs(Model, R.Transformed, /*Seed=*/0x51A5))
+      if (auto Diff = compareGraphOutputs(Model, G, /*Seed=*/0x51A5))
         fatal(formatStr("differential check %s: transformed graph diverges "
                         "from '%s': %s",
                         When, Model.name().c_str(), Diff->c_str()));
@@ -175,8 +172,7 @@ CompileResult PimFlow::executePlan(const Graph &Model, ExecutionPlan Plan) {
 
   {
     PF_TRACE_SCOPE_CAT("pimflow.apply_plan", "compile");
-    R.Transformed = Model; // Copy, then rewrite in place.
-    SearchEngine::apply(R.Transformed, R.Plan);
+    SearchEngine::apply(G, Plan);
   }
   AtPassBoundary("after plan application (MD-DP splits / pipelining)");
   {
@@ -184,12 +180,12 @@ CompileResult PimFlow::executePlan(const Graph &Model, ExecutionPlan Plan) {
     // slice-of-concat pairs); also removes false dependencies on whole-join
     // concats at pipeline stage boundaries.
     PF_TRACE_SCOPE_CAT("pimflow.canonicalize", "compile");
-    canonicalize(R.Transformed);
+    canonicalize(G);
   }
   AtPassBoundary("after canonicalization");
   {
     PF_TRACE_SCOPE_CAT("pimflow.shape_inference", "compile");
-    auto ShapeErr = inferShapes(R.Transformed);
+    auto ShapeErr = inferShapes(G);
     PF_ASSERT(!ShapeErr, "transformed graph fails shape inference");
     (void)ShapeErr;
   }
@@ -199,19 +195,29 @@ CompileResult PimFlow::executePlan(const Graph &Model, ExecutionPlan Plan) {
     // the old validate()/device PF_ASSERT block with coded diagnostics.
     PF_TRACE_SCOPE_CAT("pimflow.verify", "compile");
     DiagnosticEngine DE(Options.MaxVerifyErrors);
-    if (!verify(R.Transformed, DE))
+    if (!verify(G, DE))
       fatal(formatStr("transformed graph '%s' failed verification:\n%s",
-                      R.Transformed.name().c_str(), DE.render().c_str()));
+                      G.name().c_str(), DE.render().c_str()));
 
     // PIM annotations additionally require PIM channels — a property of the
     // system configuration, not of the graph, so checked here rather than
     // in the verifier.
-    for (const Node &N : R.Transformed.nodes()) {
+    for (const Node &N : G.nodes()) {
       if (N.Dead || N.Dev != Device::Pim)
         continue;
       PF_ASSERT(Config.hasPim(), "PIM annotation without PIM channels");
     }
   }
+  return G;
+}
+
+CompileResult PimFlow::executePlan(const Graph &Model, ExecutionPlan Plan) {
+  PF_TRACE_SCOPE_CAT("pimflow.execute_plan", "compile");
+  CompileResult R;
+  R.Policy = Policy;
+  R.Config = Config;
+  R.Transformed = materialize(Model, Plan);
+  R.Plan = std::move(Plan);
 
   if (Options.FaultSpec.empty()) {
     PF_TRACE_SCOPE_CAT("pimflow.execute", "compile");

@@ -171,6 +171,13 @@ public:
   /// replays without ever touching the profiler.
   CompileResult executePlan(const Graph &Model, ExecutionPlan Plan);
 
+  /// The transform half of executePlan: applies \p Plan to \p Model,
+  /// canonicalizes, infers shapes, and runs the full verifier — returning
+  /// the execution-ready graph without executing it. Serve sessions
+  /// materialize each (model, plan) pair once up front, then execute the
+  /// cached graph many times under per-request channel grants.
+  Graph materialize(const Graph &Model, const ExecutionPlan &Plan);
+
   /// The content address a compile of \p Model would be cached under.
   PlanKey planKey(const Graph &Model) const;
 

@@ -19,7 +19,7 @@ int pf::obs::evaluateAnomalies(DiagnosticEngine &DE,
   int Warnings = 0;
 
   // Rule 1: tail-latency ratio per HDR histogram.
-  for (const auto &[Name, Q] : MetricsRegistry::instance().histogramSnapshot()) {
+  for (const auto &[Name, Q] : activeMetrics().histogramSnapshot()) {
     if (Q.Count < Rules.MinHistogramCount || Q.P50 <= 0.0)
       continue;
     const double Ratio = Q.P99 / Q.P50;
@@ -53,7 +53,7 @@ int pf::obs::evaluateAnomalies(DiagnosticEngine &DE,
 
   // Rule 3: average retries per fault-injected simulator run.
   {
-    Registry &R = Registry::instance();
+    Registry &R = activeRegistry();
     const int64_t Retries = R.counter("pim.sim.retries").value();
     const int64_t FaultRuns = R.counter("pim.sim.fault_runs").value();
     if (FaultRuns > 0) {

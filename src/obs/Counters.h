@@ -82,11 +82,15 @@ private:
   HistogramStats S;
 };
 
-/// The process-wide metric registry. Returned Counter/Histogram references
-/// stay valid for the process lifetime; reset() zeroes values but never
+/// A metric registry. The process-wide default lives behind `instance()`;
+/// additional instances back session scopes (obs/Scope.h) so concurrent
+/// runs keep private namespaces. Returned Counter/Histogram references
+/// stay valid for the registry's lifetime; reset() zeroes values but never
 /// invalidates them.
 class Registry {
 public:
+  Registry() = default;
+
   static Registry &instance();
 
   bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
@@ -109,31 +113,34 @@ public:
   void reset();
 
 private:
-  Registry() = default;
-
   std::atomic<bool> Enabled{false};
   mutable std::mutex Mu;
   std::map<std::string, std::unique_ptr<Counter>> Counters;
   std::map<std::string, std::unique_ptr<Histogram>> Histograms;
 };
 
-/// Bumps counter \p Name by \p N when the registry is enabled. The name is
-/// only materialized after the enabled check, so disabled call sites cost
-/// one atomic load.
+/// The registry obs helpers route to on this thread: the installed
+/// session scope's (obs/Scope.h) when a ScopeGuard is live, the global
+/// `Registry::instance()` otherwise. Defined in Scope.cpp.
+Registry &activeRegistry();
+
+/// Bumps counter \p Name by \p N when the active registry is enabled. The
+/// name is only materialized after the enabled check, so disabled call
+/// sites cost one thread-local read plus one atomic load.
 inline void addCounter(const char *Name, int64_t N = 1) {
-  Registry &R = Registry::instance();
+  Registry &R = activeRegistry();
   if (R.enabled())
     R.counter(Name).add(N);
 }
 inline void addCounter(const std::string &Name, int64_t N = 1) {
-  Registry &R = Registry::instance();
+  Registry &R = activeRegistry();
   if (R.enabled())
     R.counter(Name).add(N);
 }
 
-/// Records \p X into histogram \p Name when the registry is enabled.
+/// Records \p X into histogram \p Name when the active registry is enabled.
 inline void recordHistogram(const char *Name, double X) {
-  Registry &R = Registry::instance();
+  Registry &R = activeRegistry();
   if (R.enabled())
     R.histogram(Name).record(X);
 }
@@ -143,10 +150,15 @@ inline void recordHistogram(const char *Name, double X) {
 void setObservabilityEnabled(bool On);
 bool observabilityEnabled();
 
-/// Clears recorded spans and zeroes all metrics — counters, histograms,
-/// and the tracer (used by tests, by the driver between independent
-/// compilations, and by the bench harness between iterations so JSON
-/// dumps are per-iteration rather than cumulative).
+/// Clears every *global* observability registry: the Tracer's spans, the
+/// Registry's counters/histograms, the MetricsRegistry's histograms,
+/// gauges, windows, and cycle clock, and the FlightRecorder's per-thread
+/// rings. Used by tests, by the driver between independent compilations,
+/// and by the bench harness between iterations so JSON dumps are
+/// per-iteration rather than cumulative. Explicitly excluded: session
+/// scopes (obs/Scope.h) — a Scope's registries belong to its owner and
+/// are reset via Scope::reset(), never by this global sweep.
+/// tests/obs/ResetTest.cpp asserts this coverage contract.
 void resetAll();
 
 /// Alias of resetAll(), kept for existing call sites.

@@ -254,7 +254,7 @@ void MetricsRegistry::reset() {
 void pf::obs::recordMetricWindowed(const char *Name, TickDomain D,
                                    int64_t BucketWidth, int64_t Tick,
                                    double X) {
-  MetricsRegistry &M = MetricsRegistry::instance();
+  MetricsRegistry &M = activeMetrics();
   if (!M.enabled())
     return;
   M.histogram(Name).record(X);
@@ -300,13 +300,13 @@ std::string pf::obs::renderPrometheus() {
   std::string Out;
   Out += "# pimflow metrics exposition (Prometheus text format)\n";
 
-  for (const auto &[Name, V] : Registry::instance().counterSnapshot()) {
+  for (const auto &[Name, V] : activeRegistry().counterSnapshot()) {
     const std::string P = promName(Name);
     Out += "# TYPE " + P + " counter\n";
     appendSample(Out, P, static_cast<double>(V));
   }
 
-  for (const auto &[Name, V] : MetricsRegistry::instance().gaugeSnapshot()) {
+  for (const auto &[Name, V] : activeMetrics().gaugeSnapshot()) {
     const std::string P = promName(Name);
     Out += "# TYPE " + P + " gauge\n";
     appendSample(Out, P, V);
@@ -314,7 +314,7 @@ std::string pf::obs::renderPrometheus() {
 
   // Aggregate min/max histograms (obs::Registry): no quantiles, so they
   // export as summary {_sum,_count} plus explicit min/max gauges.
-  for (const auto &[Name, H] : Registry::instance().histogramSnapshot()) {
+  for (const auto &[Name, H] : activeRegistry().histogramSnapshot()) {
     const std::string P = promName(Name);
     Out += "# TYPE " + P + " summary\n";
     appendSample(Out, P + "_sum", H.Sum);
@@ -327,7 +327,7 @@ std::string pf::obs::renderPrometheus() {
 
   // HDR histograms: full summaries with bounded-error quantiles.
   for (const auto &[Name, Q] :
-       MetricsRegistry::instance().histogramSnapshot()) {
+       activeMetrics().histogramSnapshot()) {
     const std::string P = promName(Name);
     Out += "# HELP " + P + " log-linear histogram, quantile rel-error <= " +
            std::to_string(Q.RelErrorBound) + "\n";
@@ -342,7 +342,7 @@ std::string pf::obs::renderPrometheus() {
 
   // Sliding windows: trailing-span count/sum gauges, labeled with the
   // tick domain so readers know which clock the span is over.
-  for (const auto &[Name, W] : MetricsRegistry::instance().windowSnapshot()) {
+  for (const auto &[Name, W] : activeMetrics().windowSnapshot()) {
     const std::string P = promName(Name) + "_window";
     const std::string Label = std::string("{domain=\"") +
                               tickDomainName(W.Domain) + "\",span=\"" +

@@ -149,12 +149,15 @@ private:
   std::vector<Bucket> Buckets;
 };
 
-/// The process-wide streaming-metric registry. Returned references stay
-/// valid for the process lifetime; reset() zeroes values but never
-/// invalidates them. Enabled/disabled together with obs::Registry via
-/// obs::setObservabilityEnabled.
+/// A streaming-metric registry. The process-wide default lives behind
+/// `instance()` (enabled/disabled together with obs::Registry via
+/// obs::setObservabilityEnabled); additional instances back session
+/// scopes (obs/Scope.h). Returned references stay valid for the
+/// registry's lifetime; reset() zeroes values but never invalidates them.
 class MetricsRegistry {
 public:
+  MetricsRegistry() = default;
+
   static MetricsRegistry &instance();
 
   bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
@@ -188,8 +191,6 @@ public:
   void reset();
 
 private:
-  MetricsRegistry() = default;
-
   std::atomic<bool> Enabled{false};
   std::atomic<int64_t> CycleClock{0};
   mutable std::mutex Mu;
@@ -198,9 +199,14 @@ private:
   std::map<std::string, std::unique_ptr<SlidingWindow>> Windows;
 };
 
+/// The metrics registry obs helpers route to on this thread: the
+/// installed session scope's (obs/Scope.h) when a ScopeGuard is live, the
+/// global `MetricsRegistry::instance()` otherwise. Defined in Scope.cpp.
+MetricsRegistry &activeMetrics();
+
 /// Records \p X into HDR histogram \p Name when metrics are enabled.
 inline void recordMetric(const char *Name, double X) {
-  MetricsRegistry &M = MetricsRegistry::instance();
+  MetricsRegistry &M = activeMetrics();
   if (M.enabled())
     M.histogram(Name).record(X);
 }
@@ -213,14 +219,14 @@ void recordMetricWindowed(const char *Name, TickDomain D, int64_t BucketWidth,
 
 /// Sets gauge \p Name when metrics are enabled.
 inline void setGauge(const char *Name, double X) {
-  MetricsRegistry &M = MetricsRegistry::instance();
+  MetricsRegistry &M = activeMetrics();
   if (M.enabled())
     M.gauge(Name).set(X);
 }
 
 /// Advances the simulated-cycle clock when metrics are enabled.
 inline void advanceSimCycles(int64_t N) {
-  MetricsRegistry &M = MetricsRegistry::instance();
+  MetricsRegistry &M = activeMetrics();
   if (M.enabled())
     M.advanceCycles(N);
 }

@@ -197,7 +197,14 @@ std::string pf::obs::renderPerfReport(const CompileResult &R) {
         .endObject();
   }
 
-  const Registry &Reg = Registry::instance();
+  emitObsSections(W);
+
+  W.endObject();
+  return W.take();
+}
+
+void pf::obs::emitObsSections(JsonWriter &W) {
+  const Registry &Reg = activeRegistry();
   W.key("counters").beginObject();
   for (const auto &[Name, Value] : Reg.counterSnapshot())
     W.field(Name, Value);
@@ -205,7 +212,7 @@ std::string pf::obs::renderPerfReport(const CompileResult &R) {
 
   // Schema v2: the streaming-metric section. Every snapshot is sorted by
   // name, so two reports of the same run are byte-identical.
-  const MetricsRegistry &M = MetricsRegistry::instance();
+  const MetricsRegistry &M = activeMetrics();
   W.key("metrics").beginObject();
   W.key("histograms").beginObject();
   for (const auto &[Name, Q] : M.histogramSnapshot()) {
@@ -242,9 +249,6 @@ std::string pf::obs::renderPerfReport(const CompileResult &R) {
   }
   W.endObject();
   W.endObject();
-
-  W.endObject();
-  return W.take();
 }
 
 bool pf::obs::writePerfReport(const CompileResult &R,

@@ -42,6 +42,14 @@
 /// quantile histograms, gauges, sliding windows); every v1 key is
 /// unchanged, so v1 consumers keep working.
 ///
+/// Version 3 added the serving mode: the counter/metric namespace now
+/// carries `serve.*` families (request latency / queue-delay histograms,
+/// served/degraded/shed counters), the sections snapshot the *active*
+/// observability scope (obs/Scope.h) so a session can report on itself,
+/// and `pimflow serve --perf-report` emits the sibling document kind
+/// `pimflow-serve-report` (src/serve/ServeReport.h) sharing this version
+/// and the counters/metrics sections. Every v2 key is unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIMFLOW_OBS_PERFREPORT_H
@@ -57,10 +65,17 @@
 namespace pf::obs {
 
 /// Current report schema version.
-inline constexpr int PerfReportSchemaVersion = 2;
+inline constexpr int PerfReportSchemaVersion = 3;
 
 /// Renders the full performance report of \p R as JSON.
 std::string renderPerfReport(const CompileResult &R);
+
+/// Emits the shared `counters` and `metrics` report sections (snapshotted
+/// from the active observability scope, name-sorted for byte-stable
+/// output) into \p W, which must be positioned inside an open object.
+/// Used by renderPerfReport and by the serve report so both document
+/// kinds stay field-compatible.
+void emitObsSections(JsonWriter &W);
 
 /// Writes renderPerfReport(R) to \p Path; false on I/O failure.
 bool writePerfReport(const CompileResult &R, const std::string &Path);

@@ -1,0 +1,95 @@
+//===- obs/Scope.h - Session-scoped observability registries -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-session observability scopes (docs/INTERNALS.md section 13). The
+/// process-wide `Registry` / `MetricsRegistry` singletons make the engine
+/// non-reentrant: two concurrent `PimFlow` runs interleave their counters,
+/// quantiles, and gauges into one shared namespace, so neither run can be
+/// attributed afterwards. A `Scope` is a private pair of registries a
+/// caller (a serve `Session`, a bench iteration, a test) owns outright;
+/// installing it with a `ScopeGuard` reroutes every `obs::addCounter` /
+/// `obs::recordMetric` / `obs::setGauge` / `obs::advanceSimCycles` call on
+/// the *current thread* into the scope instead of the globals.
+///
+/// Routing is thread-local by design: concurrent sessions on different
+/// threads each see only their own scope, and a thread with no guard
+/// installed keeps the historical behaviour (the global singletons), so
+/// every existing one-shot CLI path is unchanged.
+///
+/// Deliberately global (documented exclusions, see `resetAll()`):
+///  - `Tracer`: an append-only, mutex-guarded span log whose `nowUs()`
+///    epoch is also the wall-tick domain for sliding windows; splitting it
+///    per scope would desynchronize timestamps across sessions.
+///  - `FlightRecorder`: crash forensics. Its per-thread bounded rings are
+///    already race-free, and a post-mortem wants the interleaved history
+///    of *all* sessions, not one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_OBS_SCOPE_H
+#define PIMFLOW_OBS_SCOPE_H
+
+#include "obs/Counters.h"
+#include "obs/Metrics.h"
+
+namespace pf::obs {
+
+/// A private observability namespace: one counter/histogram registry plus
+/// one streaming-metrics registry, constructed enabled (a scope exists to
+/// collect; the global on/off switch only governs the global registries).
+/// Scopes are cheap enough to create per request and must outlive any
+/// ScopeGuard installing them.
+class Scope {
+public:
+  Scope() {
+    Reg.setEnabled(true);
+    Met.setEnabled(true);
+  }
+
+  Scope(const Scope &) = delete;
+  Scope &operator=(const Scope &) = delete;
+
+  Registry &registry() { return Reg; }
+  const Registry &registry() const { return Reg; }
+  MetricsRegistry &metrics() { return Met; }
+  const MetricsRegistry &metrics() const { return Met; }
+
+  /// Zeroes both registries (registrations survive, like the globals).
+  void reset() {
+    Reg.reset();
+    Met.reset();
+  }
+
+private:
+  Registry Reg;
+  MetricsRegistry Met;
+};
+
+/// RAII installer: routes this thread's obs helpers into \p S for the
+/// guard's lifetime, restoring the previous scope (usually none — the
+/// globals) on destruction. Guards nest; the innermost wins. A guard is
+/// thread-affine: it routes only the constructing thread, so work handed
+/// to a pool must install its own guard inside the pool task.
+class ScopeGuard {
+public:
+  explicit ScopeGuard(Scope &S);
+  ~ScopeGuard();
+
+  ScopeGuard(const ScopeGuard &) = delete;
+  ScopeGuard &operator=(const ScopeGuard &) = delete;
+
+private:
+  Scope *Prev;
+};
+
+/// The scope installed on the current thread, or nullptr when obs calls
+/// route to the global singletons.
+Scope *currentScope();
+
+} // namespace pf::obs
+
+#endif // PIMFLOW_OBS_SCOPE_H

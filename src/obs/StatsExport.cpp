@@ -75,7 +75,7 @@ std::string pf::obs::renderStatsJson(const CompileResult &R,
         .endObject();
   }
 
-  const Registry &Reg = Registry::instance();
+  const Registry &Reg = activeRegistry();
   W.key("counters").beginObject();
   for (const auto &[Name, Value] : Reg.counterSnapshot())
     W.field(Name, Value);
@@ -96,7 +96,7 @@ std::string pf::obs::renderStatsJson(const CompileResult &R,
 
   // Streaming metrics (obs/Metrics): quantile histograms and gauges, both
   // name-sorted like every other section so stats dumps diff cleanly.
-  const MetricsRegistry &M = MetricsRegistry::instance();
+  const MetricsRegistry &M = activeMetrics();
   W.key("metrics").beginObject();
   W.key("histograms").beginObject();
   for (const auto &[Name, Q] : M.histogramSnapshot()) {

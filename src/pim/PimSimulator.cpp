@@ -24,7 +24,7 @@ constexpr int64_t ChannelCycleBucket = 1'000'000;
 /// `pim.channel_cycles` quantile histogram plus its simulated-cycle
 /// window, keyed by the logical cycle clock the simulator advances.
 void recordChannelCycles(int64_t Cycles) {
-  pf::obs::MetricsRegistry &M = pf::obs::MetricsRegistry::instance();
+  pf::obs::MetricsRegistry &M = pf::obs::activeMetrics();
   if (!M.enabled())
     return;
   M.advanceCycles(Cycles);

@@ -1,0 +1,62 @@
+//===- runtime/ChannelAllocator.cpp - PIM channel arbitration -------------===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ChannelAllocator.h"
+
+#include "support/Assert.h"
+
+namespace pf {
+
+ChannelAllocator::ChannelAllocator(int PoolSize)
+    : Pool(PoolSize), InUse(static_cast<size_t>(PoolSize > 0 ? PoolSize : 0),
+                            false),
+      Free(PoolSize > 0 ? PoolSize : 0) {
+  PF_ASSERT(PoolSize >= 0, "negative PIM channel pool");
+}
+
+std::optional<ChannelGrant> ChannelAllocator::tryAcquire(int Want, int Min) {
+  if (Want < 0)
+    Want = 0;
+  if (Min < 0)
+    Min = 0;
+  if (Min > Want)
+    Min = Want;
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  ChannelGrant G;
+  G.Wanted = Want;
+  const int Give = Free >= Want ? Want : (Min > 0 && Free >= Min ? Free : -1);
+  if (Give < 0)
+    return std::nullopt;
+  G.Channels.reserve(static_cast<size_t>(Give));
+  for (int Ch = 0; Ch < Pool && G.granted() < Give; ++Ch) {
+    if (InUse[static_cast<size_t>(Ch)])
+      continue;
+    InUse[static_cast<size_t>(Ch)] = true;
+    G.Channels.push_back(Ch);
+  }
+  PF_ASSERT(G.granted() == Give, "free-count / free-list disagreement");
+  Free -= Give;
+  return G;
+}
+
+void ChannelAllocator::release(const ChannelGrant &G) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (int Ch : G.Channels) {
+    PF_ASSERT(Ch >= 0 && Ch < Pool, "released channel outside the pool");
+    PF_ASSERT(InUse[static_cast<size_t>(Ch)],
+              "double release of a PIM channel");
+    InUse[static_cast<size_t>(Ch)] = false;
+    ++Free;
+  }
+}
+
+int ChannelAllocator::freeCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Free;
+}
+
+} // namespace pf

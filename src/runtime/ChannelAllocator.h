@@ -1,0 +1,81 @@
+//===- runtime/ChannelAllocator.h - PIM channel arbitration -----*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic arbitration of the PIM-enabled channel group between concurrent
+/// plans (docs/INTERNALS.md section 13). The paper's channel split is
+/// static — one model owns all Pim.Channels for its whole run. A serving
+/// deployment multiplexes that group: every in-flight request holds an
+/// exclusive grant over a subset of the physical PIM channel ids, and a
+/// request whose planned channel count is unavailable either waits, runs
+/// degraded on fewer channels (the PR 4 recovery ladder's remap semantics:
+/// same plan, shrunken `Pim.Channels`), or falls back to the GPU floor.
+///
+/// Grants are deterministic: the lowest-numbered free channels win, so a
+/// given admission order always produces the same channel sets regardless
+/// of which worker thread asks. The allocator never over-commits — a
+/// channel id is in at most one live grant, which is what the
+/// channel-pressure tests pin down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_RUNTIME_CHANNELALLOCATOR_H
+#define PIMFLOW_RUNTIME_CHANNELALLOCATOR_H
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace pf {
+
+/// An exclusive claim over a set of PIM channel ids. Returned by
+/// ChannelAllocator::tryAcquire and surrendered via release(); holding a
+/// grant is the only way a plan may execute on PIM channels.
+struct ChannelGrant {
+  /// The granted physical channel ids, ascending.
+  std::vector<int> Channels;
+  /// The count the plan originally asked for (Channels.size() < Wanted
+  /// means the grant is degraded).
+  int Wanted = 0;
+
+  int granted() const { return static_cast<int>(Channels.size()); }
+  bool degraded() const { return granted() < Wanted; }
+};
+
+/// Mutex-guarded free-list of PIM channel ids [0, poolSize). Thread-safe;
+/// all outcomes depend only on the sequence of acquire/release calls, not
+/// on thread identity.
+class ChannelAllocator {
+public:
+  explicit ChannelAllocator(int PoolSize);
+
+  /// Tries to claim \p Want channels. Grants the \p Want lowest-numbered
+  /// free channels when enough are free; otherwise, when at least \p Min
+  /// (> 0) are free, grants *all* free channels as a degraded set; else
+  /// returns nullopt (caller waits or takes the GPU floor). \p Min is
+  /// clamped to [0, Want]; Want <= 0 yields an empty (GPU-only) grant.
+  std::optional<ChannelGrant> tryAcquire(int Want, int Min);
+
+  /// Returns every channel of \p G to the free list. A grant must be
+  /// released exactly once; double-release asserts.
+  void release(const ChannelGrant &G);
+
+  int poolSize() const { return Pool; }
+  /// Channels currently free (snapshot; racy under concurrency, exact
+  /// under the serve loop's single-threaded admission).
+  int freeCount() const;
+
+private:
+  const int Pool;
+  mutable std::mutex Mu;
+  std::vector<bool> InUse; ///< indexed by channel id
+  int Free;                ///< invariant: count of false entries in InUse
+};
+
+} // namespace pf
+
+#endif // PIMFLOW_RUNTIME_CHANNELALLOCATOR_H

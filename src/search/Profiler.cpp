@@ -142,7 +142,7 @@ double Profiler::measure(const std::string &Key,
 
   Misses.fetch_add(1, std::memory_order_relaxed);
   obs::addCounter("profiler.cache_misses");
-  const bool Observed = obs::Registry::instance().enabled();
+  const bool Observed = obs::activeRegistry().enabled();
   const double StartUs = Observed ? obs::Tracer::instance().nowUs() : 0.0;
   double Ns;
   try {

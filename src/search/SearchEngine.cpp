@@ -312,7 +312,7 @@ ExecutionPlan SearchEngine::search(const Graph &G) {
   Plan.PredictedNs = Best[0];
   obs::addCounter("search.segments",
                   static_cast<int64_t>(Plan.Segments.size()));
-  if (obs::Registry::instance().enabled())
+  if (obs::activeRegistry().enabled())
     for (const SegmentPlan &S : Plan.Segments)
       obs::recordHistogram("search.segment_predicted_us",
                            S.PredictedNs / 1e3);

@@ -1,0 +1,98 @@
+//===- serve/LoadGen.cpp - Deterministic closed-loop load generator -------===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/LoadGen.h"
+
+#include <cmath>
+
+#include "support/Assert.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/StringUtil.h"
+
+using namespace pf;
+using namespace pf::serve;
+
+bool LoadSpec::parse(const std::string &Spec, LoadSpec &Out,
+                     DiagnosticEngine &DE) {
+  if (Spec.empty())
+    return true;
+  bool Ok = true;
+  auto Bad = [&](const std::string &Entry, const char *Why) {
+    DE.error(DiagCode::ServeBadSpec, Entry, Why);
+    Ok = false;
+  };
+  for (const std::string &Entry : split(Spec, ',')) {
+    const size_t Colon = Entry.find(':');
+    if (Colon == std::string::npos) {
+      Bad(Entry, "expected key:value");
+      continue;
+    }
+    const std::string Key = Entry.substr(0, Colon);
+    const std::string Val = Entry.substr(Colon + 1);
+    if (Key == "count") {
+      auto N = parseInt(Val);
+      if (!N || *N <= 0 || *N > 1'000'000)
+        Bad(Entry, "count must be an integer in [1, 1000000]");
+      else
+        Out.Count = static_cast<int>(*N);
+    } else if (Key == "seed") {
+      auto S = parseUint(Val);
+      if (!S)
+        Bad(Entry, "seed must be an unsigned integer");
+      else
+        Out.Seed = *S;
+    } else if (Key == "mean-gap-us") {
+      auto G = parseInt(Val);
+      if (!G || *G < 0)
+        Bad(Entry, "mean-gap-us must be a non-negative integer");
+      else
+        Out.MeanGapUs = static_cast<double>(*G);
+    } else if (Key == "batch") {
+      std::vector<int> Batches;
+      for (const std::string &B : split(Val, '|')) {
+        auto N = parseInt(B);
+        if (!N || *N <= 0 || *N > 1024) {
+          Bad(Entry, "batch sizes must be integers in [1, 1024]");
+          Batches.clear();
+          break;
+        }
+        Batches.push_back(static_cast<int>(*N));
+      }
+      if (!Batches.empty())
+        Out.Batches = std::move(Batches);
+    } else {
+      Bad(Entry, "unknown key (expected count/seed/mean-gap-us/batch)");
+    }
+  }
+  return Ok;
+}
+
+std::vector<Request> pf::serve::generateRequests(const LoadSpec &Spec,
+                                                 int NumModels) {
+  PF_ASSERT(NumModels > 0, "load generation needs at least one model");
+  PF_ASSERT(!Spec.Batches.empty(), "load generation needs a batch list");
+  Rng R(Spec.Seed);
+  std::vector<Request> Out;
+  Out.reserve(static_cast<size_t>(Spec.Count));
+  int64_t Clock = 0;
+  for (int Id = 0; Id < Spec.Count; ++Id) {
+    // Exponential inter-arrival with mean MeanGapUs, truncated to whole
+    // nanoseconds so arrival times are integers (byte-stable summaries).
+    const double U = R.nextDouble(); // [0, 1)
+    const double GapUs = Spec.MeanGapUs * -std::log1p(-U);
+    Clock += static_cast<int64_t>(GapUs * 1e3);
+    Request Q;
+    Q.Id = Id;
+    Q.ArrivalNs = Clock;
+    Q.ModelIdx = static_cast<int>(R.nextBelow(
+        static_cast<uint64_t>(NumModels)));
+    Q.Batch = Spec.Batches[static_cast<size_t>(
+        R.nextBelow(Spec.Batches.size()))];
+    Out.push_back(Q);
+  }
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- serve/LoadGen.h - Deterministic closed-loop load generator -*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seeded request stream behind `pimflow serve` (docs/INTERNALS.md
+/// section 13). A `LoadSpec` is parsed from the `--requests=` grammar:
+///
+///   count:<N>,seed:<S>,mean-gap-us:<G>,batch:<B1|B2|...>
+///
+/// e.g. `count:24,seed:7,mean-gap-us:150,batch:1|2|4`. Every field is
+/// optional; unknown keys are serve.bad-spec diagnostics. Generation is
+/// the determinism contract the serve tests pin down: one `pf::Rng`
+/// seeded with `seed`, drawing per request (in request-id order) the
+/// inter-arrival gap (exponential with mean `mean-gap-us`, truncated to
+/// whole nanoseconds), the model (uniform over the serve model list, in
+/// CLI order), and the batch size (uniform over the `batch` list, in
+/// spec order). The stream therefore depends only on the spec and the
+/// model-list order — never on thread count, wall clock, or platform
+/// libm quirks (the exponential uses a fixed log() of a 53-bit uniform,
+/// which is exactly reproducible under IEEE-754).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SERVE_LOADGEN_H
+#define PIMFLOW_SERVE_LOADGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/Diagnostics.h"
+
+namespace pf::serve {
+
+/// Parsed `--requests=` spec.
+struct LoadSpec {
+  int Count = 32;
+  uint64_t Seed = 1;
+  double MeanGapUs = 200.0;
+  /// Candidate batch sizes, drawn uniformly per request.
+  std::vector<int> Batches = {1};
+
+  /// Parses the spec grammar above. Returns false and serve.bad-spec
+  /// diagnostics in \p DE on malformed input; an empty spec is the
+  /// defaults.
+  static bool parse(const std::string &Spec, LoadSpec &Out,
+                    DiagnosticEngine &DE);
+};
+
+/// One generated inference request.
+struct Request {
+  int Id = 0;        ///< dense [0, Count), also the arrival tie-break
+  int ModelIdx = 0;  ///< index into the serve model list
+  int Batch = 1;
+  int64_t ArrivalNs = 0; ///< virtual arrival time
+};
+
+/// Expands \p Spec into its request stream over \p NumModels models
+/// (> 0). Deterministic in (Spec, NumModels); arrival times are
+/// non-decreasing and ids are dense in arrival order.
+std::vector<Request> generateRequests(const LoadSpec &Spec, int NumModels);
+
+} // namespace pf::serve
+
+#endif // PIMFLOW_SERVE_LOADGEN_H

@@ -1,0 +1,88 @@
+//===- serve/ServeReport.cpp - Serve-mode perf report ---------------------===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeReport.h"
+
+#include "obs/PerfReport.h"
+
+using namespace pf;
+using namespace pf::serve;
+
+std::string pf::serve::renderServeReport(const ServeResult &R) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.field("schema_version", obs::PerfReportSchemaVersion);
+  W.field("kind", "pimflow-serve-report");
+  W.field("policy", R.PolicyName);
+  W.key("models").beginArray();
+  for (const std::string &Name : R.ModelNames)
+    W.value(Name);
+  W.endArray();
+
+  W.key("config")
+      .beginObject()
+      .field("planned_channels", R.PlannedChannels)
+      .field("channel_pool", R.PoolChannels)
+      .field("floor", R.Floor)
+      .field("max_inflight", R.MaxInflight)
+      .field("max_queue", R.MaxQueue)
+      .field("seed", static_cast<int64_t>(R.Seed))
+      .endObject();
+
+  W.key("outcomes")
+      .beginObject()
+      .field("requests", static_cast<int64_t>(R.Sessions.size()))
+      .field("served", R.Served)
+      .field("degraded", R.Degraded)
+      .field("floor_fallbacks", R.FloorFallbacks)
+      .field("shed", R.Shed)
+      .endObject();
+
+  // Exact nearest-rank percentiles (integer virtual ns), as opposed to
+  // the bounded-error quantiles of the serve.* HDR histograms below.
+  W.key("request_latency_ns")
+      .beginObject()
+      .field("p50", R.LatencyP50Ns)
+      .field("p99", R.LatencyP99Ns)
+      .field("max", R.LatencyMaxNs)
+      .endObject();
+  W.key("queue_delay_ns")
+      .beginObject()
+      .field("p50", R.QueueDelayP50Ns)
+      .field("p99", R.QueueDelayP99Ns)
+      .endObject();
+  W.field("total_energy_j", R.TotalEnergyJ);
+
+  W.key("requests").beginArray();
+  for (const auto &SP : R.Sessions) {
+    const Session &S = *SP;
+    W.beginObject()
+        .field("id", S.Req.Id)
+        .field("model",
+               R.ModelNames[static_cast<size_t>(S.Req.ModelIdx)])
+        .field("batch", S.Req.Batch)
+        .field("outcome", outcomeName(S.Outcome))
+        .field("channels_granted", S.channelsGranted())
+        .field("channels_wanted", S.ChannelsWanted)
+        .field("arrival_ns", S.Req.ArrivalNs)
+        .field("start_ns", S.StartNs)
+        .field("end_ns", S.EndNs)
+        .endObject();
+  }
+  W.endArray();
+
+  // The shared schema-v3 sections: counters and metrics from the active
+  // scope (where Server::run recorded the serve.* families).
+  obs::emitObsSections(W);
+
+  W.endObject();
+  return W.take();
+}
+
+bool pf::serve::writeServeReport(const ServeResult &R,
+                                 const std::string &Path) {
+  return obs::writeTextFile(Path, renderServeReport(R));
+}

@@ -1,0 +1,34 @@
+//===- serve/ServeReport.h - Serve-mode perf report -------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving sibling of obs/PerfReport: a schema-v3 JSON document of
+/// kind `pimflow-serve-report` carrying the per-request outcome table,
+/// exact request-latency / queue-delay percentiles, and the shared
+/// counters/metrics sections (obs::emitObsSections) snapshotted from the
+/// caller's scope — where the serve.* histogram families recorded by
+/// Server::run live. `pimflow serve --perf-report=<path>` writes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SERVE_SERVEREPORT_H
+#define PIMFLOW_SERVE_SERVEREPORT_H
+
+#include <string>
+
+#include "serve/Server.h"
+
+namespace pf::serve {
+
+/// Renders the serve report of \p R as JSON.
+std::string renderServeReport(const ServeResult &R);
+
+/// Writes renderServeReport(R) to \p Path; false on I/O failure.
+bool writeServeReport(const ServeResult &R, const std::string &Path);
+
+} // namespace pf::serve
+
+#endif // PIMFLOW_SERVE_SERVEREPORT_H

@@ -1,0 +1,416 @@
+//===- serve/Server.cpp - Closed-loop multi-tenant serving ----------------===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <future>
+#include <map>
+#include <queue>
+
+#include "obs/Json.h"
+#include "support/Format.h"
+#include "support/Log.h"
+#include "support/ThreadPool.h"
+
+using namespace pf;
+using namespace pf::serve;
+
+const char *pf::serve::outcomeName(RequestOutcome O) {
+  switch (O) {
+  case RequestOutcome::Served:
+    return "served";
+  case RequestOutcome::Degraded:
+    return "degraded";
+  case RequestOutcome::FloorFallback:
+    return "floor";
+  case RequestOutcome::Shed:
+    return "shed";
+  }
+  pf_unreachable("unknown request outcome");
+}
+
+Server::Server(std::vector<std::pair<std::string, Graph>> InModels,
+               ServerOptions O)
+    : Options(O),
+      Planned(O.Policy == OffloadPolicy::GpuOnly ? 0 : O.Flow.PimChannels),
+      Pool(Planned == 0        ? 0
+           : O.PoolChannels > 0 ? O.PoolChannels
+                                : Planned),
+      Flow(O.Policy, O.Flow) {
+  PF_ASSERT(!InModels.empty(), "serve needs at least one model");
+  for (auto &[Name, G] : InModels) {
+    PreparedModel PM;
+    PM.Name = Name;
+    PM.Model = std::move(G);
+    PM.Materialized = Graph("unprepared");
+    PM.FloorDemoted = Graph("unprepared");
+    Models.push_back(std::move(PM));
+  }
+}
+
+SystemConfig Server::configFor(int GrantedChannels) const {
+  // Mirrors the recovery ladder's remap: the plan stays fixed and only
+  // Pim.Channels shrinks to the granted count (GPU lanes keep the planned
+  // grouping — physically the ungranted PIM channels belong to *other*
+  // sessions, not to this request's GPU).
+  SystemConfig C = Flow.config();
+  C.Pim.Channels = GrantedChannels;
+  return C;
+}
+
+void Server::prepare() {
+  if (Prepared)
+    return;
+  Prepared = true;
+
+  const int Floor = std::clamp(Options.Flow.PimFloor, 0, Planned);
+  for (PreparedModel &PM : Models) {
+    // plan() consults the plan cache when configured, so a serve start
+    // replays PR 7 artifacts instead of re-searching warm models.
+    ExecutionPlan Plan = Flow.plan(PM.Model);
+    PM.Materialized = Flow.materialize(PM.Model, Plan);
+    // The GPU floor: the same transformed graph with every PIM node
+    // demoted — the recovery ladder's whole-graph fallback, precomputed
+    // once since serve falls back per request, not per fault.
+    PM.FloorDemoted = PM.Materialized;
+    for (const Node &N : PM.FloorDemoted.nodes())
+      if (!N.Dead && N.Dev == Device::Pim)
+        PM.FloorDemoted.node(N.Id).Dev = Device::Gpu;
+    PM.UnitNsByChannels.assign(static_cast<size_t>(Planned) + 1, 0.0);
+    PM.UnitEnergyJByChannels.assign(static_cast<size_t>(Planned) + 1, 0.0);
+  }
+
+  // Price every reachable (model, granted-channels) pair once, in
+  // parallel: c = 0 is the GPU floor, c in [max(1, Floor), MaxGrant] the
+  // (possibly degraded) PIM grants — a grant never exceeds the smaller of
+  // the plan's want and the pool. Each entry runs under a throwaway
+  // scope so pricing never pollutes the caller's registries, and the
+  // result depends only on (graph, config) — not on evaluation order.
+  struct Entry {
+    size_t ModelIdx;
+    int Channels;
+  };
+  const int MaxGrant = std::min(Planned, Pool);
+  std::vector<Entry> Entries;
+  for (size_t M = 0; M < Models.size(); ++M) {
+    Entries.push_back({M, 0});
+    for (int C = std::max(1, Floor); C <= MaxGrant; ++C)
+      Entries.push_back({M, C});
+  }
+  ThreadPool Pool(static_cast<unsigned>(std::max(1, Options.Jobs)));
+  Pool.parallelFor(Entries.size(), [&](size_t I) {
+    const Entry &E = Entries[I];
+    PreparedModel &PM = Models[E.ModelIdx];
+    obs::Scope Throwaway;
+    obs::ScopeGuard Guard(Throwaway);
+    ExecutionEngine Engine(configFor(E.Channels));
+    const Timeline TL =
+        Engine.execute(E.Channels > 0 ? PM.Materialized : PM.FloorDemoted);
+    PM.UnitNsByChannels[static_cast<size_t>(E.Channels)] = TL.TotalNs;
+    PM.UnitEnergyJByChannels[static_cast<size_t>(E.Channels)] = TL.EnergyJ;
+  });
+}
+
+ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
+  prepare();
+
+  const int Floor = std::clamp(Options.Flow.PimFloor, 0, Planned);
+  const int MaxInflight = std::max(1, Options.MaxInflight);
+  const int MaxQueue = std::max(0, Options.MaxQueue);
+
+  ServeResult R;
+  for (const PreparedModel &PM : Models)
+    R.ModelNames.push_back(PM.Name);
+  R.PolicyName = policyName(Options.Policy);
+  R.PlannedChannels = Planned;
+  R.PoolChannels = Pool;
+  R.Floor = Floor;
+  R.MaxInflight = MaxInflight;
+  R.MaxQueue = MaxQueue;
+  R.Seed = Spec.Seed;
+
+  const std::vector<Request> Requests =
+      generateRequests(Spec, static_cast<int>(Models.size()));
+  R.Sessions.reserve(Requests.size());
+  for (const Request &Q : Requests) {
+    auto S = std::make_unique<Session>();
+    S->Req = Q;
+    S->ChannelsWanted = Planned;
+    R.Sessions.push_back(std::move(S));
+  }
+
+  ChannelAllocator Alloc(Pool);
+  ThreadPool Pool(static_cast<unsigned>(std::max(1, Options.Jobs)));
+
+  // Each admitted request's engine run, re-executed for real under the
+  // session's private scope. The virtual completion time comes from the
+  // duration table, so worker timing never reorders the event loop; the
+  // run result is cross-checked against the table below.
+  struct RunResult {
+    double TotalNs = 0.0;
+    int MissingNodes = 0;
+  };
+  std::vector<std::pair<size_t, std::future<RunResult>>> Runs;
+  auto submitRun = [&](Session &S) {
+    const size_t Idx = static_cast<size_t>(S.Req.Id);
+    const int C = S.channelsGranted();
+    Runs.emplace_back(Idx, Pool.submit([this, &S, C]() -> RunResult {
+      obs::ScopeGuard Guard(S.Scope);
+      const PreparedModel &PM =
+          Models[static_cast<size_t>(S.Req.ModelIdx)];
+      const Graph &G = C > 0 ? PM.Materialized : PM.FloorDemoted;
+      ExecutionEngine Engine(configFor(C));
+      const Timeline TL = Engine.execute(G);
+      RunResult RR;
+      RR.TotalNs = TL.TotalNs;
+      // Partially-executed-timeline guard: every live node must have a
+      // schedule entry. Probed with find() — absence is a diagnostic
+      // (serve.timeline-gap), never a fatal() killing the server.
+      for (const Node &N : G.nodes())
+        if (!N.Dead && !TL.find(N.Id))
+          ++RR.MissingNodes;
+      if (RR.MissingNodes > 0)
+        obs::addCounter("serve.timeline_gaps", RR.MissingNodes);
+      return RR;
+    }));
+  };
+
+  // The discrete-event loop: single-threaded, over virtual nanoseconds.
+  struct Completion {
+    int64_t EndNs;
+    int Id;
+    bool operator>(const Completion &O) const {
+      return EndNs != O.EndNs ? EndNs > O.EndNs : Id > O.Id;
+    }
+  };
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      Completions;
+  std::deque<int> Waiting;
+  std::map<int, ChannelGrant> LiveGrants;
+  int Inflight = 0;
+
+  auto start = [&](Session &S, int64_t Now) {
+    S.StartNs = Now;
+    int C = 0;
+    if (auto Grant = Alloc.tryAcquire(Planned, Floor)) {
+      C = Grant->granted();
+      S.Outcome = Grant->degraded() ? RequestOutcome::Degraded
+                                    : RequestOutcome::Served;
+      S.Channels = Grant->Channels;
+      LiveGrants.emplace(S.Req.Id, std::move(*Grant));
+    } else {
+      S.Outcome = RequestOutcome::FloorFallback;
+    }
+    const PreparedModel &PM = Models[static_cast<size_t>(S.Req.ModelIdx)];
+    S.UnitNs = PM.UnitNsByChannels[static_cast<size_t>(C)];
+    S.UnitEnergyJ = PM.UnitEnergyJByChannels[static_cast<size_t>(C)];
+    // Micro-batching: a batch-B request replays the unit run B times
+    // back to back on its granted channels.
+    const int64_t ServiceNs = std::max<int64_t>(
+        1, std::llround(S.UnitNs * static_cast<double>(S.Req.Batch)));
+    S.EndNs = Now + ServiceNs;
+    Completions.push({S.EndNs, S.Req.Id});
+    ++Inflight;
+    submitRun(S);
+  };
+
+  size_t NextArrival = 0;
+  while (NextArrival < Requests.size() || !Completions.empty()) {
+    // Completions first at a tied timestamp: freed capacity and channels
+    // are visible to an arrival at the same virtual instant.
+    const bool TakeCompletion =
+        !Completions.empty() &&
+        (NextArrival >= Requests.size() ||
+         Completions.top().EndNs <= Requests[NextArrival].ArrivalNs);
+    if (TakeCompletion) {
+      const Completion Done = Completions.top();
+      Completions.pop();
+      auto It = LiveGrants.find(Done.Id);
+      if (It != LiveGrants.end()) {
+        Alloc.release(It->second);
+        LiveGrants.erase(It);
+      }
+      --Inflight;
+      while (!Waiting.empty() && Inflight < MaxInflight) {
+        Session &Next = *R.Sessions[static_cast<size_t>(Waiting.front())];
+        Waiting.pop_front();
+        start(Next, Done.EndNs);
+      }
+      continue;
+    }
+    const Request &Q = Requests[NextArrival++];
+    Session &S = *R.Sessions[static_cast<size_t>(Q.Id)];
+    if (Inflight < MaxInflight) {
+      start(S, Q.ArrivalNs);
+    } else if (static_cast<int>(Waiting.size()) < MaxQueue) {
+      Waiting.push_back(Q.Id);
+    } else {
+      S.Outcome = RequestOutcome::Shed;
+      S.StartNs = S.EndNs = Q.ArrivalNs;
+    }
+  }
+  PF_ASSERT(Inflight == 0 && LiveGrants.empty() && Waiting.empty(),
+            "serve event loop finished with live state");
+
+  // Drain the real runs and cross-check them against the duration table:
+  // a session's engine run must price exactly like the pricing pass (same
+  // graph, same config, deterministic engine) or the table lied.
+  for (auto &[Idx, Fut] : Runs) {
+    const RunResult RR = Fut.get();
+    Session &S = *R.Sessions[Idx];
+    PF_ASSERT(std::abs(RR.TotalNs - S.UnitNs) < 0.5,
+              "session run disagrees with the duration table");
+    if (RR.MissingNodes > 0 && DE)
+      DE->warning(DiagCode::ServeTimelineGap,
+                  formatStr("request %d", S.Req.Id),
+                  formatStr("%d node(s) missing from the executed "
+                            "timeline",
+                            RR.MissingNodes));
+  }
+
+  // Aggregates + the serve.* families, recorded into the caller's scope
+  // in request-id order so exports are deterministic.
+  std::vector<int64_t> Latencies, QueueDelays;
+  for (const auto &SP : R.Sessions) {
+    const Session &S = *SP;
+    obs::addCounter("serve.requests");
+    switch (S.Outcome) {
+    case RequestOutcome::Served:
+      ++R.Served;
+      obs::addCounter("serve.served");
+      break;
+    case RequestOutcome::Degraded:
+      ++R.Degraded;
+      obs::addCounter("serve.degraded");
+      break;
+    case RequestOutcome::FloorFallback:
+      ++R.FloorFallbacks;
+      obs::addCounter("serve.floor_fallbacks");
+      break;
+    case RequestOutcome::Shed:
+      ++R.Shed;
+      obs::addCounter("serve.shed");
+      break;
+    }
+    if (!S.ran())
+      continue;
+    Latencies.push_back(S.latencyNs());
+    QueueDelays.push_back(S.queueDelayNs());
+    R.TotalEnergyJ += S.UnitEnergyJ * S.Req.Batch;
+    obs::recordMetric("serve.request_latency_ns",
+                      static_cast<double>(S.latencyNs()));
+    obs::recordMetric("serve.queue_delay_ns",
+                      static_cast<double>(S.queueDelayNs()));
+    obs::recordMetric("serve.service_ns",
+                      static_cast<double>(S.serviceNs()));
+  }
+
+  // Exact nearest-rank percentiles over integer ns: byte-stable, unlike
+  // the HDR histograms' bounded-error quantiles.
+  auto Rank = [](std::vector<int64_t> &V, double Q) -> int64_t {
+    if (V.empty())
+      return 0;
+    std::sort(V.begin(), V.end());
+    const size_t N = V.size();
+    size_t K = static_cast<size_t>(
+        std::ceil(Q * static_cast<double>(N)));
+    if (K == 0)
+      K = 1;
+    return V[std::min(N, K) - 1];
+  };
+  R.LatencyP50Ns = Rank(Latencies, 0.50);
+  R.LatencyP99Ns = Rank(Latencies, 0.99);
+  R.LatencyMaxNs = Latencies.empty() ? 0 : Latencies.back();
+  R.QueueDelayP50Ns = Rank(QueueDelays, 0.50);
+  R.QueueDelayP99Ns = Rank(QueueDelays, 0.99);
+
+  PF_LOG_INFO("serve: %d requests -> %d served, %d degraded, %d floor, "
+              "%d shed (latency p50 %lld ns, p99 %lld ns)",
+              static_cast<int>(R.Sessions.size()), R.Served, R.Degraded,
+              R.FloorFallbacks, R.Shed,
+              static_cast<long long>(R.LatencyP50Ns),
+              static_cast<long long>(R.LatencyP99Ns));
+  return R;
+}
+
+std::string pf::serve::renderServeSummary(const ServeResult &R) {
+  std::string Out = "# pimflow serve summary\n";
+  Out += "models:";
+  for (size_t I = 0; I < R.ModelNames.size(); ++I)
+    Out += (I ? "," : " ") + R.ModelNames[I];
+  Out += "\n";
+  Out += formatStr("policy: %s planned_channels: %d channel_pool: %d "
+                   "floor: %d max_inflight: %d max_queue: %d seed: %llu\n",
+                   R.PolicyName.c_str(), R.PlannedChannels, R.PoolChannels,
+                   R.Floor, R.MaxInflight, R.MaxQueue,
+                   static_cast<unsigned long long>(R.Seed));
+  for (const auto &SP : R.Sessions) {
+    const Session &S = *SP;
+    Out += formatStr(
+        "req %04d model=%s batch=%d outcome=%s channels=%d/%d "
+        "arrival_ns=%lld start_ns=%lld end_ns=%lld queue_ns=%lld "
+        "latency_ns=%lld\n",
+        S.Req.Id,
+        R.ModelNames[static_cast<size_t>(S.Req.ModelIdx)].c_str(),
+        S.Req.Batch, outcomeName(S.Outcome), S.channelsGranted(),
+        S.ChannelsWanted, static_cast<long long>(S.Req.ArrivalNs),
+        static_cast<long long>(S.StartNs),
+        static_cast<long long>(S.EndNs),
+        static_cast<long long>(S.ran() ? S.queueDelayNs() : 0),
+        static_cast<long long>(S.ran() ? S.latencyNs() : 0));
+  }
+  Out += formatStr("outcomes: served=%d degraded=%d floor=%d shed=%d\n",
+                   R.Served, R.Degraded, R.FloorFallbacks, R.Shed);
+  Out += formatStr("latency_ns: p50=%lld p99=%lld max=%lld\n",
+                   static_cast<long long>(R.LatencyP50Ns),
+                   static_cast<long long>(R.LatencyP99Ns),
+                   static_cast<long long>(R.LatencyMaxNs));
+  Out += formatStr("queue_delay_ns: p50=%lld p99=%lld\n",
+                   static_cast<long long>(R.QueueDelayP50Ns),
+                   static_cast<long long>(R.QueueDelayP99Ns));
+  return Out;
+}
+
+std::string pf::serve::renderServeBenchJson(const ServeResult &R) {
+  std::string Mix;
+  for (size_t I = 0; I < R.ModelNames.size(); ++I)
+    Mix += (I ? "+" : "") + R.ModelNames[I];
+
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("results").beginArray();
+  auto Row = [&](const char *Key, double EndToEndNs, double EnergyJ) {
+    W.beginObject()
+        .field("figure", "Serve")
+        .field("key", Key)
+        .field("model", Mix)
+        .field("policy", R.PolicyName)
+        .field("end_to_end_ns", EndToEndNs)
+        .field("energy_j", EnergyJ);
+    W.key("counters")
+        .beginObject()
+        .field("serve.served", static_cast<int64_t>(R.Served))
+        .field("serve.degraded", static_cast<int64_t>(R.Degraded))
+        .field("serve.floor_fallbacks",
+               static_cast<int64_t>(R.FloorFallbacks))
+        .field("serve.shed", static_cast<int64_t>(R.Shed))
+        .endObject();
+    W.endObject();
+  };
+  Row("serve/latency_p50", static_cast<double>(R.LatencyP50Ns),
+      R.TotalEnergyJ);
+  Row("serve/latency_p99", static_cast<double>(R.LatencyP99Ns),
+      R.TotalEnergyJ);
+  Row("serve/queue_delay_p50", static_cast<double>(R.QueueDelayP50Ns),
+      R.TotalEnergyJ);
+  W.endArray();
+  W.endObject();
+  return W.take();
+}

@@ -1,0 +1,164 @@
+//===- serve/Server.h - Closed-loop multi-tenant serving --------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `pimflow serve` engine (docs/INTERNALS.md section 13): admits a
+/// deterministic request stream (serve/LoadGen.h) against pre-compiled
+/// plans, arbitrating the PIM channel group between concurrent requests
+/// with a ChannelAllocator and bounding concurrency with an admission
+/// controller.
+///
+/// Determinism contract: outcomes are decided by a discrete-event
+/// simulation over *virtual* nanoseconds, never by wall-clock races. The
+/// server first prices every (model, granted-channel-count) pair once —
+/// the duration table, computed concurrently but order-independently —
+/// and the single-threaded event loop then schedules admissions and
+/// completions from the table. Worker threads only re-execute each
+/// admitted request's engine run under its Session's private scope (the
+/// reentrancy exercise, cross-checked against the table); they cannot
+/// influence admission order. A given (models, spec, options) input
+/// therefore yields byte-identical summaries for every --jobs=N.
+///
+/// Admission policy, in order, for a request at the head of the line:
+///  1. In-flight bound reached -> wait in the FIFO queue (or shed when
+///     the queue is at --max-queue).
+///  2. Otherwise take a channel grant: the full planned set when free,
+///     any >= --pim-floor subset as a *degraded* run (the PR 4 recovery
+///     ladder's remap semantics: same plan, shrunken Pim.Channels),
+///  3. or, with fewer than floor channels free, fall back to the GPU
+///     floor (every PIM node demoted, zero channels owned).
+///
+/// The arbitrated pool is the machine's PIM channel group
+/// (--channel-pool, default: the per-plan planned count). When the pool
+/// equals the planned count, grants are all-or-floor — every taker wants
+/// the whole group; a pool that is not a multiple of the planned count
+/// (e.g. 24 channels shared by 16-channel plans) is what leaves partial
+/// remainders free and makes degraded grants reachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SERVE_SERVER_H
+#define PIMFLOW_SERVE_SERVER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/PimFlow.h"
+#include "serve/Session.h"
+
+namespace pf::serve {
+
+/// Serve-mode configuration over the compile-side PimFlowOptions.
+struct ServerOptions {
+  OffloadPolicy Policy = OffloadPolicy::PimFlow;
+  /// Compile options; PimChannels is the per-request planned channel
+  /// count and PimFloor the degraded minimum, mirroring the recovery
+  /// ladder's use of the same fields.
+  PimFlowOptions Flow;
+  /// Max concurrently executing requests (--max-inflight).
+  int MaxInflight = 4;
+  /// Max requests waiting behind the in-flight bound (--max-queue);
+  /// arrivals beyond it are shed.
+  int MaxQueue = 8;
+  /// Size of the shared PIM channel group the allocator arbitrates
+  /// (--channel-pool); 0 means the per-plan planned count. See the file
+  /// comment for why a pool larger than the planned count is the
+  /// interesting multi-tenant configuration.
+  int PoolChannels = 0;
+  /// Worker threads re-executing admitted requests (--jobs); outcomes
+  /// are identical for every value.
+  int Jobs = 1;
+};
+
+/// Aggregate outcome of a serve run. Sessions are ordered by request id;
+/// percentiles are exact nearest-rank statistics over the non-shed
+/// requests (integer ns, so summaries are byte-stable).
+struct ServeResult {
+  std::vector<std::string> ModelNames;
+  std::vector<std::unique_ptr<Session>> Sessions;
+
+  /// Echoed configuration (summary header / bench rows).
+  std::string PolicyName;
+  int PlannedChannels = 0;
+  int PoolChannels = 0;
+  int Floor = 0;
+  int MaxInflight = 0;
+  int MaxQueue = 0;
+  uint64_t Seed = 0;
+
+  int Served = 0;
+  int Degraded = 0;
+  int FloorFallbacks = 0;
+  int Shed = 0;
+
+  int64_t LatencyP50Ns = 0;
+  int64_t LatencyP99Ns = 0;
+  int64_t LatencyMaxNs = 0;
+  int64_t QueueDelayP50Ns = 0;
+  int64_t QueueDelayP99Ns = 0;
+  double TotalEnergyJ = 0.0;
+
+  int completed() const { return Served + Degraded + FloorFallbacks; }
+};
+
+/// Renders the golden per-request outcome summary: one header, one line
+/// per request in id order, and the aggregate tail. Byte-deterministic
+/// for a given (models, spec, options) input.
+std::string renderServeSummary(const ServeResult &R);
+
+/// Renders the bench-format results dump (`{"results": [...]}`) with the
+/// pf_perf_diff-gated request-latency rows (serve/latency_p50 etc.) —
+/// the ci.sh tier-8 regression gate against bench/baselines/BENCH_serve.json.
+std::string renderServeBenchJson(const ServeResult &R);
+
+/// The serving engine. Construction compiles (or replays from the plan
+/// cache) every model's plan and materializes its transformed graph plus
+/// the GPU-floor demotion; run() executes request streams against them.
+class Server {
+public:
+  Server(std::vector<std::pair<std::string, Graph>> Models,
+         ServerOptions Options);
+
+  /// Runs \p Spec's request stream to completion and returns every
+  /// session. Also records the serve.* counter/histogram families into
+  /// the *caller's* active observability scope (the driver's globals for
+  /// the CLI) for the perf-report / Prometheus exports. With a non-null
+  /// \p DE, survivable irregularities (a node missing from a
+  /// partially-executed timeline) surface as warnings instead of dying.
+  ServeResult run(const LoadSpec &Spec, DiagnosticEngine *DE = nullptr);
+
+  const ServerOptions &options() const { return Options; }
+  int plannedChannels() const { return Planned; }
+  int poolChannels() const { return Pool; }
+
+private:
+  struct PreparedModel {
+    std::string Name;
+    Graph Model;        ///< original, as handed in
+    Graph Materialized; ///< plan applied, verified (PIM annotations live)
+    Graph FloorDemoted; ///< Materialized with every PIM node on the GPU
+    /// Unit latency / energy by granted channel count c in [0, Planned];
+    /// c = 0 prices FloorDemoted, c >= PimFloor prices Materialized under
+    /// Pim.Channels = c. Entries in (0, PimFloor) are unused.
+    std::vector<double> UnitNsByChannels;
+    std::vector<double> UnitEnergyJByChannels;
+  };
+
+  SystemConfig configFor(int GrantedChannels) const;
+  void prepare();
+
+  ServerOptions Options;
+  int Planned = 0;
+  int Pool = 0;
+  PimFlow Flow;
+  std::vector<PreparedModel> Models;
+  bool Prepared = false;
+};
+
+} // namespace pf::serve
+
+#endif // PIMFLOW_SERVE_SERVER_H

@@ -1,0 +1,75 @@
+//===- serve/Session.h - Per-request serving session ------------*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One admitted inference request's execution context (docs/INTERNALS.md
+/// section 13). A `Session` owns everything the request's engine run
+/// touches that used to be process-global: its observability scope (a
+/// private counter + metrics registry pair installed thread-locally while
+/// the run executes), its channel grant, and its outcome/timing record.
+/// Two sessions therefore never share mutable state — the reentrancy fix
+/// the serve tests and the tier-3 TSan gate pin down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIMFLOW_SERVE_SESSION_H
+#define PIMFLOW_SERVE_SESSION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/Scope.h"
+#include "runtime/ChannelAllocator.h"
+#include "serve/LoadGen.h"
+
+namespace pf::serve {
+
+/// Terminal state of a request.
+enum class RequestOutcome : uint8_t {
+  Served,        ///< ran with its full planned channel set
+  Degraded,      ///< ran on a smaller (but >= floor) channel set
+  FloorFallback, ///< no channels free: ran entirely on the GPU
+  Shed,          ///< admission queue full: rejected, never ran
+};
+
+const char *outcomeName(RequestOutcome O);
+
+/// One request's session: identity, virtual-time bookkeeping from the
+/// serve event loop, the channel grant it ran under, and the private
+/// observability scope its engine run recorded into.
+struct Session {
+  Request Req;
+  RequestOutcome Outcome = RequestOutcome::Shed;
+
+  /// Channels the plan wanted / the allocator granted (granted ids kept
+  /// for the pressure tests' disjointness assertions).
+  int ChannelsWanted = 0;
+  std::vector<int> Channels;
+
+  /// Virtual times (ns): admission start and completion. A shed request
+  /// keeps Start == End == arrival.
+  int64_t StartNs = 0;
+  int64_t EndNs = 0;
+
+  /// Unit (batch-1) simulated latency / energy of the engine run that
+  /// served this request; virtual service time is Batch * UnitNs.
+  double UnitNs = 0.0;
+  double UnitEnergyJ = 0.0;
+
+  /// The request's private stats scope; the engine run executes under a
+  /// ScopeGuard installing it.
+  obs::Scope Scope;
+
+  int channelsGranted() const { return static_cast<int>(Channels.size()); }
+  bool ran() const { return Outcome != RequestOutcome::Shed; }
+  int64_t queueDelayNs() const { return StartNs - Req.ArrivalNs; }
+  int64_t serviceNs() const { return EndNs - StartNs; }
+  int64_t latencyNs() const { return EndNs - Req.ArrivalNs; }
+};
+
+} // namespace pf::serve
+
+#endif // PIMFLOW_SERVE_SESSION_H

@@ -76,6 +76,10 @@ const char *pf::diagCodeName(DiagCode Code) {
     return "anomaly.idle-gap";
   case DiagCode::AnomalyRetryRate:
     return "anomaly.retry-rate";
+  case DiagCode::ServeBadSpec:
+    return "serve.bad-spec";
+  case DiagCode::ServeTimelineGap:
+    return "serve.timeline-gap";
   }
   pf_unreachable("unknown diagnostic code");
 }

@@ -65,6 +65,10 @@ enum class DiagCode : uint8_t {
   AnomalyTailLatency,   ///< anomaly.tail-latency: p99/p50 ratio over budget.
   AnomalyIdleGap,       ///< anomaly.idle-gap: lane idle fraction over budget.
   AnomalyRetryRate,     ///< anomaly.retry-rate: retries per command over budget.
+  // Serving mode (src/serve).
+  ServeBadSpec,         ///< serve.bad-spec: malformed --requests entry.
+  ServeTimelineGap,     ///< serve.timeline-gap: node absent from a
+                        ///< partially-executed timeline (warning, not fatal).
 };
 
 /// Returns the dotted slug for \p Code ("verify.use-before-def", ...).

@@ -1,0 +1,105 @@
+//===- tests/serve/ChannelAllocatorTest.cpp - Allocator unit tests -*-C++-*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "runtime/ChannelAllocator.h"
+
+using namespace pf;
+
+namespace {
+
+TEST(ChannelAllocatorTest, FullGrantTakesLowestFreeChannels) {
+  ChannelAllocator A(8);
+  EXPECT_EQ(A.poolSize(), 8);
+  EXPECT_EQ(A.freeCount(), 8);
+
+  auto G = A.tryAcquire(4, 2);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(G->granted(), 4);
+  EXPECT_EQ(G->Wanted, 4);
+  EXPECT_FALSE(G->degraded());
+  EXPECT_EQ(G->Channels, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(A.freeCount(), 4);
+}
+
+TEST(ChannelAllocatorTest, PartialFreeSetYieldsDegradedGrant) {
+  ChannelAllocator A(8);
+  auto First = A.tryAcquire(6, 1);
+  ASSERT_TRUE(First.has_value());
+  EXPECT_FALSE(First->degraded());
+
+  // Only {6, 7} left: a 6-channel want with floor 2 gets both, degraded.
+  auto Second = A.tryAcquire(6, 2);
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_TRUE(Second->degraded());
+  EXPECT_EQ(Second->granted(), 2);
+  EXPECT_EQ(Second->Wanted, 6);
+  EXPECT_EQ(Second->Channels, (std::vector<int>{6, 7}));
+}
+
+TEST(ChannelAllocatorTest, BelowFloorRefusesInsteadOfGranting) {
+  ChannelAllocator A(8);
+  auto First = A.tryAcquire(7, 1);
+  ASSERT_TRUE(First.has_value());
+
+  // One channel free but the floor is 2: no grant at all.
+  EXPECT_FALSE(A.tryAcquire(6, 2).has_value());
+  // Floor 0 means "never degrade": with less than the full want free the
+  // caller goes to the GPU floor, not to a sub-floor PIM run.
+  EXPECT_FALSE(A.tryAcquire(6, 0).has_value());
+  // A floor-1 taker still gets the remainder.
+  auto Last = A.tryAcquire(6, 1);
+  ASSERT_TRUE(Last.has_value());
+  EXPECT_EQ(Last->granted(), 1);
+}
+
+TEST(ChannelAllocatorTest, ZeroWantGetsAnEmptyFullGrant) {
+  ChannelAllocator A(4);
+  auto G = A.tryAcquire(0, 0);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(G->granted(), 0);
+  EXPECT_FALSE(G->degraded());
+  EXPECT_EQ(A.freeCount(), 4);
+}
+
+TEST(ChannelAllocatorTest, ReleaseReturnsChannelsForReuse) {
+  ChannelAllocator A(4);
+  auto G = A.tryAcquire(4, 1);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(A.freeCount(), 0);
+
+  A.release(*G);
+  EXPECT_EQ(A.freeCount(), 4);
+  auto Again = A.tryAcquire(4, 1);
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ(Again->granted(), 4);
+}
+
+TEST(ChannelAllocatorTest, ConcurrentGrantsAreDisjoint) {
+  ChannelAllocator A(10);
+  auto G1 = A.tryAcquire(4, 1);
+  auto G2 = A.tryAcquire(4, 1);
+  auto G3 = A.tryAcquire(4, 1); // only 2 left: degraded
+  ASSERT_TRUE(G1 && G2 && G3);
+  EXPECT_TRUE(G3->degraded());
+
+  std::set<int> Seen;
+  for (const auto *G : {&*G1, &*G2, &*G3})
+    for (int C : G->Channels) {
+      EXPECT_GE(C, 0);
+      EXPECT_LT(C, A.poolSize());
+      EXPECT_TRUE(Seen.insert(C).second)
+          << "channel " << C << " granted twice";
+    }
+  EXPECT_EQ(static_cast<int>(Seen.size()), 10);
+  EXPECT_EQ(A.freeCount(), 0);
+}
+
+} // namespace

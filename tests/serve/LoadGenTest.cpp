@@ -1,0 +1,90 @@
+//===- tests/serve/LoadGenTest.cpp - Load-generator unit tests --*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "serve/LoadGen.h"
+#include "support/Diagnostics.h"
+
+using namespace pf;
+using namespace pf::serve;
+
+namespace {
+
+TEST(LoadGenTest, ParsesTheFullGrammar) {
+  LoadSpec Spec;
+  DiagnosticEngine DE;
+  ASSERT_TRUE(LoadSpec::parse("count:24,seed:7,mean-gap-us:150,batch:1|2|4",
+                              Spec, DE));
+  EXPECT_EQ(Spec.Count, 24);
+  EXPECT_EQ(Spec.Seed, 7u);
+  EXPECT_DOUBLE_EQ(Spec.MeanGapUs, 150.0);
+  EXPECT_EQ(Spec.Batches, (std::vector<int>{1, 2, 4}));
+}
+
+TEST(LoadGenTest, EmptySpecIsTheDefaults) {
+  LoadSpec Spec;
+  DiagnosticEngine DE;
+  ASSERT_TRUE(LoadSpec::parse("", Spec, DE));
+  EXPECT_EQ(Spec.Count, 32);
+  EXPECT_EQ(Spec.Seed, 1u);
+  EXPECT_EQ(Spec.Batches, (std::vector<int>{1}));
+}
+
+TEST(LoadGenTest, MalformedSpecsAreBadSpecDiagnostics) {
+  for (const char *Bad :
+       {"count:0", "count:nope", "seed:-1", "mean-gap-us:-5",
+        "batch:0", "batch:1|9999", "gap:3", "count"}) {
+    LoadSpec Spec;
+    DiagnosticEngine DE;
+    EXPECT_FALSE(LoadSpec::parse(Bad, Spec, DE)) << Bad;
+    EXPECT_TRUE(DE.hasCode(DiagCode::ServeBadSpec)) << Bad;
+  }
+}
+
+TEST(LoadGenTest, GenerationIsDeterministicAndWellFormed) {
+  LoadSpec Spec;
+  DiagnosticEngine DE;
+  ASSERT_TRUE(LoadSpec::parse("count:64,seed:5,mean-gap-us:50,batch:1|8",
+                              Spec, DE));
+  const auto A = generateRequests(Spec, 3);
+  const auto B = generateRequests(Spec, 3);
+  ASSERT_EQ(A.size(), 64u);
+
+  int64_t PrevArrival = -1;
+  bool SawModel[3] = {false, false, false};
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Id, static_cast<int>(I));
+    EXPECT_EQ(A[I].Id, B[I].Id);
+    EXPECT_EQ(A[I].ModelIdx, B[I].ModelIdx);
+    EXPECT_EQ(A[I].Batch, B[I].Batch);
+    EXPECT_EQ(A[I].ArrivalNs, B[I].ArrivalNs);
+    EXPECT_GE(A[I].ArrivalNs, PrevArrival);
+    PrevArrival = A[I].ArrivalNs;
+    ASSERT_GE(A[I].ModelIdx, 0);
+    ASSERT_LT(A[I].ModelIdx, 3);
+    SawModel[A[I].ModelIdx] = true;
+    EXPECT_TRUE(A[I].Batch == 1 || A[I].Batch == 8);
+  }
+  // 64 draws over 3 models: all of them show up.
+  EXPECT_TRUE(SawModel[0] && SawModel[1] && SawModel[2]);
+}
+
+TEST(LoadGenTest, DifferentSeedsDiverge) {
+  LoadSpec A, B;
+  DiagnosticEngine DE;
+  ASSERT_TRUE(LoadSpec::parse("count:16,seed:1", A, DE));
+  ASSERT_TRUE(LoadSpec::parse("count:16,seed:2", B, DE));
+  const auto RA = generateRequests(A, 2);
+  const auto RB = generateRequests(B, 2);
+  bool Different = false;
+  for (size_t I = 0; I < RA.size(); ++I)
+    Different |= RA[I].ArrivalNs != RB[I].ArrivalNs ||
+                 RA[I].ModelIdx != RB[I].ModelIdx;
+  EXPECT_TRUE(Different);
+}
+
+} // namespace

@@ -1,0 +1,51 @@
+//===- tests/serve/PartialTimelineTest.cpp - find() vs scheduleOf() -*-C++-*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The partially-executed-timeline contract serve and recovery code rely
+// on: Timeline::find() answers "never scheduled" with nullptr (absence is
+// an answer, not a bug), while scheduleOf() dies through fatal() with a
+// diagnosable message. Serve's per-session run probes with find() and
+// surfaces gaps as serve.timeline-gap diagnostics, so a truncated
+// timeline can never crash the server.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "models/Zoo.h"
+#include "runtime/ExecutionEngine.h"
+#include "runtime/SystemConfig.h"
+
+using namespace pf;
+
+namespace {
+
+Timeline truncatedToyTimeline(NodeId *Dropped) {
+  Timeline TL = ExecutionEngine(SystemConfig::gpuOnly()).execute(buildToy());
+  // Simulate a partial execution (an aborted or recovering run) by
+  // dropping the last scheduled node.
+  *Dropped = TL.Nodes.back().Id;
+  TL.Nodes.pop_back();
+  return TL;
+}
+
+TEST(PartialTimelineTest, FindProbesAbsenceWithoutDying) {
+  NodeId Dropped = InvalidNode;
+  const Timeline TL = truncatedToyTimeline(&Dropped);
+  ASSERT_FALSE(TL.Nodes.empty());
+
+  // Present nodes resolve; the dropped one probes to nullptr.
+  EXPECT_NE(TL.find(TL.Nodes.front().Id), nullptr);
+  EXPECT_EQ(TL.find(Dropped), nullptr);
+}
+
+TEST(PartialTimelineTest, ScheduleOfDiesDiagnosablyOnGaps) {
+  NodeId Dropped = InvalidNode;
+  const Timeline TL = truncatedToyTimeline(&Dropped);
+  EXPECT_DEATH((void)TL.scheduleOf(Dropped), "no schedule entry");
+}
+
+} // namespace

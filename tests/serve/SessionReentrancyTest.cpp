@@ -1,0 +1,99 @@
+//===- tests/serve/SessionReentrancyTest.cpp - Concurrent sessions -*-C++-*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The singleton-reentrancy fix under TSan (ci.sh tier 3): two sessions
+// executing engine runs concurrently on different threads, each under its
+// own obs::Scope, must neither race nor cross-pollute — every counter a
+// run bumps lands in that run's scope, and the totals per scope are
+// independent of interleaving. Before the scope routing, both threads
+// hammered Registry::instance() and the per-session attribution was
+// meaningless.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/Zoo.h"
+#include "obs/Counters.h"
+#include "obs/Scope.h"
+#include "runtime/ExecutionEngine.h"
+#include "runtime/SystemConfig.h"
+
+using namespace pf;
+
+namespace {
+
+int64_t counterOf(const obs::Scope &S, const char *Name) {
+  for (const auto &[N, V] : S.registry().counterSnapshot())
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+TEST(SessionReentrancyTest, ConcurrentScopedRunsKeepIndependentStats) {
+  obs::resetAll();
+  const bool WasEnabled = obs::Registry::instance().enabled();
+  obs::Registry::instance().setEnabled(false);
+  const Graph G = buildToy();
+  constexpr int NumSessions = 2;
+  constexpr int RunsPerSession = 3;
+
+  std::vector<obs::Scope> Scopes(NumSessions);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumSessions; ++T)
+    Threads.emplace_back([&, T] {
+      obs::ScopeGuard Guard(Scopes[static_cast<size_t>(T)]);
+      for (int I = 0; I < RunsPerSession; ++I) {
+        ExecutionEngine Engine(SystemConfig::dual());
+        const Timeline TL = Engine.execute(G);
+        ASSERT_GT(TL.TotalNs, 0.0);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (const obs::Scope &S : Scopes) {
+    // Each scope saw exactly its own runs — not 0 (lost to the globals),
+    // not 2x (bled in from the sibling session).
+    EXPECT_EQ(counterOf(S, "engine.executions"), RunsPerSession);
+    EXPECT_GT(counterOf(S, "engine.nodes_scheduled"), 0);
+  }
+  // And nothing leaked into the process-wide registry.
+  EXPECT_EQ(obs::Registry::instance().counterSnapshot().size(), 0u);
+  obs::Registry::instance().setEnabled(WasEnabled);
+}
+
+TEST(SessionReentrancyTest, ScopedAndGlobalThreadsCoexist) {
+  obs::resetAll();
+  const bool WasEnabled = obs::Registry::instance().enabled();
+  obs::Registry::instance().setEnabled(true);
+  const Graph G = buildToy();
+
+  obs::Scope Session;
+  std::thread Scoped([&] {
+    obs::ScopeGuard Guard(Session);
+    ExecutionEngine(SystemConfig::dual()).execute(G);
+  });
+  // This thread has no guard: the historical global-singleton behaviour.
+  ExecutionEngine(SystemConfig::dual()).execute(G);
+  Scoped.join();
+
+  EXPECT_EQ(counterOf(Session, "engine.executions"), 1);
+  int64_t GlobalExecutions = 0;
+  for (const auto &[N, V] : obs::Registry::instance().counterSnapshot())
+    if (N == "engine.executions")
+      GlobalExecutions = V;
+  EXPECT_EQ(GlobalExecutions, 1);
+
+  obs::Registry::instance().setEnabled(WasEnabled);
+  obs::resetAll();
+}
+
+} // namespace

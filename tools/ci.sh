@@ -33,6 +33,12 @@
 #      and hits the plan cache on a recompile), then the corruption
 #      matrix (truncation, bit flip, version skew, wrong-model replay),
 #      each rejected non-zero with the right diagnostic slug.
+#   8. The serve tier: a seeded mixed-model `pimflow serve` run whose
+#      summary must be byte-identical across --jobs values AND match the
+#      committed golden (outcomes are decided in virtual time, never by
+#      worker races), with the request-latency p50/p99 rows gated against
+#      bench/baselines/BENCH_serve.json by pf_perf_diff and the serve.*
+#      metrics exposition validated by pf_metrics_check.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 #===----------------------------------------------------------------------===#
@@ -54,9 +60,10 @@ ctest --test-dir build-checked --output-on-failure -j "$JOBS"
 
 echo "== tier 3: ThreadSanitizer on the concurrency-facing suites =="
 cmake -B build-tsan -S . -DPIMFLOW_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target support_test search_test obs_test
+cmake --build build-tsan -j "$JOBS" \
+  --target support_test search_test obs_test serve_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|Profiler|SearchEngine|SearchDeterminism|AlgorithmDp|LayerExtract|FlightRecorder|MetricsRegistry|LogLinearHistogram|SlidingWindow|PlanArtifact|PlanCache|PlanCorruption'
+  -R 'ThreadPool|Profiler|SearchEngine|SearchDeterminism|AlgorithmDp|LayerExtract|FlightRecorder|MetricsRegistry|LogLinearHistogram|SlidingWindow|PlanArtifact|PlanCache|PlanCorruption|SessionReentrancy|ChannelAllocator|ChannelPressure'
 
 echo "== tier 4: chaos fault-injection suite (fixed seeds), then under TSan =="
 ctest --test-dir build --output-on-failure -j "$JOBS" -R 'Chaos'
@@ -192,5 +199,39 @@ if ./build/tools/pimflow run mnasnet-1.0 --dir="$PLAN_DIR" \
   exit 1
 fi
 grep -q 'plan\.mismatch' "$PLAN_DIR/mismatch.err"
+
+echo "== tier 8: serve — deterministic multi-tenant smoke + latency gate =="
+SERVE_DIR=build/serve-smoke
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+SERVE_SPEC='count:24,seed:7,mean-gap-us:150,batch:1|4'
+# The full serve run: golden summary, bench rows, serve report, metrics.
+./build/tools/pimflow serve toy mobilenet-v2 \
+  --requests="$SERVE_SPEC" --max-inflight=3 --channel-pool=24 --jobs=1 \
+  --summary-out="$SERVE_DIR/serve.j1.txt" \
+  --bench-json="$SERVE_DIR/BENCH_serve.json" \
+  --perf-report="$SERVE_DIR/serve.perf.json" \
+  --metrics-out="$SERVE_DIR/serve.metrics.txt" > /dev/null
+# Reentrancy determinism: more worker threads change nothing, byte for byte.
+./build/tools/pimflow serve toy mobilenet-v2 \
+  --requests="$SERVE_SPEC" --max-inflight=3 --channel-pool=24 --jobs=4 \
+  --summary-out="$SERVE_DIR/serve.j4.txt" > /dev/null
+cmp "$SERVE_DIR/serve.j1.txt" "$SERVE_DIR/serve.j4.txt"
+cmp "$SERVE_DIR/serve.j1.txt" tools/testdata/serve_summary.golden
+# The channel-pressure mix must actually exercise the ladder: full grants,
+# degraded grants, and GPU-floor fallbacks all appear in the golden run.
+grep -q 'outcome=served'   "$SERVE_DIR/serve.j1.txt"
+grep -q 'outcome=degraded' "$SERVE_DIR/serve.j1.txt"
+grep -q 'outcome=floor'    "$SERVE_DIR/serve.j1.txt"
+# Request-latency regression gate over the serve/latency_p50|p99 rows.
+./build/tools/pf_perf_diff --threshold=0.25 \
+  bench/baselines/BENCH_serve.json "$SERVE_DIR/BENCH_serve.json"
+# The serve report is valid schema-v3 JSON of the serve kind.
+./build/tools/pf_json_check "$SERVE_DIR/serve.perf.json" > /dev/null
+grep -q '"kind":"pimflow-serve-report"' "$SERVE_DIR/serve.perf.json"
+# And the serve.* families made it into the Prometheus exposition.
+./build/tools/pf_metrics_check --min-quantile-metrics=3 \
+  "$SERVE_DIR/serve.metrics.txt"
+grep -q '^pimflow_serve_requests 24' "$SERVE_DIR/serve.metrics.txt"
 
 echo "== ci.sh: all passes green =="

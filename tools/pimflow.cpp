@@ -45,6 +45,9 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/PimFlow.h"
 #include "core/Report.h"
@@ -67,6 +70,9 @@
 #include "obs/PerfReport.h"
 #include "obs/StatsExport.h"
 #include "obs/Trace.h"
+#include "serve/LoadGen.h"
+#include "serve/ServeReport.h"
+#include "serve/Server.h"
 #include "support/Format.h"
 #include "support/Log.h"
 #include "support/StringUtil.h"
@@ -94,6 +100,13 @@ struct CliOptions {
   std::string FlightDump; // --flight-dump=<file>: flight-recorder dump.
   std::string PlanOut;    // compile --plan-out=<file>: plan artifact.
   std::string PlanIn;     // run --plan=<file>: replay a plan, skip search.
+  std::vector<std::string> ServeNets; // serve <net>...: the tenant list.
+  std::string Requests;   // serve --requests=<spec>: load-generator spec.
+  std::string SummaryOut; // serve --summary-out=<file>: golden summary.
+  std::string BenchJson;  // serve --bench-json=<file>: pf_perf_diff rows.
+  int MaxInflight = 4;    // serve --max-inflight=N admission bound.
+  int MaxQueue = 8;       // serve --max-queue=N wait-line bound.
+  int ChannelPool = 0;    // serve --channel-pool=N arbitrated PIM group.
   int Verbose = 0;
   bool GpuOnly = false;
   bool Stats = false;
@@ -127,6 +140,12 @@ void usage() {
       "search is skipped)\n"
       "       pimflow report <perf-report.json> [--metrics]   (render a "
       "saved report)\n"
+      "       pimflow serve <net>... --requests=<spec>   (closed-loop "
+      "multi-tenant serving)\n"
+      "               serve spec keys: count:N,seed:S,mean-gap-us:G,"
+      "batch:B1|B2|...\n"
+      "               [--max-inflight=N] [--max-queue=N] "
+      "[--channel-pool=N] [--summary-out=<file>] [--bench-json=<file>]\n"
       "               [--gpu_only] [--policy=<mechanism>] [--dir=<path>]\n"
       "               [--graph=<solved.pimflow.graph>]\n"
       "               [--pim-channels=N] [--stages=N] [--autotune] "
@@ -210,6 +229,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
       O.PlanIn = Val();
     else if (startsWith(Arg, "--plan-cache-dir="))
       O.Flow.PlanCacheDir = Val();
+    else if (startsWith(Arg, "--requests="))
+      O.Requests = Val();
+    else if (startsWith(Arg, "--summary-out="))
+      O.SummaryOut = Val();
+    else if (startsWith(Arg, "--bench-json="))
+      O.BenchJson = Val();
+    else if (startsWith(Arg, "--max-inflight="))
+      Ok &= parseIntOption(Arg, Val(), 1, 4096, O.MaxInflight, DE);
+    else if (startsWith(Arg, "--max-queue="))
+      Ok &= parseIntOption(Arg, Val(), 0, 1 << 20, O.MaxQueue, DE);
+    else if (startsWith(Arg, "--channel-pool="))
+      Ok &= parseIntOption(Arg, Val(), 1, 4096, O.ChannelPool, DE);
     else if (Arg == "--metrics")
       O.ReportMetrics = true;
     else if (Arg == "--no-recovery")
@@ -257,12 +288,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
       O.Flow.MemoryOptimizer = false;
     else if (O.Mode.empty() && !startsWith(Arg, "-") &&
              (Arg == "profile" || Arg == "solve" || Arg == "run" ||
-              Arg == "trace" || Arg == "compile" || Arg == "report"))
+              Arg == "trace" || Arg == "compile" || Arg == "report" ||
+              Arg == "serve"))
       // Subcommand spelling: `pimflow compile toy` == `-m=compile -n=toy`.
       O.Mode = Arg;
     else if (O.Mode == "report" && O.ReportFile.empty() &&
              !startsWith(Arg, "-"))
       O.ReportFile = Arg;
+    else if (O.Mode == "serve" && !startsWith(Arg, "-"))
+      // serve admits a tenant LIST: every positional is another model.
+      O.ServeNets.push_back(Arg);
     else if (!O.Mode.empty() && O.Mode != "report" && !O.NetSet &&
              !startsWith(Arg, "-")) {
       // Positional net: a zoo model name or a serialized graph file.
@@ -274,9 +309,22 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
     }
   }
   if (O.Mode != "profile" && O.Mode != "solve" && O.Mode != "run" &&
-      O.Mode != "trace" && O.Mode != "compile" && O.Mode != "report") {
+      O.Mode != "trace" && O.Mode != "compile" && O.Mode != "report" &&
+      O.Mode != "serve") {
     DE.error(DiagCode::BadOption, "-m",
-             "must be profile, solve, run, trace, compile or report");
+             "must be profile, solve, run, trace, compile, report or serve");
+    Ok = false;
+  }
+  if (O.Mode == "serve") {
+    // -n= spelling still works for a single tenant; with nothing given,
+    // serve the default net so smoke runs stay one-liners.
+    if (O.ServeNets.empty())
+      O.ServeNets.push_back(O.Net);
+  } else if (!O.Requests.empty() || !O.SummaryOut.empty() ||
+             !O.BenchJson.empty()) {
+    DE.error(DiagCode::BadOption, "--requests",
+             "serve-only flags (--requests/--summary-out/--bench-json) "
+             "require the serve verb");
     Ok = false;
   }
   if (O.Mode == "compile" && O.PlanOut.empty() &&
@@ -795,6 +843,80 @@ int runReport(const CliOptions &O) {
   return 0;
 }
 
+/// `pimflow serve <net>... --requests=<spec>`: the closed-loop
+/// multi-tenant serving mode (docs/INTERNALS.md section 13). Compiles
+/// (or replays from --plan-cache-dir) every tenant's plan, then admits
+/// the deterministic request stream against the shared PIM channel
+/// group. The summary is byte-identical for every --jobs=N.
+int runServe(const CliOptions &O) {
+  DiagnosticEngine DE(O.Flow.MaxVerifyErrors);
+  serve::LoadSpec Spec;
+  if (!serve::LoadSpec::parse(O.Requests, Spec, DE)) {
+    std::fprintf(stderr, "%s", DE.render().c_str());
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, Graph>> Models;
+  for (const std::string &Net : O.ServeNets) {
+    auto Maybe = resolveModel(Net);
+    if (!Maybe)
+      return 1;
+    if (int Rc = verifyGraphCli(*Maybe, O, "serve model"))
+      return Rc;
+    Models.emplace_back(Net, std::move(*Maybe));
+  }
+
+  serve::ServerOptions SO;
+  SO.Policy = O.GpuOnly ? OffloadPolicy::GpuOnly : policyFromName(O.Policy);
+  SO.Flow = O.Flow;
+  SO.MaxInflight = O.MaxInflight;
+  SO.MaxQueue = O.MaxQueue;
+  SO.PoolChannels = O.ChannelPool;
+  // --jobs=0 (the driver default) means every hardware thread, matching
+  // the search's convention; outcomes are jobs-independent either way.
+  SO.Jobs = O.Flow.SearchJobs != 0
+                ? O.Flow.SearchJobs
+                : static_cast<int>(
+                      std::max(1u, std::thread::hardware_concurrency()));
+
+  serve::Server Srv(std::move(Models), SO);
+  const serve::ServeResult R = Srv.run(Spec, &DE);
+  if (!DE.diagnostics().empty())
+    std::fprintf(stderr, "%s", DE.render().c_str());
+
+  const std::string Summary = serve::renderServeSummary(R);
+  std::printf("%s", Summary.c_str());
+  if (!O.SummaryOut.empty()) {
+    if (!obs::writeTextFile(O.SummaryOut, Summary)) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.SummaryOut.c_str());
+      return 1;
+    }
+    std::printf("serve summary written to %s\n", O.SummaryOut.c_str());
+  }
+  if (!O.BenchJson.empty()) {
+    if (!obs::writeTextFile(O.BenchJson, serve::renderServeBenchJson(R))) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.BenchJson.c_str());
+      return 1;
+    }
+    std::printf("serve bench rows written to %s\n", O.BenchJson.c_str());
+  }
+  if (!O.PerfReport.empty()) {
+    if (!serve::writeServeReport(R, O.PerfReport)) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.PerfReport.c_str());
+      return 1;
+    }
+    std::printf("serve report written to %s\n", O.PerfReport.c_str());
+  }
+  if (!O.MetricsOut.empty()) {
+    if (!obs::writeMetricsText(O.MetricsOut)) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.MetricsOut.c_str());
+      return 1;
+    }
+    std::printf("metrics exposition written to %s\n", O.MetricsOut.c_str());
+  }
+  return DE.hasErrors() ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -808,7 +930,9 @@ int main(int Argc, char **Argv) {
   setLogLevel(O.Verbose >= 2   ? LogLevel::Debug
               : O.Verbose == 1 ? LogLevel::Info
                                : LogLevel::Silent);
-  if (O.observed())
+  // serve always observes: its serve.* counter/histogram families back
+  // the summary's exports and the tier-8 metrics gate.
+  if (O.observed() || O.Mode == "serve")
     obs::setObservabilityEnabled(true);
   // Arm the auto-dump path before any work runs so a failing tryExecute or
   // unrecovered fault writes its trace even though the process is about to
@@ -826,6 +950,8 @@ int main(int Argc, char **Argv) {
     Rc = runTrace(O);
   else if (O.Mode == "compile")
     Rc = runCompile(O);
+  else if (O.Mode == "serve")
+    Rc = runServe(O);
   else
     Rc = runExecute(O);
   // The exit-time dump overwrites any mid-run auto-dump with the most
