@@ -35,6 +35,12 @@ const char *pf::obs::flightEventKindName(FlightEventKind K) {
     return "cache-hit";
   case FlightEventKind::CacheMiss:
     return "cache-miss";
+  case FlightEventKind::BreakerTrip:
+    return "breaker-trip";
+  case FlightEventKind::BreakerProbe:
+    return "breaker-probe";
+  case FlightEventKind::BreakerReadmit:
+    return "breaker-readmit";
   case FlightEventKind::ExecStart:
     return "exec-start";
   case FlightEventKind::ExecDone:

@@ -54,6 +54,9 @@ enum class FlightEventKind : uint8_t {
   ExecStart,       ///< tryExecute entry; A = node count, B = channel count
   ExecDone,        ///< tryExecute success; V = makespan ns
   ExecError,       ///< tryExecute failure; Detail names the error
+  BreakerTrip,     ///< channel breaker opened; A = channel, B = failures
+  BreakerProbe,    ///< cooldown probe; A = channel, B = 1 healthy / 0 not
+  BreakerReadmit,  ///< breaker closed, channel re-admitted; A = channel
 };
 
 const char *flightEventKindName(FlightEventKind K);

@@ -44,6 +44,31 @@ void FaultModel::addSlow(int Channel, double Factor) {
   Slow[Channel] = Factor;
 }
 
+void FaultModel::addOutage(ChannelOutage O) {
+  PF_ASSERT(O.EndNs > O.StartNs, "outage window must be non-empty");
+  // Keep the timeline sorted by (StartNs, Channel): the serve loop turns
+  // it into events in this order, so insertion order never matters.
+  auto It = std::upper_bound(
+      Outages.begin(), Outages.end(), O,
+      [](const ChannelOutage &A, const ChannelOutage &B) {
+        return A.StartNs != B.StartNs ? A.StartNs < B.StartNs
+                                      : A.Channel < B.Channel;
+      });
+  Outages.insert(It, O);
+}
+
+bool FaultModel::deadAt(int Channel, int64_t NowNs) const {
+  if (channelDead(Channel))
+    return true;
+  for (const ChannelOutage &O : Outages) {
+    if (O.StartNs > NowNs)
+      break; // sorted by start: nothing later can cover NowNs
+    if (O.Channel == Channel && O.covers(NowNs))
+      return true;
+  }
+  return false;
+}
+
 double FaultModel::slowFactor(int Channel) const {
   auto It = Slow.find(Channel);
   return It == Slow.end() ? 1.0 : It->second;
@@ -89,6 +114,12 @@ std::string FaultModel::describe() const {
   };
   for (int Ch : Dead)
     Append(formatStr("dead:%d", Ch));
+  for (const ChannelOutage &O : Outages)
+    // Windows are stored in ns but specified in us; chaosTimeline and the
+    // parse grammar both keep them us-aligned, so this prints exactly.
+    Append(formatStr("dead@%lld..%lld:%d",
+                     static_cast<long long>(O.StartNs / 1000),
+                     static_cast<long long>(O.EndNs / 1000), O.Channel));
   for (int Ch : Stalled)
     Append(formatStr("stall:%d", Ch));
   for (const auto &[Ch, F] : Slow)
@@ -154,7 +185,34 @@ std::optional<FaultModel> FaultModel::parse(const std::string &Spec,
       continue;
     const std::vector<std::string> F = splitOn(Entry, ':');
     const std::string &Kind = F[0];
-    if ((Kind == "dead" || Kind == "stall") && F.size() == 2) {
+    if (Kind.rfind("dead@", 0) == 0 && F.size() == 2) {
+      // dead@<t1>..<t2>:<ch> — a windowed outage in virtual microseconds.
+      const std::string Window = Kind.substr(5);
+      const size_t Dots = Window.find("..");
+      std::optional<int64_t> T1, T2;
+      if (Dots != std::string::npos) {
+        T1 = parseField(Entry, Window.substr(0, Dots), 0,
+                        int64_t(1) << 40, DE);
+        T2 = parseField(Entry, Window.substr(Dots + 2), 0,
+                        int64_t(1) << 40, DE);
+      } else {
+        DE.error(DiagCode::FaultBadSpec, Entry,
+                 "expected dead@<t1>..<t2>:<ch> (window in microseconds)");
+      }
+      const auto Ch =
+          Dots != std::string::npos && T1 && T2
+              ? parseField(Entry, F[1], 0, 4095, DE)
+              : std::nullopt;
+      if (!Ch || *T2 <= *T1) {
+        if (Ch && T1 && T2 && *T2 <= *T1)
+          DE.error(DiagCode::FaultBadSpec, Entry,
+                   "outage window must satisfy t2 > t1");
+        Ok = false;
+        continue;
+      }
+      M.addOutage(ChannelOutage{static_cast<int>(*Ch), *T1 * 1000,
+                                *T2 * 1000});
+    } else if ((Kind == "dead" || Kind == "stall") && F.size() == 2) {
       const auto Ch = parseField(Entry, F[1], 0, 4095, DE);
       if (!Ch) {
         Ok = false;
@@ -189,13 +247,40 @@ std::optional<FaultModel> FaultModel::parse(const std::string &Spec,
           static_cast<int>(*Fails)});
     } else {
       DE.error(DiagCode::FaultBadSpec, Entry,
-               "expected dead:<ch>, stall:<ch>, slow:<ch>:<mult>, "
-               "comp:<ch>:<ord>:<fails> or readres:<ch>:<ord>:<fails>");
+               "expected dead:<ch>, dead@<t1>..<t2>:<ch>, stall:<ch>, "
+               "slow:<ch>:<mult>, comp:<ch>:<ord>:<fails> or "
+               "readres:<ch>:<ord>:<fails>");
       Ok = false;
     }
   }
   if (!Ok)
     return std::nullopt;
+  return M;
+}
+
+FaultModel FaultModel::chaosTimeline(uint64_t Seed, int NumChannels,
+                                     int64_t HorizonNs) {
+  FaultModel M;
+  if (NumChannels <= 0 || HorizonNs <= 0)
+    return M;
+  // A distinct stream from chaos(): the seed-pinned chaos() outputs must
+  // not move when the timeline generator evolves.
+  Rng R(Seed * 0x9E3779B97F4A7C15ull + 0xD15EA5Eull);
+  const int64_t HorizonUs = std::max<int64_t>(1, HorizonNs / 1000);
+  const int NumOutages = 1 + static_cast<int>(R.nextBelow(4));
+  for (int I = 0; I < NumOutages; ++I) {
+    const int Ch = static_cast<int>(
+        R.nextBelow(static_cast<uint64_t>(NumChannels)));
+    // Start anywhere in the horizon; last 5-30% of the remaining span so
+    // every window both starts and (usually) ends inside the stream.
+    const int64_t StartUs = static_cast<int64_t>(
+        R.nextBelow(static_cast<uint64_t>(HorizonUs)));
+    const int64_t Span = std::max<int64_t>(1, HorizonUs - StartUs);
+    const int64_t DurUs = 1 + static_cast<int64_t>(R.nextBelow(
+        static_cast<uint64_t>(std::max<int64_t>(1, (Span * 3) / 10))));
+    M.addOutage(ChannelOutage{Ch, StartUs * 1000,
+                              (StartUs + DurUs) * 1000});
+  }
   return M;
 }
 

@@ -66,6 +66,21 @@ struct TransientFault {
   int Fails = 1;
 };
 
+/// A windowed channel outage: \p Channel is unusable for virtual times in
+/// [StartNs, EndNs) and healthy again afterwards. Unlike the static fault
+/// classes above (pure functions of a single run), outages are evaluated
+/// against the *server's* virtual clock, so channels die and recover
+/// while a request stream is in flight (docs/INTERNALS.md section 14).
+struct ChannelOutage {
+  int Channel = 0;
+  int64_t StartNs = 0;
+  int64_t EndNs = 0; ///< exclusive; must be > StartNs
+
+  bool covers(int64_t NowNs) const {
+    return NowNs >= StartNs && NowNs < EndNs;
+  }
+};
+
 /// Retry/backoff policy applied to transient faults plus the per-command
 /// watchdog bounding stalled commands. All costs are in PIM clock cycles so
 /// the simulator can price them directly.
@@ -96,6 +111,8 @@ public:
 
   /// Parses a comma-separated fault spec:
   ///   dead:<ch>                 permanently dead channel
+  ///   dead@<t1>..<t2>:<ch>      windowed outage: dead for virtual times
+  ///                             [t1, t2) microseconds, healthy after
   ///   stall:<ch>                stalled GWRITE on the channel
   ///   slow:<ch>:<mult>          latency multiplier (float >= 1)
   ///   comp:<ch>:<ord>:<fails>   Nth COMP fails <fails> times
@@ -109,21 +126,37 @@ public:
   /// (Seed, NumChannels) pairs yield identical models.
   static FaultModel chaos(uint64_t Seed, int NumChannels);
 
+  /// Randomized-but-seeded *timeline* of windowed outages over
+  /// \p NumChannels channels inside [0, HorizonNs): 1-4 outage windows
+  /// with seeded start/duration, for the chaos-under-serve harness.
+  /// Identical (Seed, NumChannels, HorizonNs) inputs yield identical
+  /// timelines; the static fault classes stay empty.
+  static FaultModel chaosTimeline(uint64_t Seed, int NumChannels,
+                                  int64_t HorizonNs);
+
   void addDead(int Channel) { Dead.insert(Channel); }
   void addStalled(int Channel) { Stalled.insert(Channel); }
   void addSlow(int Channel, double Factor);
   void addTransient(TransientFault F) { Transients.push_back(F); }
+  void addOutage(ChannelOutage O);
 
   bool empty() const {
     return Dead.empty() && Stalled.empty() && Slow.empty() &&
-           Transients.empty();
+           Transients.empty() && Outages.empty();
   }
   int faultCount() const {
     return static_cast<int>(Dead.size() + Stalled.size() + Slow.size() +
-                            Transients.size());
+                            Transients.size() + Outages.size());
   }
 
   bool channelDead(int Channel) const { return Dead.count(Channel) > 0; }
+  /// True when \p Channel is unusable at virtual time \p NowNs: either
+  /// permanently dead or inside a windowed outage.
+  bool deadAt(int Channel, int64_t NowNs) const;
+  /// All windowed outages, sorted by (StartNs, Channel) — the serve
+  /// loop's fault timeline.
+  const std::vector<ChannelOutage> &outages() const { return Outages; }
+  bool hasTimeline() const { return !Outages.empty(); }
   bool channelStalled(int Channel) const {
     return Stalled.count(Channel) > 0;
   }
@@ -151,6 +184,7 @@ private:
   std::set<int> Stalled;
   std::map<int, double> Slow;
   std::vector<TransientFault> Transients;
+  std::vector<ChannelOutage> Outages; ///< sorted by (StartNs, Channel)
 };
 
 } // namespace pf

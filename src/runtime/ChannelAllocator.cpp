@@ -7,12 +7,14 @@
 #include "runtime/ChannelAllocator.h"
 
 #include "support/Assert.h"
+#include "support/Format.h"
 
 namespace pf {
 
 ChannelAllocator::ChannelAllocator(int PoolSize)
     : Pool(PoolSize), InUse(static_cast<size_t>(PoolSize > 0 ? PoolSize : 0),
                             false),
+      Quarantined(static_cast<size_t>(PoolSize > 0 ? PoolSize : 0), false),
       Free(PoolSize > 0 ? PoolSize : 0) {
   PF_ASSERT(PoolSize >= 0, "negative PIM channel pool");
 }
@@ -33,7 +35,7 @@ std::optional<ChannelGrant> ChannelAllocator::tryAcquire(int Want, int Min) {
     return std::nullopt;
   G.Channels.reserve(static_cast<size_t>(Give));
   for (int Ch = 0; Ch < Pool && G.granted() < Give; ++Ch) {
-    if (InUse[static_cast<size_t>(Ch)])
+    if (InUse[static_cast<size_t>(Ch)] || Quarantined[static_cast<size_t>(Ch)])
       continue;
     InUse[static_cast<size_t>(Ch)] = true;
     G.Channels.push_back(Ch);
@@ -43,15 +45,66 @@ std::optional<ChannelGrant> ChannelAllocator::tryAcquire(int Want, int Min) {
   return G;
 }
 
-void ChannelAllocator::release(const ChannelGrant &G) {
+bool ChannelAllocator::release(const ChannelGrant &G, DiagnosticEngine *DE) {
   std::lock_guard<std::mutex> Lock(Mu);
+  bool Ok = true;
   for (int Ch : G.Channels) {
-    PF_ASSERT(Ch >= 0 && Ch < Pool, "released channel outside the pool");
-    PF_ASSERT(InUse[static_cast<size_t>(Ch)],
-              "double release of a PIM channel");
+    if (Ch < 0 || Ch >= Pool) {
+      if (DE)
+        DE->error(DiagCode::ChannelMisuse, formatStr("channel %d", Ch),
+                  formatStr("released id outside the pool [0, %d)", Pool));
+      Ok = false;
+      continue;
+    }
+    if (!InUse[static_cast<size_t>(Ch)]) {
+      if (DE)
+        DE->error(DiagCode::ChannelMisuse, formatStr("channel %d", Ch),
+                  "double release of a PIM channel");
+      Ok = false;
+      continue;
+    }
     InUse[static_cast<size_t>(Ch)] = false;
-    ++Free;
+    if (!Quarantined[static_cast<size_t>(Ch)])
+      ++Free;
   }
+  return Ok;
+}
+
+bool ChannelAllocator::quarantine(int Ch) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Ch < 0 || Ch >= Pool)
+    return false;
+  if (Quarantined[static_cast<size_t>(Ch)])
+    return true;
+  Quarantined[static_cast<size_t>(Ch)] = true;
+  if (!InUse[static_cast<size_t>(Ch)])
+    --Free;
+  return true;
+}
+
+bool ChannelAllocator::readmit(int Ch) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Ch < 0 || Ch >= Pool)
+    return false;
+  if (!Quarantined[static_cast<size_t>(Ch)])
+    return true;
+  Quarantined[static_cast<size_t>(Ch)] = false;
+  if (!InUse[static_cast<size_t>(Ch)])
+    ++Free;
+  return true;
+}
+
+bool ChannelAllocator::isQuarantined(int Ch) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Ch >= 0 && Ch < Pool && Quarantined[static_cast<size_t>(Ch)];
+}
+
+int ChannelAllocator::quarantinedCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  int N = 0;
+  for (const bool Q : Quarantined)
+    N += Q ? 1 : 0;
+  return N;
 }
 
 int ChannelAllocator::freeCount() const {

@@ -20,6 +20,17 @@
 /// channel id is in at most one live grant, which is what the
 /// channel-pressure tests pin down.
 ///
+/// Quarantine (docs/INTERNALS.md section 14): a channel the circuit
+/// breaker has taken out of service is excluded from every grant until
+/// readmit() returns it. Quarantining an in-use channel does not revoke
+/// the live grant — the serve loop interrupts the owning session itself —
+/// but the channel skips the free list when that grant is released.
+///
+/// Misuse (releasing a channel that is outside the pool or not currently
+/// granted, i.e. a double release) is reported as a
+/// runtime.channel-misuse diagnostic instead of aborting, so a
+/// release-mode server degrades instead of dying mid-stream.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIMFLOW_RUNTIME_CHANNELALLOCATOR_H
@@ -29,6 +40,8 @@
 #include <mutex>
 #include <optional>
 #include <vector>
+
+#include "support/Diagnostics.h"
 
 namespace pf {
 
@@ -47,8 +60,8 @@ struct ChannelGrant {
 };
 
 /// Mutex-guarded free-list of PIM channel ids [0, poolSize). Thread-safe;
-/// all outcomes depend only on the sequence of acquire/release calls, not
-/// on thread identity.
+/// all outcomes depend only on the sequence of acquire/release/quarantine
+/// calls, not on thread identity.
 class ChannelAllocator {
 public:
   explicit ChannelAllocator(int PoolSize);
@@ -58,11 +71,26 @@ public:
   /// (> 0) are free, grants *all* free channels as a degraded set; else
   /// returns nullopt (caller waits or takes the GPU floor). \p Min is
   /// clamped to [0, Want]; Want <= 0 yields an empty (GPU-only) grant.
+  /// Quarantined channels are never granted.
   std::optional<ChannelGrant> tryAcquire(int Want, int Min);
 
-  /// Returns every channel of \p G to the free list. A grant must be
-  /// released exactly once; double-release asserts.
-  void release(const ChannelGrant &G);
+  /// Returns every channel of \p G to the free list (quarantined channels
+  /// leave the in-use state but stay out of the free list). A channel that
+  /// is outside the pool or not currently granted is a
+  /// runtime.channel-misuse error on \p DE (skipped, never fatal); returns
+  /// false when any channel of the grant was misused.
+  bool release(const ChannelGrant &G, DiagnosticEngine *DE = nullptr);
+
+  /// Takes \p Ch out of service: it will not appear in any future grant
+  /// until readmit(). Idempotent; returns false for out-of-pool ids.
+  bool quarantine(int Ch);
+
+  /// Returns a quarantined \p Ch to service. Idempotent (no-op when not
+  /// quarantined); returns false for out-of-pool ids.
+  bool readmit(int Ch);
+
+  bool isQuarantined(int Ch) const;
+  int quarantinedCount() const;
 
   int poolSize() const { return Pool; }
   /// Channels currently free (snapshot; racy under concurrency, exact
@@ -72,8 +100,9 @@ public:
 private:
   const int Pool;
   mutable std::mutex Mu;
-  std::vector<bool> InUse; ///< indexed by channel id
-  int Free;                ///< invariant: count of false entries in InUse
+  std::vector<bool> InUse;      ///< indexed by channel id
+  std::vector<bool> Quarantined; ///< indexed by channel id
+  int Free; ///< invariant: count of (!InUse && !Quarantined) entries
 };
 
 } // namespace pf

@@ -1,0 +1,119 @@
+//===- runtime/ChannelScoreboard.cpp - Channel circuit breakers ---------------===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ChannelScoreboard.h"
+
+#include <algorithm>
+
+#include "support/Assert.h"
+#include "support/Random.h"
+
+using namespace pf;
+
+const char *pf::breakerEventKindName(BreakerEvent::Kind K) {
+  switch (K) {
+  case BreakerEvent::Kind::Quarantine:
+    return "quarantine";
+  case BreakerEvent::Kind::Trip:
+    return "trip";
+  case BreakerEvent::Kind::Probe:
+    return "probe";
+  case BreakerEvent::Kind::Readmit:
+    return "readmit";
+  }
+  pf_unreachable("unknown breaker event kind");
+}
+
+ChannelScoreboard::ChannelScoreboard(int NumChannels, int TripThreshold,
+                             int64_t CooldownNs, uint64_t Seed)
+    : TripThreshold(TripThreshold), CooldownNs(std::max<int64_t>(1, CooldownNs)),
+      Seed(Seed),
+      Channels(static_cast<size_t>(NumChannels > 0 ? NumChannels : 0)) {}
+
+ChannelScoreboard::PerChannel &ChannelScoreboard::state(int Ch) {
+  PF_ASSERT(Ch >= 0 && Ch < static_cast<int>(Channels.size()),
+            "channel outside the health scoreboard");
+  return Channels[static_cast<size_t>(Ch)];
+}
+
+const ChannelScoreboard::PerChannel *ChannelScoreboard::stateOrNull(int Ch) const {
+  if (Ch < 0 || Ch >= static_cast<int>(Channels.size()))
+    return nullptr;
+  return &Channels[static_cast<size_t>(Ch)];
+}
+
+void ChannelScoreboard::note(BreakerEvent::Kind K, int Ch, int64_t NowNs,
+                         bool Ok) {
+  Events.push_back(BreakerEvent{NowNs, Ch, K, Ok});
+}
+
+bool ChannelScoreboard::recordFailure(int Ch, int64_t NowNs) {
+  PerChannel &S = state(Ch);
+  ++S.Consecutive;
+  if (S.Open || TripThreshold <= 0 || S.Consecutive < TripThreshold)
+    return false;
+  S.Open = true;
+  ++S.Trips;
+  ++Trips;
+  note(BreakerEvent::Kind::Trip, Ch, NowNs, false);
+  return true;
+}
+
+void ChannelScoreboard::recordSuccess(int Ch) {
+  PerChannel &S = state(Ch);
+  if (!S.Open)
+    S.Consecutive = 0;
+}
+
+void ChannelScoreboard::noteQuarantine(int Ch, int64_t NowNs) {
+  note(BreakerEvent::Kind::Quarantine, Ch, NowNs, false);
+}
+
+void ChannelScoreboard::noteRecovery(int Ch, int64_t NowNs) {
+  ++Recoveries;
+  note(BreakerEvent::Kind::Readmit, Ch, NowNs, false);
+}
+
+int64_t ChannelScoreboard::nextProbeNs(int Ch, int64_t NowNs) {
+  PerChannel &S = state(Ch);
+  const int Attempt = S.ProbeAttempts++;
+  // Stateless seeded jitter: a throwaway Rng keyed on (seed, channel,
+  // attempt) keeps probe instants independent of event-processing order.
+  Rng R(Seed ^ (static_cast<uint64_t>(Ch) * 0x9E3779B97F4A7C15ull) ^
+        (static_cast<uint64_t>(Attempt) << 17));
+  const int64_t Jitter = static_cast<int64_t>(
+      R.nextBelow(static_cast<uint64_t>(CooldownNs / 4 + 1)));
+  return NowNs + CooldownNs + Jitter;
+}
+
+bool ChannelScoreboard::probe(int Ch, int64_t NowNs, bool Healthy) {
+  PerChannel &S = state(Ch);
+  ++Probes;
+  note(BreakerEvent::Kind::Probe, Ch, NowNs, Healthy);
+  if (!Healthy)
+    return false;
+  S.Open = false;
+  S.Consecutive = 0;
+  S.ProbeAttempts = 0;
+  ++Readmits;
+  note(BreakerEvent::Kind::Readmit, Ch, NowNs, true);
+  return true;
+}
+
+bool ChannelScoreboard::open(int Ch) const {
+  const PerChannel *S = stateOrNull(Ch);
+  return S && S->Open;
+}
+
+int ChannelScoreboard::consecutiveFailures(int Ch) const {
+  const PerChannel *S = stateOrNull(Ch);
+  return S ? S->Consecutive : 0;
+}
+
+int ChannelScoreboard::tripCount(int Ch) const {
+  const PerChannel *S = stateOrNull(Ch);
+  return S ? S->Trips : 0;
+}

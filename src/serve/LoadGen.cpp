@@ -51,6 +51,12 @@ bool LoadSpec::parse(const std::string &Spec, LoadSpec &Out,
         Bad(Entry, "mean-gap-us must be a non-negative integer");
       else
         Out.MeanGapUs = static_cast<double>(*G);
+    } else if (Key == "deadline-us") {
+      auto D = parseInt(Val);
+      if (!D || *D < 0 || *D > 1'000'000'000)
+        Bad(Entry, "deadline-us must be an integer in [0, 1000000000]");
+      else
+        Out.DeadlineUs = *D;
     } else if (Key == "batch") {
       std::vector<int> Batches;
       for (const std::string &B : split(Val, '|')) {
@@ -65,7 +71,8 @@ bool LoadSpec::parse(const std::string &Spec, LoadSpec &Out,
       if (!Batches.empty())
         Out.Batches = std::move(Batches);
     } else {
-      Bad(Entry, "unknown key (expected count/seed/mean-gap-us/batch)");
+      Bad(Entry,
+          "unknown key (expected count/seed/mean-gap-us/batch/deadline-us)");
     }
   }
   return Ok;
@@ -92,6 +99,8 @@ std::vector<Request> pf::serve::generateRequests(const LoadSpec &Spec,
         static_cast<uint64_t>(NumModels)));
     Q.Batch = Spec.Batches[static_cast<size_t>(
         R.nextBelow(Spec.Batches.size()))];
+    // Fixed, not drawn: see the header's Rng-stream stability note.
+    Q.DeadlineNs = Spec.DeadlineUs * 1000;
     Out.push_back(Q);
   }
   return Out;

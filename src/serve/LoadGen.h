@@ -8,7 +8,7 @@
 /// The seeded request stream behind `pimflow serve` (docs/INTERNALS.md
 /// section 13). A `LoadSpec` is parsed from the `--requests=` grammar:
 ///
-///   count:<N>,seed:<S>,mean-gap-us:<G>,batch:<B1|B2|...>
+///   count:<N>,seed:<S>,mean-gap-us:<G>,batch:<B1|B2|...>,deadline-us:<D>
 ///
 /// e.g. `count:24,seed:7,mean-gap-us:150,batch:1|2|4`. Every field is
 /// optional; unknown keys are serve.bad-spec diagnostics. Generation is
@@ -21,6 +21,11 @@
 /// model-list order — never on thread count, wall clock, or platform
 /// libm quirks (the exponential uses a fixed log() of a 53-bit uniform,
 /// which is exactly reproducible under IEEE-754).
+///
+/// `deadline-us` is a *fixed* per-request latency budget (0 = none, the
+/// default) stamped onto every request. It deliberately consumes no Rng
+/// draw: adding a deadline must not shift the gap/model/batch stream of
+/// an existing seed, or every golden summary would move.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +47,10 @@ struct LoadSpec {
   double MeanGapUs = 200.0;
   /// Candidate batch sizes, drawn uniformly per request.
   std::vector<int> Batches = {1};
+  /// Per-request latency budget in microseconds (0 = no deadline). The
+  /// serve loop sheds a request whose deadline passes while it queues and
+  /// classifies late completions (serve.deadline.* counters).
+  int64_t DeadlineUs = 0;
 
   /// Parses the spec grammar above. Returns false and serve.bad-spec
   /// diagnostics in \p DE on malformed input; an empty spec is the
@@ -55,7 +64,8 @@ struct Request {
   int Id = 0;        ///< dense [0, Count), also the arrival tie-break
   int ModelIdx = 0;  ///< index into the serve model list
   int Batch = 1;
-  int64_t ArrivalNs = 0; ///< virtual arrival time
+  int64_t ArrivalNs = 0;  ///< virtual arrival time
+  int64_t DeadlineNs = 0; ///< latency budget relative to arrival (0 = none)
 };
 
 /// Expands \p Spec into its request stream over \p NumModels models

@@ -30,6 +30,11 @@ std::string pf::serve::renderServeReport(const ServeResult &R) {
       .field("max_inflight", R.MaxInflight)
       .field("max_queue", R.MaxQueue)
       .field("seed", static_cast<int64_t>(R.Seed))
+      .field("default_deadline_us", R.DefaultDeadlineUs)
+      .field("retry_budget", R.RetryBudget)
+      .field("breaker_threshold", R.BreakerThreshold)
+      .field("breaker_cooldown_us", R.BreakerCooldownUs)
+      .field("faults", R.FaultSummary)
       .endObject();
 
   W.key("outcomes")
@@ -39,6 +44,33 @@ std::string pf::serve::renderServeReport(const ServeResult &R) {
       .field("degraded", R.Degraded)
       .field("floor_fallbacks", R.FloorFallbacks)
       .field("shed", R.Shed)
+      .endObject();
+
+  W.key("shed_reasons")
+      .beginObject()
+      .field("queue_full", R.ShedQueueFull)
+      .field("deadline_expired", R.ShedDeadline)
+      .endObject();
+  W.key("floor_reasons")
+      .beginObject()
+      .field("below_floor", R.FloorBelowFloor)
+      .field("retry_budget", R.FloorRetryBudget)
+      .endObject();
+  W.key("deadlines")
+      .beginObject()
+      .field("met", R.DeadlineMet)
+      .field("missed_run", R.DeadlineMissedRun)
+      .field("expired_queued", R.DeadlineExpiredQueued)
+      .endObject();
+  W.key("resilience")
+      .beginObject()
+      .field("fault_interrupts", R.FaultInterrupts)
+      .field("retries_used", R.RetriesUsed)
+      .field("retry_budget_denied", R.RetryBudgetDenied)
+      .field("breaker_trips", R.BreakerTrips)
+      .field("breaker_probes", R.BreakerProbes)
+      .field("breaker_readmits", R.BreakerReadmits)
+      .field("channel_recoveries", R.ChannelRecoveries)
       .endObject();
 
   // Exact nearest-rank percentiles (integer virtual ns), as opposed to
@@ -65,6 +97,9 @@ std::string pf::serve::renderServeReport(const ServeResult &R) {
                R.ModelNames[static_cast<size_t>(S.Req.ModelIdx)])
         .field("batch", S.Req.Batch)
         .field("outcome", outcomeName(S.Outcome))
+        .field("reason", outcomeReasonName(S.Reason))
+        .field("deadline", deadlineStateName(S.deadlineState()))
+        .field("retries", S.Retries)
         .field("channels_granted", S.channelsGranted())
         .field("channels_wanted", S.ChannelsWanted)
         .field("arrival_ns", S.Req.ArrivalNs)

@@ -13,6 +13,7 @@
 #include <map>
 #include <queue>
 
+#include "obs/FlightRecorder.h"
 #include "obs/Json.h"
 #include "support/Format.h"
 #include "support/Log.h"
@@ -33,6 +34,40 @@ const char *pf::serve::outcomeName(RequestOutcome O) {
     return "shed";
   }
   pf_unreachable("unknown request outcome");
+}
+
+const char *pf::serve::outcomeReasonName(OutcomeReason R) {
+  switch (R) {
+  case OutcomeReason::None:
+    return "none";
+  case OutcomeReason::Contention:
+    return "contention";
+  case OutcomeReason::BelowFloor:
+    return "below-floor";
+  case OutcomeReason::FaultRetry:
+    return "fault-retry";
+  case OutcomeReason::RetryBudget:
+    return "retry-budget";
+  case OutcomeReason::QueueFull:
+    return "queue-full";
+  case OutcomeReason::DeadlineExpired:
+    return "deadline-expired";
+  }
+  pf_unreachable("unknown outcome reason");
+}
+
+const char *pf::serve::deadlineStateName(DeadlineState D) {
+  switch (D) {
+  case DeadlineState::None:
+    return "none";
+  case DeadlineState::Met:
+    return "met";
+  case DeadlineState::MissedRun:
+    return "missed";
+  case DeadlineState::ExpiredQueued:
+    return "expired";
+  }
+  pf_unreachable("unknown deadline state");
 }
 
 Server::Server(std::vector<std::pair<std::string, Graph>> InModels,
@@ -123,6 +158,13 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
   const int Floor = std::clamp(Options.Flow.PimFloor, 0, Planned);
   const int MaxInflight = std::max(1, Options.MaxInflight);
   const int MaxQueue = std::max(0, Options.MaxQueue);
+  const int64_t DefaultDeadlineNs = Options.DefaultDeadlineUs * 1000;
+  // Per-session fault retries default to the PR 4 ladder's per-run
+  // budget; the global budget bounds the whole stream.
+  const int SessionBudget = Options.SessionRetryBudget >= 0
+                                ? Options.SessionRetryBudget
+                                : std::max(0, Options.Flow.MaxRetries);
+  int RetryBudgetLeft = std::max(0, Options.RetryBudget);
 
   ServeResult R;
   for (const PreparedModel &PM : Models)
@@ -134,6 +176,11 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
   R.MaxInflight = MaxInflight;
   R.MaxQueue = MaxQueue;
   R.Seed = Spec.Seed;
+  R.DefaultDeadlineUs = Options.DefaultDeadlineUs;
+  R.RetryBudget = std::max(0, Options.RetryBudget);
+  R.BreakerThreshold = Options.BreakerThreshold;
+  R.BreakerCooldownUs = Options.BreakerCooldownUs;
+  R.FaultSummary = Options.Faults.describe();
 
   const std::vector<Request> Requests =
       generateRequests(Spec, static_cast<int>(Models.size()));
@@ -142,16 +189,32 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
     auto S = std::make_unique<Session>();
     S->Req = Q;
     S->ChannelsWanted = Planned;
+    const int64_t BudgetNs =
+        Q.DeadlineNs > 0 ? Q.DeadlineNs : DefaultDeadlineNs;
+    S->DeadlineNs = BudgetNs > 0 ? Q.ArrivalNs + BudgetNs : 0;
     R.Sessions.push_back(std::move(S));
   }
 
   ChannelAllocator Alloc(Pool);
-  ThreadPool Pool(static_cast<unsigned>(std::max(1, Options.Jobs)));
+  ChannelScoreboard Health(Pool, Options.BreakerThreshold,
+                       Options.BreakerCooldownUs * 1000, Spec.Seed);
 
-  // Each admitted request's engine run, re-executed for real under the
+  // Statically dead channels never serve: quarantined from t = 0, no
+  // readmission path (their outage has no end).
+  for (int Ch = 0; Ch < Pool; ++Ch)
+    if (Options.Faults.channelDead(Ch)) {
+      Alloc.quarantine(Ch);
+      Health.noteQuarantine(Ch, 0);
+    }
+
+  ThreadPool Workers(static_cast<unsigned>(std::max(1, Options.Jobs)));
+
+  // Each completed request's engine run, re-executed for real under the
   // session's private scope. The virtual completion time comes from the
   // duration table, so worker timing never reorders the event loop; the
-  // run result is cross-checked against the table below.
+  // run result is cross-checked against the table below. Submission
+  // happens at *completion* time so an interrupted-and-retried session
+  // executes exactly once, under its final granted configuration.
   struct RunResult {
     double TotalNs = 0.0;
     int MissingNodes = 0;
@@ -160,7 +223,7 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
   auto submitRun = [&](Session &S) {
     const size_t Idx = static_cast<size_t>(S.Req.Id);
     const int C = S.channelsGranted();
-    Runs.emplace_back(Idx, Pool.submit([this, &S, C]() -> RunResult {
+    Runs.emplace_back(Idx, Workers.submit([this, &S, C]() -> RunResult {
       obs::ScopeGuard Guard(S.Scope);
       const PreparedModel &PM =
           Models[static_cast<size_t>(S.Req.ModelIdx)];
@@ -182,9 +245,17 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
   };
 
   // The discrete-event loop: single-threaded, over virtual nanoseconds.
+  // Three event sources merge on (time, priority): channel recoveries
+  // and breaker probes first (freed channels are visible at the same
+  // instant), then completions, then outage starts, then arrivals —
+  // so a completion at t sees the machine state after recoveries at t,
+  // and an arrival at t sees capacity freed by completions at t, but a
+  // channel dying at t cannot retroactively kill a run that finished
+  // at t.
   struct Completion {
     int64_t EndNs;
     int Id;
+    int Gen; ///< stale when != the session's current generation
     bool operator>(const Completion &O) const {
       return EndNs != O.EndNs ? EndNs > O.EndNs : Id > O.Id;
     }
@@ -192,22 +263,40 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
   std::priority_queue<Completion, std::vector<Completion>,
                       std::greater<Completion>>
       Completions;
+
+  enum class TimerKind : uint8_t { OutageEnd, Probe, OutageStart };
+  struct Timer {
+    int64_t T;
+    int Prio; ///< cross-source order: see PrioOf below
+    uint64_t Seq;
+    TimerKind K;
+    int Ch;
+    bool operator>(const Timer &O) const {
+      if (T != O.T)
+        return T > O.T;
+      if (Prio != O.Prio)
+        return Prio > O.Prio;
+      return Seq > O.Seq;
+    }
+  };
+  constexpr int PrioOutageEnd = 0, PrioProbe = 1, PrioCompletion = 2,
+                PrioOutageStart = 3, PrioArrival = 4;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> Timers;
+  uint64_t TimerSeq = 0;
+  for (const ChannelOutage &O : Options.Faults.outages()) {
+    if (O.Channel < 0 || O.Channel >= Pool)
+      continue; // out-of-pool entries are inert, like the static classes
+    Timers.push({O.StartNs, PrioOutageStart, TimerSeq++,
+                 TimerKind::OutageStart, O.Channel});
+    Timers.push({O.EndNs, PrioOutageEnd, TimerSeq++, TimerKind::OutageEnd,
+                 O.Channel});
+  }
+
   std::deque<int> Waiting;
   std::map<int, ChannelGrant> LiveGrants;
   int Inflight = 0;
 
-  auto start = [&](Session &S, int64_t Now) {
-    S.StartNs = Now;
-    int C = 0;
-    if (auto Grant = Alloc.tryAcquire(Planned, Floor)) {
-      C = Grant->granted();
-      S.Outcome = Grant->degraded() ? RequestOutcome::Degraded
-                                    : RequestOutcome::Served;
-      S.Channels = Grant->Channels;
-      LiveGrants.emplace(S.Req.Id, std::move(*Grant));
-    } else {
-      S.Outcome = RequestOutcome::FloorFallback;
-    }
+  auto price = [&](Session &S, int C, int64_t Now) {
     const PreparedModel &PM = Models[static_cast<size_t>(S.Req.ModelIdx)];
     S.UnitNs = PM.UnitNsByChannels[static_cast<size_t>(C)];
     S.UnitEnergyJ = PM.UnitEnergyJByChannels[static_cast<size_t>(C)];
@@ -216,35 +305,203 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
     const int64_t ServiceNs = std::max<int64_t>(
         1, std::llround(S.UnitNs * static_cast<double>(S.Req.Batch)));
     S.EndNs = Now + ServiceNs;
-    Completions.push({S.EndNs, S.Req.Id});
+    Completions.push({S.EndNs, S.Req.Id, S.Gen});
+  };
+
+  auto start = [&](Session &S, int64_t Now) {
+    S.StartNs = Now;
+    int C = 0;
+    if (auto Grant = Alloc.tryAcquire(Planned, Floor)) {
+      C = Grant->granted();
+      S.Outcome = Grant->degraded() ? RequestOutcome::Degraded
+                                    : RequestOutcome::Served;
+      S.Reason = Grant->degraded() ? OutcomeReason::Contention
+                                   : OutcomeReason::None;
+      S.Channels = Grant->Channels;
+      if (!S.Channels.empty())
+        R.Grants.push_back({Now, S.Req.Id, S.Channels});
+      LiveGrants.emplace(S.Req.Id, std::move(*Grant));
+    } else {
+      S.Outcome = RequestOutcome::FloorFallback;
+      S.Reason = OutcomeReason::BelowFloor;
+    }
+    price(S, C, Now);
     ++Inflight;
-    submitRun(S);
+  };
+
+  // A channel outage cutting a live grant: surrender the grant (the dead
+  // channel stays quarantined), then either consume retry budget for an
+  // immediate re-grant — the PR 4 ladder's remap, re-priced and restarted
+  // at Now — or demote straight to the GPU floor. Either way the old
+  // completion entry is a stale generation.
+  auto interrupt = [&](Session &S, int64_t Now) {
+    ++R.FaultInterrupts;
+    auto It = LiveGrants.find(S.Req.Id);
+    if (It == LiveGrants.end()) {
+      obs::addCounter("serve.internal_errors");
+      if (DE)
+        DE->error(DiagCode::ServeInternal,
+                  formatStr("request %d", S.Req.Id),
+                  "interrupted session holds no grant");
+      return;
+    }
+    Alloc.release(It->second, DE);
+    LiveGrants.erase(It);
+    ++S.Gen;
+    S.Channels.clear();
+    int C = 0;
+    if (S.Retries < SessionBudget && RetryBudgetLeft > 0) {
+      // A retry *attempt* consumes budget even when the shrunken pool can
+      // no longer supply the floor — that admission-style decision is
+      // what the attempt bought.
+      --RetryBudgetLeft;
+      ++S.Retries;
+      ++R.RetriesUsed;
+      if (auto Grant = Alloc.tryAcquire(Planned, Floor)) {
+        C = Grant->granted();
+        S.Outcome = Grant->degraded() ? RequestOutcome::Degraded
+                                      : RequestOutcome::Served;
+        S.Reason = OutcomeReason::FaultRetry;
+        S.Channels = Grant->Channels;
+        if (!S.Channels.empty())
+          R.Grants.push_back({Now, S.Req.Id, S.Channels});
+        LiveGrants.emplace(S.Req.Id, std::move(*Grant));
+      } else {
+        S.Outcome = RequestOutcome::FloorFallback;
+        S.Reason = OutcomeReason::BelowFloor;
+      }
+    } else {
+      ++R.RetryBudgetDenied;
+      S.Outcome = RequestOutcome::FloorFallback;
+      S.Reason = OutcomeReason::RetryBudget;
+    }
+    // Replay semantics: the interrupted work is abandoned and the request
+    // restarts from Now under its final configuration (only that final
+    // run is charged for energy and re-executed by a worker).
+    price(S, C, Now);
   };
 
   size_t NextArrival = 0;
-  while (NextArrival < Requests.size() || !Completions.empty()) {
-    // Completions first at a tied timestamp: freed capacity and channels
-    // are visible to an arrival at the same virtual instant.
-    const bool TakeCompletion =
-        !Completions.empty() &&
-        (NextArrival >= Requests.size() ||
-         Completions.top().EndNs <= Requests[NextArrival].ArrivalNs);
-    if (TakeCompletion) {
+  auto peelStale = [&] {
+    while (!Completions.empty() &&
+           Completions.top().Gen !=
+               R.Sessions[static_cast<size_t>(Completions.top().Id)]->Gen)
+      Completions.pop();
+  };
+
+  while (true) {
+    peelStale();
+    const bool HaveArrival = NextArrival < Requests.size();
+    const bool HaveCompletion = !Completions.empty();
+    if (!HaveArrival && !HaveCompletion)
+      break; // pending timers beyond the stream's end are irrelevant
+
+    // Pick the earliest (time, priority) across the three sources.
+    int64_t BestT = 0;
+    int BestPrio = 0;
+    int BestSrc = -1; // 0 = timer, 1 = completion, 2 = arrival
+    auto Consider = [&](int64_t T, int Prio, int Src) {
+      if (BestSrc < 0 || T < BestT || (T == BestT && Prio < BestPrio)) {
+        BestT = T;
+        BestPrio = Prio;
+        BestSrc = Src;
+      }
+    };
+    if (!Timers.empty())
+      Consider(Timers.top().T, Timers.top().Prio, 0);
+    if (HaveCompletion)
+      Consider(Completions.top().EndNs, PrioCompletion, 1);
+    if (HaveArrival)
+      Consider(Requests[NextArrival].ArrivalNs, PrioArrival, 2);
+
+    if (BestSrc == 0) {
+      const Timer E = Timers.top();
+      Timers.pop();
+      switch (E.K) {
+      case TimerKind::OutageStart: {
+        if (!Alloc.isQuarantined(E.Ch)) {
+          Alloc.quarantine(E.Ch);
+          Health.noteQuarantine(E.Ch, E.T);
+        }
+        if (Health.recordFailure(E.Ch, E.T)) {
+          obs::flightEvent(obs::FlightEventKind::BreakerTrip, E.T, E.Ch,
+                           Health.consecutiveFailures(E.Ch));
+          Timers.push({Health.nextProbeNs(E.Ch, E.T), PrioProbe, TimerSeq++,
+                       TimerKind::Probe, E.Ch});
+        }
+        // At most one live grant can hold the channel (grants are
+        // exclusive); interrupt its session.
+        for (auto &[Id, G] : LiveGrants) {
+          if (std::find(G.Channels.begin(), G.Channels.end(), E.Ch) ==
+              G.Channels.end())
+            continue;
+          interrupt(*R.Sessions[static_cast<size_t>(Id)], E.T);
+          break; // LiveGrants mutated; the single holder is handled
+        }
+        break;
+      }
+      case TimerKind::OutageEnd: {
+        // A closed breaker readmits the channel as soon as the outage
+        // ends (unless another window still covers it); an open breaker
+        // keeps it quarantined until a probe succeeds.
+        if (!Health.open(E.Ch) && Alloc.isQuarantined(E.Ch) &&
+            !Options.Faults.deadAt(E.Ch, E.T)) {
+          Alloc.readmit(E.Ch);
+          Health.noteRecovery(E.Ch, E.T);
+        }
+        break;
+      }
+      case TimerKind::Probe: {
+        if (!Health.open(E.Ch))
+          break; // breaker closed by an earlier probe of this chain
+        const bool Healthy = !Options.Faults.deadAt(E.Ch, E.T);
+        obs::flightEvent(obs::FlightEventKind::BreakerProbe, E.T, E.Ch,
+                         Healthy ? 1 : 0);
+        if (Health.probe(E.Ch, E.T, Healthy)) {
+          Alloc.readmit(E.Ch);
+          obs::flightEvent(obs::FlightEventKind::BreakerReadmit, E.T, E.Ch);
+        } else {
+          Timers.push({Health.nextProbeNs(E.Ch, E.T), PrioProbe, TimerSeq++,
+                       TimerKind::Probe, E.Ch});
+        }
+        break;
+      }
+      }
+      continue;
+    }
+
+    if (BestSrc == 1) {
       const Completion Done = Completions.top();
       Completions.pop();
+      Session &S = *R.Sessions[static_cast<size_t>(Done.Id)];
       auto It = LiveGrants.find(Done.Id);
       if (It != LiveGrants.end()) {
-        Alloc.release(It->second);
+        // A finished run is a success signal for every channel it held.
+        for (int Ch : It->second.Channels)
+          Health.recordSuccess(Ch);
+        Alloc.release(It->second, DE);
         LiveGrants.erase(It);
       }
       --Inflight;
+      submitRun(S);
       while (!Waiting.empty() && Inflight < MaxInflight) {
         Session &Next = *R.Sessions[static_cast<size_t>(Waiting.front())];
         Waiting.pop_front();
+        // Deadline shedding: a queued request whose budget has already
+        // passed is dead on arrival at the head of the line. Its shed
+        // instant is the deadline itself (when it became undeliverable),
+        // not the completion that happened to pop it.
+        if (Next.hasDeadline() && Done.EndNs >= Next.DeadlineNs) {
+          Next.Outcome = RequestOutcome::Shed;
+          Next.Reason = OutcomeReason::DeadlineExpired;
+          Next.StartNs = Next.EndNs = Next.DeadlineNs;
+          continue;
+        }
         start(Next, Done.EndNs);
       }
       continue;
     }
+
     const Request &Q = Requests[NextArrival++];
     Session &S = *R.Sessions[static_cast<size_t>(Q.Id)];
     if (Inflight < MaxInflight) {
@@ -253,11 +510,21 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
       Waiting.push_back(Q.Id);
     } else {
       S.Outcome = RequestOutcome::Shed;
+      S.Reason = OutcomeReason::QueueFull;
       S.StartNs = S.EndNs = Q.ArrivalNs;
     }
   }
-  PF_ASSERT(Inflight == 0 && LiveGrants.empty() && Waiting.empty(),
-            "serve event loop finished with live state");
+  if (Inflight != 0 || !LiveGrants.empty() || !Waiting.empty()) {
+    // Survivable invariant breach: report and keep serving the summary
+    // instead of aborting a release-mode server.
+    obs::addCounter("serve.internal_errors");
+    if (DE)
+      DE->error(DiagCode::ServeInternal, "event loop",
+                formatStr("finished with live state (inflight=%d, "
+                          "grants=%d, waiting=%d)",
+                          Inflight, static_cast<int>(LiveGrants.size()),
+                          static_cast<int>(Waiting.size())));
+  }
 
   // Drain the real runs and cross-check them against the duration table:
   // a session's engine run must price exactly like the pricing pass (same
@@ -265,8 +532,13 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
   for (auto &[Idx, Fut] : Runs) {
     const RunResult RR = Fut.get();
     Session &S = *R.Sessions[Idx];
-    PF_ASSERT(std::abs(RR.TotalNs - S.UnitNs) < 0.5,
-              "session run disagrees with the duration table");
+    if (std::abs(RR.TotalNs - S.UnitNs) >= 0.5) {
+      obs::addCounter("serve.internal_errors");
+      if (DE)
+        DE->error(DiagCode::ServeInternal,
+                  formatStr("request %d", S.Req.Id),
+                  "session run disagrees with the duration table");
+    }
     if (RR.MissingNodes > 0 && DE)
       DE->warning(DiagCode::ServeTimelineGap,
                   formatStr("request %d", S.Req.Id),
@@ -293,10 +565,44 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
     case RequestOutcome::FloorFallback:
       ++R.FloorFallbacks;
       obs::addCounter("serve.floor_fallbacks");
+      if (S.Reason == OutcomeReason::RetryBudget)
+        ++R.FloorRetryBudget;
+      else
+        ++R.FloorBelowFloor;
       break;
     case RequestOutcome::Shed:
       ++R.Shed;
       obs::addCounter("serve.shed");
+      if (S.Reason == OutcomeReason::DeadlineExpired) {
+        ++R.ShedDeadline;
+        obs::addCounter("serve.shed_deadline_expired");
+      } else {
+        ++R.ShedQueueFull;
+        obs::addCounter("serve.shed_queue_full");
+      }
+      break;
+    }
+    switch (S.deadlineState()) {
+    case DeadlineState::None:
+      break;
+    case DeadlineState::Met:
+      ++R.DeadlineMet;
+      obs::addCounter("serve.deadline.met");
+      // Slack/overrun split into two non-negative histograms: the
+      // log-linear registry buckets non-positive samples at zero, so a
+      // signed slack would lose the miss magnitudes.
+      obs::recordMetric("serve.deadline_slack_ns",
+                        static_cast<double>(S.DeadlineNs - S.EndNs));
+      break;
+    case DeadlineState::MissedRun:
+      ++R.DeadlineMissedRun;
+      obs::addCounter("serve.deadline.missed_run");
+      obs::recordMetric("serve.deadline_overrun_ns",
+                        static_cast<double>(S.EndNs - S.DeadlineNs));
+      break;
+    case DeadlineState::ExpiredQueued:
+      ++R.DeadlineExpiredQueued;
+      obs::addCounter("serve.deadline.expired_queued");
       break;
     }
     if (!S.ran())
@@ -311,6 +617,26 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
     obs::recordMetric("serve.service_ns",
                       static_cast<double>(S.serviceNs()));
   }
+
+  R.BreakerTrips = Health.trips();
+  R.BreakerProbes = Health.probes();
+  R.BreakerReadmits = Health.readmits();
+  R.ChannelRecoveries = Health.recoveries();
+  R.HealthEvents = Health.events();
+  if (R.FaultInterrupts > 0)
+    obs::addCounter("serve.fault_interrupts", R.FaultInterrupts);
+  if (R.RetriesUsed > 0)
+    obs::addCounter("serve.retries", R.RetriesUsed);
+  if (R.RetryBudgetDenied > 0)
+    obs::addCounter("serve.retry_budget_denied", R.RetryBudgetDenied);
+  if (R.BreakerTrips > 0)
+    obs::addCounter("serve.breaker.trips", R.BreakerTrips);
+  if (R.BreakerProbes > 0)
+    obs::addCounter("serve.breaker.probes", R.BreakerProbes);
+  if (R.BreakerReadmits > 0)
+    obs::addCounter("serve.breaker.readmits", R.BreakerReadmits);
+  if (R.ChannelRecoveries > 0)
+    obs::addCounter("serve.channel_recoveries", R.ChannelRecoveries);
 
   // Exact nearest-rank percentiles over integer ns: byte-stable, unlike
   // the HDR histograms' bounded-error quantiles.
@@ -351,23 +677,46 @@ std::string pf::serve::renderServeSummary(const ServeResult &R) {
                    R.PolicyName.c_str(), R.PlannedChannels, R.PoolChannels,
                    R.Floor, R.MaxInflight, R.MaxQueue,
                    static_cast<unsigned long long>(R.Seed));
+  Out += formatStr("resilience: default_deadline_us=%lld retry_budget=%d "
+                   "breaker_threshold=%d breaker_cooldown_us=%lld "
+                   "faults=%s\n",
+                   static_cast<long long>(R.DefaultDeadlineUs),
+                   R.RetryBudget, R.BreakerThreshold,
+                   static_cast<long long>(R.BreakerCooldownUs),
+                   R.FaultSummary.c_str());
   for (const auto &SP : R.Sessions) {
     const Session &S = *SP;
     Out += formatStr(
-        "req %04d model=%s batch=%d outcome=%s channels=%d/%d "
+        "req %04d model=%s batch=%d outcome=%s reason=%s channels=%d/%d "
         "arrival_ns=%lld start_ns=%lld end_ns=%lld queue_ns=%lld "
-        "latency_ns=%lld\n",
+        "latency_ns=%lld deadline=%s retries=%d\n",
         S.Req.Id,
         R.ModelNames[static_cast<size_t>(S.Req.ModelIdx)].c_str(),
-        S.Req.Batch, outcomeName(S.Outcome), S.channelsGranted(),
-        S.ChannelsWanted, static_cast<long long>(S.Req.ArrivalNs),
+        S.Req.Batch, outcomeName(S.Outcome), outcomeReasonName(S.Reason),
+        S.channelsGranted(), S.ChannelsWanted,
+        static_cast<long long>(S.Req.ArrivalNs),
         static_cast<long long>(S.StartNs),
         static_cast<long long>(S.EndNs),
         static_cast<long long>(S.ran() ? S.queueDelayNs() : 0),
-        static_cast<long long>(S.ran() ? S.latencyNs() : 0));
+        static_cast<long long>(S.ran() ? S.latencyNs() : 0),
+        deadlineStateName(S.deadlineState()), S.Retries);
   }
   Out += formatStr("outcomes: served=%d degraded=%d floor=%d shed=%d\n",
                    R.Served, R.Degraded, R.FloorFallbacks, R.Shed);
+  Out += formatStr("shed_reasons: queue_full=%d deadline_expired=%d\n",
+                   R.ShedQueueFull, R.ShedDeadline);
+  Out += formatStr("floor_reasons: below_floor=%d retry_budget=%d\n",
+                   R.FloorBelowFloor, R.FloorRetryBudget);
+  Out += formatStr("deadline: met=%d missed_run=%d expired_queued=%d\n",
+                   R.DeadlineMet, R.DeadlineMissedRun,
+                   R.DeadlineExpiredQueued);
+  Out += formatStr("resilience: interrupts=%d retries=%d budget_denied=%d "
+                   "trips=%lld probes=%lld readmits=%lld recoveries=%lld\n",
+                   R.FaultInterrupts, R.RetriesUsed, R.RetryBudgetDenied,
+                   static_cast<long long>(R.BreakerTrips),
+                   static_cast<long long>(R.BreakerProbes),
+                   static_cast<long long>(R.BreakerReadmits),
+                   static_cast<long long>(R.ChannelRecoveries));
   Out += formatStr("latency_ns: p50=%lld p99=%lld max=%lld\n",
                    static_cast<long long>(R.LatencyP50Ns),
                    static_cast<long long>(R.LatencyP99Ns),

@@ -38,6 +38,15 @@
 /// (e.g. 24 channels shared by 16-channel plans) is what leaves partial
 /// remainders free and makes degraded grants reachable.
 ///
+/// Resilience (docs/INTERNALS.md section 14): requests may carry
+/// deadlines (shed once expired in queue, classified late when run past
+/// them); the fault timeline's windowed outages interrupt live grants
+/// mid-stream, consuming bounded retry budgets before demoting to the
+/// GPU floor; and a ChannelScoreboard circuit breaker quarantines channels
+/// that fail repeatedly, re-admitting them via seeded cooldown probes.
+/// Everything runs on the same virtual clock, so a hostile machine is
+/// exactly as deterministic as a healthy one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIMFLOW_SERVE_SERVER_H
@@ -48,6 +57,8 @@
 #include <vector>
 
 #include "core/PimFlow.h"
+#include "pim/FaultModel.h"
+#include "runtime/ChannelScoreboard.h"
 #include "serve/Session.h"
 
 namespace pf::serve {
@@ -72,6 +83,33 @@ struct ServerOptions {
   /// Worker threads re-executing admitted requests (--jobs); outcomes
   /// are identical for every value.
   int Jobs = 1;
+
+  // Resilience knobs (docs/INTERNALS.md section 14).
+
+  /// Default per-request latency budget in microseconds
+  /// (--default-deadline-us); applied to requests whose spec carried no
+  /// deadline-us. 0 = no deadline.
+  int64_t DefaultDeadlineUs = 0;
+  /// Global mid-run retry budget across the whole stream
+  /// (--retry-budget): every channel-outage interrupt that re-grants
+  /// channels consumes one unit; once spent, interrupted requests demote
+  /// straight to the GPU floor. 0 disables mid-run retries entirely.
+  int RetryBudget = 256;
+  /// Per-session retry cap; -1 means Flow.MaxRetries (the PR 4 ladder's
+  /// per-run budget).
+  int SessionRetryBudget = -1;
+  /// Consecutive failures that trip a channel's circuit breaker
+  /// (--breaker-threshold); <= 0 disables tripping.
+  int BreakerThreshold = 2;
+  /// Base spacing of breaker cooldown probes in virtual microseconds
+  /// (--breaker-cooldown-us); each probe adds a seeded jitter.
+  int64_t BreakerCooldownUs = 500;
+  /// Fault schedule evaluated against the serve loop's virtual clock:
+  /// static dead channels are quarantined from t = 0 and windowed
+  /// outages (dead@t1..t2:ch) open and close mid-stream. Slow/stall/
+  /// transient entries are inert in serve mode (they price per-run, not
+  /// per-stream).
+  FaultModel Faults;
 };
 
 /// Aggregate outcome of a serve run. Sessions are ordered by request id;
@@ -89,11 +127,50 @@ struct ServeResult {
   int MaxInflight = 0;
   int MaxQueue = 0;
   uint64_t Seed = 0;
+  int64_t DefaultDeadlineUs = 0;
+  int RetryBudget = 0;
+  int BreakerThreshold = 0;
+  int64_t BreakerCooldownUs = 0;
+  std::string FaultSummary; ///< FaultModel::describe() of the timeline
 
   int Served = 0;
   int Degraded = 0;
   int FloorFallbacks = 0;
   int Shed = 0;
+
+  /// Shed / floor reason breakdowns (sum to Shed / FloorFallbacks).
+  int ShedQueueFull = 0;
+  int ShedDeadline = 0;
+  int FloorBelowFloor = 0;  ///< fewer than floor channels grantable
+  int FloorRetryBudget = 0; ///< floored because the retry budget was spent
+
+  /// Deadline classification over deadline-carrying requests.
+  int DeadlineMet = 0;
+  int DeadlineMissedRun = 0;
+  int DeadlineExpiredQueued = 0;
+
+  /// Resilience tallies.
+  int FaultInterrupts = 0;   ///< live grants cut by a channel outage
+  int RetriesUsed = 0;       ///< interrupts that re-granted channels
+  int RetryBudgetDenied = 0; ///< interrupts demoted for lack of budget
+  int64_t BreakerTrips = 0;
+  int64_t BreakerProbes = 0;
+  int64_t BreakerReadmits = 0;
+  int64_t ChannelRecoveries = 0; ///< non-breaker outage-end readmissions
+
+  /// Chronological health event log (quarantine/trip/probe/readmit on the
+  /// virtual clock) — the chaos tests' quarantine-exclusion evidence.
+  std::vector<BreakerEvent> HealthEvents;
+
+  /// Every channel grant the loop handed out (admission and fault-retry
+  /// re-grants), in event order: the other half of the quarantine
+  /// invariant (a quarantined channel never appears in a grant).
+  struct GrantEvent {
+    int64_t TimeNs = 0;
+    int ReqId = 0;
+    std::vector<int> Channels;
+  };
+  std::vector<GrantEvent> Grants;
 
   int64_t LatencyP50Ns = 0;
   int64_t LatencyP99Ns = 0;

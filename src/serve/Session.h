@@ -32,10 +32,35 @@ enum class RequestOutcome : uint8_t {
   Served,        ///< ran with its full planned channel set
   Degraded,      ///< ran on a smaller (but >= floor) channel set
   FloorFallback, ///< no channels free: ran entirely on the GPU
-  Shed,          ///< admission queue full: rejected, never ran
+  Shed,          ///< rejected (queue full or deadline expired), never ran
 };
 
 const char *outcomeName(RequestOutcome O);
+
+/// Why a request ended up shed, degraded, or floored — the breakdown the
+/// serve summary and report surface (docs/INTERNALS.md section 14).
+enum class OutcomeReason : uint8_t {
+  None,            ///< served in full, nothing to explain
+  Contention,      ///< degraded at admission: pool busy, >= floor free
+  BelowFloor,      ///< floored: fewer than floor channels were grantable
+  FaultRetry,      ///< re-granted mid-run after a channel outage interrupt
+  RetryBudget,     ///< floored: a retry was due but the budget was spent
+  QueueFull,       ///< shed at arrival: wait line at --max-queue
+  DeadlineExpired, ///< shed in queue: deadline passed before admission
+};
+
+const char *outcomeReasonName(OutcomeReason R);
+
+/// Deadline classification of a request (none when it carried no
+/// deadline).
+enum class DeadlineState : uint8_t {
+  None,          ///< no deadline attached
+  Met,           ///< completed at or before arrival + deadline
+  MissedRun,     ///< ran to completion, but past the deadline
+  ExpiredQueued, ///< shed from the queue once the deadline passed
+};
+
+const char *deadlineStateName(DeadlineState D);
 
 /// One request's session: identity, virtual-time bookkeeping from the
 /// serve event loop, the channel grant it ran under, and the private
@@ -43,6 +68,7 @@ const char *outcomeName(RequestOutcome O);
 struct Session {
   Request Req;
   RequestOutcome Outcome = RequestOutcome::Shed;
+  OutcomeReason Reason = OutcomeReason::None;
 
   /// Channels the plan wanted / the allocator granted (granted ids kept
   /// for the pressure tests' disjointness assertions).
@@ -50,9 +76,21 @@ struct Session {
   std::vector<int> Channels;
 
   /// Virtual times (ns): admission start and completion. A shed request
-  /// keeps Start == End == arrival.
+  /// keeps Start == End == the shed instant (arrival, or the deadline
+  /// expiry for a queue-expired request).
   int64_t StartNs = 0;
   int64_t EndNs = 0;
+
+  /// Absolute deadline (arrival + budget); 0 = none.
+  int64_t DeadlineNs = 0;
+
+  /// Mid-run fault retries this session consumed (each one re-granted
+  /// channels and restarted the service interval on the virtual clock).
+  int Retries = 0;
+
+  /// Completion-queue generation: stale completions from before an
+  /// interrupt are lazily discarded by the event loop.
+  int Gen = 0;
 
   /// Unit (batch-1) simulated latency / energy of the engine run that
   /// served this request; virtual service time is Batch * UnitNs.
@@ -68,6 +106,18 @@ struct Session {
   int64_t queueDelayNs() const { return StartNs - Req.ArrivalNs; }
   int64_t serviceNs() const { return EndNs - StartNs; }
   int64_t latencyNs() const { return EndNs - Req.ArrivalNs; }
+
+  bool hasDeadline() const { return DeadlineNs > 0; }
+  DeadlineState deadlineState() const {
+    if (!hasDeadline())
+      return DeadlineState::None;
+    if (!ran())
+      return Reason == OutcomeReason::DeadlineExpired
+                 ? DeadlineState::ExpiredQueued
+                 : DeadlineState::None;
+    return EndNs <= DeadlineNs ? DeadlineState::Met
+                               : DeadlineState::MissedRun;
+  }
 };
 
 } // namespace pf::serve

@@ -80,6 +80,10 @@ const char *pf::diagCodeName(DiagCode Code) {
     return "serve.bad-spec";
   case DiagCode::ServeTimelineGap:
     return "serve.timeline-gap";
+  case DiagCode::ServeInternal:
+    return "serve.internal";
+  case DiagCode::ChannelMisuse:
+    return "runtime.channel-misuse";
   }
   pf_unreachable("unknown diagnostic code");
 }

@@ -69,6 +69,13 @@ enum class DiagCode : uint8_t {
   ServeBadSpec,         ///< serve.bad-spec: malformed --requests entry.
   ServeTimelineGap,     ///< serve.timeline-gap: node absent from a
                         ///< partially-executed timeline (warning, not fatal).
+  ServeInternal,        ///< serve.internal: serve-loop invariant violated
+                        ///< (live state at drain, duration-table mismatch);
+                        ///< the server degrades instead of aborting.
+  // Channel arbitration (runtime/ChannelAllocator).
+  ChannelMisuse,        ///< runtime.channel-misuse: released a channel that
+                        ///< is outside the pool or not currently granted
+                        ///< (double release).
 };
 
 /// Returns the dotted slug for \p Code ("verify.use-before-def", ...).

@@ -229,3 +229,104 @@ TEST(FaultRunTest, FaultsOutsideChannelRangeAreInert) {
   EXPECT_FALSE(FS.anyPersistent());
   EXPECT_EQ(FS.Stats.Cycles, Sim.run(Plan.Trace).Cycles);
 }
+
+//===----------------------------------------------------------------------===//
+// Windowed outages (the serve loop's dynamic fault timeline).
+//===----------------------------------------------------------------------===//
+
+TEST(FaultTimelineTest, ParsesWindowedOutages) {
+  DiagnosticEngine DE;
+  auto M = FaultModel::parse("dead@100..200:3,dead@50..80:1", DE);
+  ASSERT_TRUE(M.has_value()) << DE.render();
+  EXPECT_TRUE(M->hasTimeline());
+  ASSERT_EQ(M->outages().size(), 2u);
+  // Sorted by (StartNs, Channel), stored in ns (spec is microseconds).
+  EXPECT_EQ(M->outages()[0].Channel, 1);
+  EXPECT_EQ(M->outages()[0].StartNs, 50'000);
+  EXPECT_EQ(M->outages()[0].EndNs, 80'000);
+  EXPECT_EQ(M->outages()[1].Channel, 3);
+  EXPECT_EQ(M->outages()[1].StartNs, 100'000);
+  EXPECT_EQ(M->outages()[1].EndNs, 200'000);
+  // Outages are dynamic: the channel is not *statically* dead.
+  EXPECT_FALSE(M->channelDead(3));
+  EXPECT_EQ(M->faultCount(), 2);
+}
+
+TEST(FaultTimelineTest, DeadAtEvaluatesWindowsOnTheVirtualClock) {
+  DiagnosticEngine DE;
+  auto M = FaultModel::parse("dead@100..200:3,dead:0", DE);
+  ASSERT_TRUE(M.has_value());
+  // Window is [t1, t2): closed at the start, open at the end.
+  EXPECT_FALSE(M->deadAt(3, 99'999));
+  EXPECT_TRUE(M->deadAt(3, 100'000));
+  EXPECT_TRUE(M->deadAt(3, 199'999));
+  EXPECT_FALSE(M->deadAt(3, 200'000));
+  // Other channels never match the window.
+  EXPECT_FALSE(M->deadAt(2, 150'000));
+  // Statically dead channels are dead at every instant.
+  EXPECT_TRUE(M->deadAt(0, 0));
+  EXPECT_TRUE(M->deadAt(0, int64_t(1) << 40));
+}
+
+TEST(FaultTimelineTest, OverlappingWindowsUnion) {
+  FaultModel M;
+  M.addOutage(ChannelOutage{2, 100, 300});
+  M.addOutage(ChannelOutage{2, 250, 500});
+  EXPECT_TRUE(M.deadAt(2, 280));  // inside both
+  EXPECT_TRUE(M.deadAt(2, 400));  // inside the second only
+  EXPECT_FALSE(M.deadAt(2, 500)); // past both
+}
+
+TEST(FaultTimelineTest, DescribePrintsWindowsInMicroseconds) {
+  DiagnosticEngine DE;
+  auto M = FaultModel::parse("dead@100..200:3,dead:1", DE);
+  ASSERT_TRUE(M.has_value());
+  // Windows print exactly (us-aligned storage), in the spec grammar's
+  // spelling, alongside the static classes.
+  const std::string Desc = M->describe();
+  EXPECT_NE(Desc.find("dead@100..200:3"), std::string::npos) << Desc;
+  EXPECT_NE(Desc.find("dead:1"), std::string::npos) << Desc;
+  // Each individual entry re-parses (describe joins entries with spaces
+  // for display, so the whole string is not itself a spec).
+  auto Again = FaultModel::parse("dead@100..200:3", DE);
+  ASSERT_TRUE(Again.has_value()) << DE.render();
+  EXPECT_EQ(Again->outages().size(), 1u);
+  EXPECT_EQ(Again->describe(), "dead@100..200:3");
+}
+
+TEST(FaultTimelineTest, MalformedWindowsAreDiagnostics) {
+  for (const char *Bad :
+       {"dead@200..100:0", "dead@100..100:0", "dead@x..y:0", "dead@100:0",
+        "dead@100..:0", "dead@..200:0", "dead@100..200:4096",
+        "dead@100..200"}) {
+    DiagnosticEngine DE;
+    EXPECT_FALSE(FaultModel::parse(Bad, DE).has_value()) << Bad;
+    EXPECT_TRUE(DE.hasCode(DiagCode::FaultBadSpec)) << Bad;
+  }
+}
+
+TEST(FaultTimelineTest, ChaosTimelineIsSeededAndBounded) {
+  const FaultModel A = FaultModel::chaosTimeline(9, 12, 2'000'000);
+  const FaultModel B = FaultModel::chaosTimeline(9, 12, 2'000'000);
+  EXPECT_EQ(A.describe(), B.describe());
+  EXPECT_TRUE(A.hasTimeline());
+  ASSERT_GE(A.outages().size(), 1u);
+  ASSERT_LE(A.outages().size(), 4u);
+  for (const ChannelOutage &O : A.outages()) {
+    EXPECT_GE(O.Channel, 0);
+    EXPECT_LT(O.Channel, 12);
+    EXPECT_GE(O.StartNs, 0);
+    EXPECT_GT(O.EndNs, O.StartNs);
+    // us-aligned so describe() prints exactly.
+    EXPECT_EQ(O.StartNs % 1000, 0);
+    EXPECT_EQ(O.EndNs % 1000, 0);
+  }
+  // The static fault classes stay empty: a timeline is serve-only.
+  EXPECT_EQ(A.faultCount(), static_cast<int>(A.outages().size()));
+  // Seeds diverge, and the chaos() stream is untouched by the timeline
+  // generator (its outputs are pinned by the tests above).
+  EXPECT_NE(FaultModel::chaosTimeline(1, 12, 2'000'000).describe(),
+            FaultModel::chaosTimeline(2, 12, 2'000'000).describe());
+  EXPECT_TRUE(FaultModel::chaosTimeline(5, 0, 1000).empty());
+  EXPECT_TRUE(FaultModel::chaosTimeline(5, 12, 0).empty());
+}

@@ -1,0 +1,124 @@
+//===- tests/runtime/ChannelScoreboardTest.cpp - Breaker tests --*- C++ -*-===//
+//
+// Part of the PIMFlow reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "runtime/ChannelScoreboard.h"
+
+using namespace pf;
+
+namespace {
+
+TEST(ChannelScoreboardTest, TripsAfterConsecutiveFailures) {
+  ChannelScoreboard B(4, /*TripThreshold=*/3, /*CooldownNs=*/1000,
+                      /*Seed=*/7);
+  EXPECT_FALSE(B.recordFailure(0, 100));
+  EXPECT_FALSE(B.recordFailure(0, 200));
+  EXPECT_FALSE(B.open(0));
+  EXPECT_EQ(B.consecutiveFailures(0), 2);
+
+  // The third consecutive failure trips; further failures are absorbed by
+  // the already-open breaker.
+  EXPECT_TRUE(B.recordFailure(0, 300));
+  EXPECT_TRUE(B.open(0));
+  EXPECT_EQ(B.tripCount(0), 1);
+  EXPECT_EQ(B.trips(), 1);
+  EXPECT_FALSE(B.recordFailure(0, 400));
+  EXPECT_EQ(B.tripCount(0), 1);
+
+  // Other channels are independent.
+  EXPECT_FALSE(B.open(1));
+  EXPECT_EQ(B.consecutiveFailures(1), 0);
+}
+
+TEST(ChannelScoreboardTest, SuccessResetsAClosedBreakerOnly) {
+  ChannelScoreboard B(2, 2, 1000, 1);
+  EXPECT_FALSE(B.recordFailure(0, 10));
+  B.recordSuccess(0);
+  EXPECT_EQ(B.consecutiveFailures(0), 0);
+
+  // Two more failures trip it; a success while open must NOT silently
+  // close the breaker — only a probe may.
+  EXPECT_FALSE(B.recordFailure(0, 20));
+  EXPECT_TRUE(B.recordFailure(0, 30));
+  B.recordSuccess(0);
+  EXPECT_TRUE(B.open(0));
+}
+
+TEST(ChannelScoreboardTest, ProbeClosesOnHealthyAndLogsTheLifecycle) {
+  ChannelScoreboard B(2, 1, 1000, 42);
+  EXPECT_TRUE(B.recordFailure(0, 50));
+  EXPECT_FALSE(B.probe(0, 1100, /*Healthy=*/false));
+  EXPECT_TRUE(B.open(0));
+  EXPECT_TRUE(B.probe(0, 2200, /*Healthy=*/true));
+  EXPECT_FALSE(B.open(0));
+  EXPECT_EQ(B.consecutiveFailures(0), 0);
+  EXPECT_EQ(B.probes(), 2);
+  EXPECT_EQ(B.readmits(), 1);
+
+  // Event log: trip -> unhealthy probe -> healthy probe -> readmit, in
+  // virtual-time order.
+  const auto &E = B.events();
+  ASSERT_EQ(E.size(), 4u);
+  EXPECT_EQ(E[0].K, BreakerEvent::Kind::Trip);
+  EXPECT_EQ(E[1].K, BreakerEvent::Kind::Probe);
+  EXPECT_FALSE(E[1].Ok);
+  EXPECT_EQ(E[2].K, BreakerEvent::Kind::Probe);
+  EXPECT_TRUE(E[2].Ok);
+  EXPECT_EQ(E[3].K, BreakerEvent::Kind::Readmit);
+  EXPECT_TRUE(E[3].Ok);
+  for (size_t I = 1; I < E.size(); ++I)
+    EXPECT_LE(E[I - 1].TimeNs, E[I].TimeNs);
+}
+
+TEST(ChannelScoreboardTest, ProbeScheduleIsSeededAndOrderIndependent) {
+  ChannelScoreboard A(4, 1, 1000, 9);
+  ChannelScoreboard B(4, 1, 1000, 9);
+  // Same (seed, channel, attempt) -> same instant, regardless of what
+  // happened on other channels in between.
+  const int64_t A0 = A.nextProbeNs(2, 5000);
+  B.nextProbeNs(1, 777); // unrelated channel consumes nothing shared
+  const int64_t B0 = B.nextProbeNs(2, 5000);
+  EXPECT_EQ(A0, B0);
+  EXPECT_GE(A0, 5000 + 1000);
+  EXPECT_LE(A0, 5000 + 1000 + 250); // jitter in [0, Cooldown/4]
+
+  // Attempts advance the schedule deterministically.
+  const int64_t A1 = A.nextProbeNs(2, 5000);
+  const int64_t B1 = B.nextProbeNs(2, 5000);
+  EXPECT_EQ(A1, B1);
+
+  // Different seeds diverge somewhere in the first few attempts.
+  ChannelScoreboard C(4, 1, 1000, 10);
+  bool Diverged = false;
+  ChannelScoreboard A2(4, 1, 1000, 9);
+  for (int I = 0; I < 8 && !Diverged; ++I)
+    Diverged = A2.nextProbeNs(2, 5000) != C.nextProbeNs(2, 5000);
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(ChannelScoreboardTest, ZeroThresholdDisablesTripping) {
+  ChannelScoreboard B(2, 0, 1000, 1);
+  for (int I = 0; I < 64; ++I)
+    EXPECT_FALSE(B.recordFailure(1, I));
+  EXPECT_FALSE(B.open(1));
+  EXPECT_EQ(B.trips(), 0);
+}
+
+TEST(ChannelScoreboardTest, RecoveryIsLoggedAsNonProbeReadmit) {
+  ChannelScoreboard B(2, 4, 1000, 1);
+  B.noteQuarantine(0, 100);
+  B.noteRecovery(0, 900);
+  EXPECT_EQ(B.recoveries(), 1);
+  EXPECT_EQ(B.readmits(), 0);
+  const auto &E = B.events();
+  ASSERT_EQ(E.size(), 2u);
+  EXPECT_EQ(E[0].K, BreakerEvent::Kind::Quarantine);
+  EXPECT_EQ(E[1].K, BreakerEvent::Kind::Readmit);
+  EXPECT_FALSE(E[1].Ok); // outage-end recovery, not a breaker probe
+}
+
+} // namespace

@@ -82,6 +82,91 @@ TEST(ChannelAllocatorTest, ReleaseReturnsChannelsForReuse) {
   EXPECT_EQ(Again->granted(), 4);
 }
 
+TEST(ChannelAllocatorTest, DoubleReleaseIsAMisuseDiagnosticNotACrash) {
+  ChannelAllocator A(4);
+  DiagnosticEngine DE;
+  auto G = A.tryAcquire(4, 1);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_TRUE(A.release(*G, &DE));
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_EQ(A.freeCount(), 4);
+
+  // The second release of the same grant is a runtime.channel-misuse
+  // error: reported, skipped, and the free list stays consistent.
+  EXPECT_FALSE(A.release(*G, &DE));
+  EXPECT_TRUE(DE.hasCode(DiagCode::ChannelMisuse));
+  EXPECT_EQ(A.freeCount(), 4);
+  // The allocator still works after the misuse.
+  auto Again = A.tryAcquire(4, 1);
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ(Again->granted(), 4);
+}
+
+TEST(ChannelAllocatorTest, OutOfPoolReleaseIsAMisuseDiagnostic) {
+  ChannelAllocator A(4);
+  DiagnosticEngine DE;
+  ChannelGrant Forged;
+  Forged.Channels = {2, 7}; // 7 is outside the pool, 2 was never granted
+  Forged.Wanted = 2;
+  EXPECT_FALSE(A.release(Forged, &DE));
+  EXPECT_TRUE(DE.hasCode(DiagCode::ChannelMisuse));
+  EXPECT_EQ(A.freeCount(), 4);
+}
+
+TEST(ChannelAllocatorTest, QuarantineExcludesChannelsFromGrants) {
+  ChannelAllocator A(4);
+  EXPECT_TRUE(A.quarantine(0));
+  EXPECT_TRUE(A.isQuarantined(0));
+  EXPECT_EQ(A.quarantinedCount(), 1);
+  EXPECT_EQ(A.freeCount(), 3);
+
+  auto G = A.tryAcquire(4, 1);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_TRUE(G->degraded());
+  EXPECT_EQ(G->Channels, (std::vector<int>{1, 2, 3}));
+  A.release(*G);
+
+  EXPECT_TRUE(A.readmit(0));
+  EXPECT_FALSE(A.isQuarantined(0));
+  EXPECT_EQ(A.freeCount(), 4);
+  auto Full = A.tryAcquire(4, 1);
+  ASSERT_TRUE(Full.has_value());
+  EXPECT_FALSE(Full->degraded());
+}
+
+TEST(ChannelAllocatorTest, QuarantinedLiveChannelIsWithheldOnRelease) {
+  ChannelAllocator A(4);
+  auto G = A.tryAcquire(4, 1);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(A.freeCount(), 0);
+
+  // Quarantining an in-use channel does not revoke the grant; the channel
+  // simply skips the free list when the grant comes back.
+  EXPECT_TRUE(A.quarantine(1));
+  EXPECT_EQ(A.freeCount(), 0);
+  EXPECT_TRUE(A.release(*G));
+  EXPECT_EQ(A.freeCount(), 3);
+  auto Next = A.tryAcquire(4, 1);
+  ASSERT_TRUE(Next.has_value());
+  EXPECT_EQ(Next->Channels, (std::vector<int>{0, 2, 3}));
+  A.release(*Next);
+  EXPECT_TRUE(A.readmit(1));
+  EXPECT_EQ(A.freeCount(), 4);
+}
+
+TEST(ChannelAllocatorTest, QuarantineIsIdempotentAndBoundsChecked) {
+  ChannelAllocator A(2);
+  EXPECT_FALSE(A.quarantine(-1));
+  EXPECT_FALSE(A.quarantine(2));
+  EXPECT_FALSE(A.readmit(5));
+  EXPECT_TRUE(A.quarantine(0));
+  EXPECT_TRUE(A.quarantine(0)); // idempotent
+  EXPECT_EQ(A.freeCount(), 1);
+  EXPECT_TRUE(A.readmit(0));
+  EXPECT_TRUE(A.readmit(0)); // idempotent
+  EXPECT_EQ(A.freeCount(), 2);
+}
+
 TEST(ChannelAllocatorTest, ConcurrentGrantsAreDisjoint) {
   ChannelAllocator A(10);
   auto G1 = A.tryAcquire(4, 1);

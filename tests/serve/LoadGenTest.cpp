@@ -45,6 +45,77 @@ TEST(LoadGenTest, MalformedSpecsAreBadSpecDiagnostics) {
   }
 }
 
+TEST(LoadGenTest, DeadlineKeyParsesAndStampsRequests) {
+  LoadSpec Spec;
+  DiagnosticEngine DE;
+  ASSERT_TRUE(LoadSpec::parse("count:4,seed:2,deadline-us:750", Spec, DE));
+  EXPECT_EQ(Spec.DeadlineUs, 750);
+  for (const Request &Q : generateRequests(Spec, 2))
+    EXPECT_EQ(Q.DeadlineNs, 750'000);
+}
+
+TEST(LoadGenTest, DeadlineConsumesNoRngDraw) {
+  // The golden-stability contract: adding deadline-us must not shift the
+  // gap/model/batch stream of an existing seed.
+  LoadSpec Plain, Deadlined;
+  DiagnosticEngine DE;
+  ASSERT_TRUE(LoadSpec::parse("count:32,seed:7,batch:1|4", Plain, DE));
+  ASSERT_TRUE(LoadSpec::parse("count:32,seed:7,batch:1|4,deadline-us:500",
+                              Deadlined, DE));
+  const auto A = generateRequests(Plain, 3);
+  const auto B = generateRequests(Deadlined, 3);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].ArrivalNs, B[I].ArrivalNs);
+    EXPECT_EQ(A[I].ModelIdx, B[I].ModelIdx);
+    EXPECT_EQ(A[I].Batch, B[I].Batch);
+    EXPECT_EQ(A[I].DeadlineNs, 0);
+    EXPECT_EQ(B[I].DeadlineNs, 500'000);
+  }
+}
+
+TEST(LoadGenTest, HostileSpecsNeverCrashOnlyDiagnose) {
+  // The negative-parse sweep: bad keys, overflow, empty batch lists,
+  // trailing garbage. Every one must fail with serve.bad-spec collected in
+  // the engine — never a crash, never a silent acceptance.
+  for (const char *Bad : {
+           "flavor:spicy",                      // unknown key
+           "count:2000000",                     // above the cap
+           "count:99999999999999999999",        // 64-bit overflow
+           "count:-3",                          // negative
+           "seed:twelve",                       // non-numeric
+           "mean-gap-us:1e9",                   // floats rejected
+           "deadline-us:-1",                    // negative deadline
+           "deadline-us:2000000000",            // above the cap
+           "deadline-us:soon",                  // non-numeric
+           "batch:",                            // empty batch list
+           "batch:1||4",                        // empty element
+           "batch:-1|2",                        // negative batch
+           "count:4,",                          // trailing comma
+           "count:4,junk",                      // trailing garbage
+           ",",                                 // nothing but separators
+           ":",                                 // empty key and value
+           "count:4;seed:2",                    // wrong separator
+       }) {
+    LoadSpec Spec;
+    DiagnosticEngine DE;
+    EXPECT_FALSE(LoadSpec::parse(Bad, Spec, DE)) << Bad;
+    EXPECT_TRUE(DE.hasCode(DiagCode::ServeBadSpec)) << Bad;
+    EXPECT_FALSE(DE.diagnostics().empty()) << Bad;
+  }
+}
+
+TEST(LoadGenTest, BadEntriesDoNotClobberGoodOnes) {
+  LoadSpec Spec;
+  DiagnosticEngine DE;
+  // Parse keeps collecting after an error: the good keys land, the bad
+  // one diagnoses, and the whole parse still reports failure.
+  EXPECT_FALSE(LoadSpec::parse("count:12,bogus:1,seed:5", Spec, DE));
+  EXPECT_EQ(Spec.Count, 12);
+  EXPECT_EQ(Spec.Seed, 5u);
+  EXPECT_TRUE(DE.hasCode(DiagCode::ServeBadSpec));
+}
+
 TEST(LoadGenTest, GenerationIsDeterministicAndWellFormed) {
   LoadSpec Spec;
   DiagnosticEngine DE;

@@ -39,6 +39,16 @@
 #      worker races), with the request-latency p50/p99 rows gated against
 #      bench/baselines/BENCH_serve.json by pf_perf_diff and the serve.*
 #      metrics exposition validated by pf_metrics_check.
+#   9. The chaos-under-serve tier: the seeded (load spec x fault timeline)
+#      matrix in tests/serve_chaos/ (conservation, quarantine exclusion,
+#      breaker lifecycle), then a CLI run with mid-stream channel outages,
+#      deadlines, and a tight retry budget whose summary must stay
+#      byte-identical across --jobs values while the breaker demonstrably
+#      trips, probes, and re-admits; plus a tight-deadline burst proving
+#      queued expiries shed and late completions classify.
+#  10. The memory/UB tier: the serve + runtime resilience suites rebuilt
+#      and re-run under AddressSanitizer and UndefinedBehaviorSanitizer
+#      (PIMFLOW_SANITIZE=address|undefined; UBSan findings are fatal).
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 #===----------------------------------------------------------------------===#
@@ -233,5 +243,70 @@ grep -q '"kind":"pimflow-serve-report"' "$SERVE_DIR/serve.perf.json"
 ./build/tools/pf_metrics_check --min-quantile-metrics=3 \
   "$SERVE_DIR/serve.metrics.txt"
 grep -q '^pimflow_serve_requests 24' "$SERVE_DIR/serve.metrics.txt"
+
+echo "== tier 9: chaos-under-serve — deadlines, breakers, fault timelines =="
+ctest --test-dir build --output-on-failure -j "$JOBS" \
+  -R 'ServeChaos|FaultTimeline|ChannelScoreboard'
+CHAOS_DIR=build/serve-chaos-smoke
+rm -rf "$CHAOS_DIR"
+mkdir -p "$CHAOS_DIR"
+CHAOS_SPEC='count:24,seed:7,mean-gap-us:50,batch:1|4,deadline-us:4000'
+CHAOS_FAULTS='dead@200..700:0,dead@900..1600:0'
+# Mid-stream outages under load: outcomes are still decided entirely in
+# virtual time, so the summary is byte-identical across worker counts.
+./build/tools/pimflow serve toy mobilenet-v2 \
+  --requests="$CHAOS_SPEC" --max-inflight=3 --max-queue=2 \
+  --channel-pool=12 --jobs=1 \
+  --faults="$CHAOS_FAULTS" --breaker-threshold=1 \
+  --breaker-cooldown-us=100 --retry-budget=8 \
+  --summary-out="$CHAOS_DIR/chaos.j1.txt" \
+  --metrics-out="$CHAOS_DIR/chaos.metrics.txt" \
+  --perf-report="$CHAOS_DIR/chaos.perf.json" > /dev/null
+./build/tools/pimflow serve toy mobilenet-v2 \
+  --requests="$CHAOS_SPEC" --max-inflight=3 --max-queue=2 \
+  --channel-pool=12 --jobs=4 \
+  --faults="$CHAOS_FAULTS" --breaker-threshold=1 \
+  --breaker-cooldown-us=100 --retry-budget=8 \
+  --summary-out="$CHAOS_DIR/chaos.j4.txt" > /dev/null
+cmp "$CHAOS_DIR/chaos.j1.txt" "$CHAOS_DIR/chaos.j4.txt"
+# The outages actually bit: mid-run interrupts retried onto live channels,
+# and the flapping channel tripped its breaker and was later re-admitted.
+grep -q 'reason=fault-retry' "$CHAOS_DIR/chaos.j1.txt"
+grep -qE 'resilience: interrupts=[1-9][0-9]* retries=[1-9]' \
+  "$CHAOS_DIR/chaos.j1.txt"
+grep -qE 'trips=[1-9]' "$CHAOS_DIR/chaos.j1.txt"
+grep -qE 'readmits=[1-9]' "$CHAOS_DIR/chaos.j1.txt"
+grep -q 'shed_reasons: ' "$CHAOS_DIR/chaos.j1.txt"
+grep -q 'floor_reasons: ' "$CHAOS_DIR/chaos.j1.txt"
+# Breaker counters reach the Prometheus exposition and the serve report.
+./build/tools/pf_metrics_check --min-quantile-metrics=3 \
+  "$CHAOS_DIR/chaos.metrics.txt"
+grep -qE '^pimflow_serve_breaker_trips [1-9]' "$CHAOS_DIR/chaos.metrics.txt"
+grep -qE '^pimflow_serve_fault_interrupts [1-9]' \
+  "$CHAOS_DIR/chaos.metrics.txt"
+./build/tools/pf_json_check "$CHAOS_DIR/chaos.perf.json" > /dev/null
+grep -qE '"breaker_trips":[1-9]' "$CHAOS_DIR/chaos.perf.json"
+# A tight deadline under burst load: queued expiries shed before they run,
+# late completions classify as missed, and on-time ones still count met.
+./build/tools/pimflow serve toy mobilenet-v2 \
+  --requests='count:32,seed:9,mean-gap-us:2,batch:1|4,deadline-us:30' \
+  --max-inflight=2 --max-queue=4 --channel-pool=24 --jobs=1 \
+  --summary-out="$CHAOS_DIR/deadline.txt" > /dev/null
+grep -qE 'shed_reasons: queue_full=[0-9]+ deadline_expired=[1-9]' \
+  "$CHAOS_DIR/deadline.txt"
+grep -qE 'deadline: met=[1-9][0-9]* missed_run=[1-9][0-9]* expired_queued=[1-9]' \
+  "$CHAOS_DIR/deadline.txt"
+
+echo "== tier 10: ASan + UBSan on the serve/runtime resilience suites =="
+cmake -B build-asan -S . -DPIMFLOW_SANITIZE=address
+cmake --build build-asan -j "$JOBS" \
+  --target serve_test serve_chaos_test engine_test pim_test
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R 'Server|ServeChaos|Channel|LoadGen|Fault|Session|Scoreboard'
+cmake -B build-ubsan -S . -DPIMFLOW_SANITIZE=undefined
+cmake --build build-ubsan -j "$JOBS" \
+  --target serve_test serve_chaos_test engine_test pim_test
+ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
+  -R 'Server|ServeChaos|Channel|LoadGen|Fault|Session|Scoreboard'
 
 echo "== ci.sh: all passes green =="

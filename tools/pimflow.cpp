@@ -107,6 +107,10 @@ struct CliOptions {
   int MaxInflight = 4;    // serve --max-inflight=N admission bound.
   int MaxQueue = 8;       // serve --max-queue=N wait-line bound.
   int ChannelPool = 0;    // serve --channel-pool=N arbitrated PIM group.
+  int DefaultDeadlineUs = 0; // serve --default-deadline-us=N (0 = none).
+  int RetryBudget = 256;     // serve --retry-budget=N mid-run retry cap.
+  int BreakerThreshold = 2;  // serve --breaker-threshold=K trip point.
+  int BreakerCooldownUs = 500; // serve --breaker-cooldown-us=N probe gap.
   int Verbose = 0;
   bool GpuOnly = false;
   bool Stats = false;
@@ -143,9 +147,13 @@ void usage() {
       "       pimflow serve <net>... --requests=<spec>   (closed-loop "
       "multi-tenant serving)\n"
       "               serve spec keys: count:N,seed:S,mean-gap-us:G,"
-      "batch:B1|B2|...\n"
+      "batch:B1|B2|...,deadline-us:D\n"
       "               [--max-inflight=N] [--max-queue=N] "
       "[--channel-pool=N] [--summary-out=<file>] [--bench-json=<file>]\n"
+      "               [--default-deadline-us=N] [--retry-budget=N] "
+      "[--breaker-threshold=K] [--breaker-cooldown-us=N]\n"
+      "               (serve --faults also takes windowed outages: "
+      "dead@<t1>..<t2>:<ch> in virtual us)\n"
       "               [--gpu_only] [--policy=<mechanism>] [--dir=<path>]\n"
       "               [--graph=<solved.pimflow.graph>]\n"
       "               [--pim-channels=N] [--stages=N] [--autotune] "
@@ -241,6 +249,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
       Ok &= parseIntOption(Arg, Val(), 0, 1 << 20, O.MaxQueue, DE);
     else if (startsWith(Arg, "--channel-pool="))
       Ok &= parseIntOption(Arg, Val(), 1, 4096, O.ChannelPool, DE);
+    else if (startsWith(Arg, "--default-deadline-us="))
+      Ok &= parseIntOption(Arg, Val(), 0, 1'000'000'000,
+                           O.DefaultDeadlineUs, DE);
+    else if (startsWith(Arg, "--retry-budget="))
+      Ok &= parseIntOption(Arg, Val(), 0, 1 << 20, O.RetryBudget, DE);
+    else if (startsWith(Arg, "--breaker-threshold="))
+      Ok &= parseIntOption(Arg, Val(), 0, 1 << 20, O.BreakerThreshold, DE);
+    else if (startsWith(Arg, "--breaker-cooldown-us="))
+      Ok &= parseIntOption(Arg, Val(), 1, 1'000'000'000,
+                           O.BreakerCooldownUs, DE);
     else if (Arg == "--metrics")
       O.ReportMetrics = true;
     else if (Arg == "--no-recovery")
@@ -872,6 +890,29 @@ int runServe(const CliOptions &O) {
   SO.MaxInflight = O.MaxInflight;
   SO.MaxQueue = O.MaxQueue;
   SO.PoolChannels = O.ChannelPool;
+  SO.DefaultDeadlineUs = O.DefaultDeadlineUs;
+  SO.RetryBudget = O.RetryBudget;
+  SO.BreakerThreshold = O.BreakerThreshold;
+  SO.BreakerCooldownUs = O.BreakerCooldownUs;
+  if (!O.Flow.FaultSpec.empty()) {
+    const int Pool = O.ChannelPool > 0 ? O.ChannelPool : O.Flow.PimChannels;
+    if (O.Flow.FaultSpec == "chaos") {
+      // Deterministic horizon from the spec alone: twice the expected
+      // span of the arrival stream, so the timeline scales with the load
+      // but never depends on the run.
+      const int64_t HorizonNs = static_cast<int64_t>(
+          std::max(1, Spec.Count) * std::max(1.0, Spec.MeanGapUs) * 2.0 *
+          1e3);
+      SO.Faults =
+          FaultModel::chaosTimeline(O.Flow.FaultSeed, Pool, HorizonNs);
+    } else if (auto Parsed = FaultModel::parse(O.Flow.FaultSpec, DE)) {
+      SO.Faults = *std::move(Parsed);
+    } else {
+      std::fprintf(stderr, "error: bad --faults spec:\n%s",
+                   DE.render().c_str());
+      return 2;
+    }
+  }
   // --jobs=0 (the driver default) means every hardware thread, matching
   // the search's convention; outcomes are jobs-independent either way.
   SO.Jobs = O.Flow.SearchJobs != 0
