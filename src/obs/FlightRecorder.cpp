@@ -47,6 +47,14 @@ const char *pf::obs::flightEventKindName(FlightEventKind K) {
     return "exec-done";
   case FlightEventKind::ExecError:
     return "exec-error";
+  case FlightEventKind::RequestAdmit:
+    return "request-admit";
+  case FlightEventKind::RequestShed:
+    return "request-shed";
+  case FlightEventKind::RequestRetry:
+    return "request-retry";
+  case FlightEventKind::RequestDone:
+    return "request-done";
   }
   return "unknown";
 }
@@ -68,7 +76,8 @@ FlightRecorder::Ring &FlightRecorder::localRing() {
 }
 
 void FlightRecorder::record(FlightEventKind K, int64_t Cycle, int32_t A,
-                            int32_t B, double Value, const char *Detail) {
+                            int32_t B, double Value, const char *Detail,
+                            int32_t Req) {
   Ring &R = localRing();
   FlightEvent E;
   E.Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
@@ -76,6 +85,7 @@ void FlightRecorder::record(FlightEventKind K, int64_t Cycle, int32_t A,
   E.Value = Value;
   E.A = A;
   E.B = B;
+  E.Req = Req;
   E.Kind = K;
   E.Tid = R.Tid;
   E.Detail = Detail;
@@ -126,6 +136,10 @@ std::string FlightRecorder::renderText(const char *Reason) const {
                   static_cast<long long>(E.Cycle), flightEventKindName(E.Kind),
                   E.A, E.B, E.Value);
     Out += Buf;
+    if (E.Req >= 0) {
+      std::snprintf(Buf, sizeof(Buf), " req=%d", E.Req);
+      Out += Buf;
+    }
     if (E.Detail) {
       Out += " note=";
       Out += E.Detail;

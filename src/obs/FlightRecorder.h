@@ -57,6 +57,10 @@ enum class FlightEventKind : uint8_t {
   BreakerTrip,     ///< channel breaker opened; A = channel, B = failures
   BreakerProbe,    ///< cooldown probe; A = channel, B = 1 healthy / 0 not
   BreakerReadmit,  ///< breaker closed, channel re-admitted; A = channel
+  RequestAdmit,    ///< serve request started; A = channels granted, B = want
+  RequestShed,     ///< serve request shed; A = reason ordinal
+  RequestRetry,    ///< serve mid-run re-grant; A = channels, B = retry count
+  RequestDone,     ///< serve request completed; V = latency ns
 };
 
 const char *flightEventKindName(FlightEventKind K);
@@ -69,6 +73,10 @@ struct FlightEvent {
   double Value = 0.0;
   int32_t A = -1;
   int32_t B = -1;
+  /// Serve request the event belongs to (-1 outside serve mode). Breaker
+  /// trips carry the interrupted grant holder; probes/readmits carry the
+  /// request whose failure tripped the channel.
+  int32_t Req = -1;
   FlightEventKind Kind = FlightEventKind::ExecStart;
   uint32_t Tid = 0; ///< recorder-assigned thread ordinal
   const char *Detail = nullptr;
@@ -91,7 +99,7 @@ public:
 
   void record(FlightEventKind K, int64_t Cycle, int32_t A = -1,
               int32_t B = -1, double Value = 0.0,
-              const char *Detail = nullptr);
+              const char *Detail = nullptr, int32_t Req = -1);
 
   /// All retained events from every thread's ring, sorted by Seq.
   std::vector<FlightEvent> merged() const;
@@ -134,10 +142,10 @@ private:
 /// disabled, so call sites can live in hot paths).
 inline void flightEvent(FlightEventKind K, int64_t Cycle, int32_t A = -1,
                         int32_t B = -1, double Value = 0.0,
-                        const char *Detail = nullptr) {
+                        const char *Detail = nullptr, int32_t Req = -1) {
   FlightRecorder &R = FlightRecorder::instance();
   if (R.enabled())
-    R.record(K, Cycle, A, B, Value, Detail);
+    R.record(K, Cycle, A, B, Value, Detail, Req);
 }
 
 } // namespace pf::obs

@@ -50,6 +50,14 @@
 /// `pimflow-serve-report` (src/serve/ServeReport.h) sharing this version
 /// and the counters/metrics sections. Every v2 key is unchanged.
 ///
+/// Version 4 added per-request tracing to the serve sibling
+/// (docs/INTERNALS.md section 15): the config echoes `trace_sample`, a
+/// top-level `sampled_requests` array lists the ids the policy selected,
+/// and every request row carries `trace_id` / `sampled` / `interrupts`
+/// plus — for sampled requests — a `segments` array of queue/exec/retry
+/// intervals on the virtual clock (the substrate of `pimflow report
+/// --request=<id>`). Every v3 key is unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIMFLOW_OBS_PERFREPORT_H
@@ -65,7 +73,7 @@
 namespace pf::obs {
 
 /// Current report schema version.
-inline constexpr int PerfReportSchemaVersion = 3;
+inline constexpr int PerfReportSchemaVersion = 4;
 
 /// Renders the full performance report of \p R as JSON.
 std::string renderPerfReport(const CompileResult &R);

@@ -55,6 +55,10 @@ void FaultModel::addOutage(ChannelOutage O) {
                                       : A.Channel < B.Channel;
       });
   Outages.insert(It, O);
+  // Ordinal ids follow the sorted timeline so they are stable in the set
+  // of windows, not in insertion order.
+  for (size_t I = 0; I < Outages.size(); ++I)
+    Outages[I].Id = static_cast<int>(I);
 }
 
 bool FaultModel::deadAt(int Channel, int64_t NowNs) const {

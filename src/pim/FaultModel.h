@@ -75,6 +75,11 @@ struct ChannelOutage {
   int Channel = 0;
   int64_t StartNs = 0;
   int64_t EndNs = 0; ///< exclusive; must be > StartNs
+  /// Ordinal in the (StartNs, Channel)-sorted timeline, assigned by
+  /// addOutage. Serve traces and flight events name outage windows by
+  /// this id, correlating a request interruption with the exact window
+  /// that caused it.
+  int Id = -1;
 
   bool covers(int64_t NowNs) const {
     return NowNs >= StartNs && NowNs < EndNs;

@@ -46,11 +46,11 @@ const ChannelScoreboard::PerChannel *ChannelScoreboard::stateOrNull(int Ch) cons
 }
 
 void ChannelScoreboard::note(BreakerEvent::Kind K, int Ch, int64_t NowNs,
-                         bool Ok) {
-  Events.push_back(BreakerEvent{NowNs, Ch, K, Ok});
+                         bool Ok, int ReqId) {
+  Events.push_back(BreakerEvent{NowNs, Ch, ReqId, K, Ok});
 }
 
-bool ChannelScoreboard::recordFailure(int Ch, int64_t NowNs) {
+bool ChannelScoreboard::recordFailure(int Ch, int64_t NowNs, int ReqId) {
   PerChannel &S = state(Ch);
   ++S.Consecutive;
   if (S.Open || TripThreshold <= 0 || S.Consecutive < TripThreshold)
@@ -58,7 +58,8 @@ bool ChannelScoreboard::recordFailure(int Ch, int64_t NowNs) {
   S.Open = true;
   ++S.Trips;
   ++Trips;
-  note(BreakerEvent::Kind::Trip, Ch, NowNs, false);
+  S.LastTripReq = ReqId;
+  note(BreakerEvent::Kind::Trip, Ch, NowNs, false, ReqId);
   return true;
 }
 
@@ -68,8 +69,8 @@ void ChannelScoreboard::recordSuccess(int Ch) {
     S.Consecutive = 0;
 }
 
-void ChannelScoreboard::noteQuarantine(int Ch, int64_t NowNs) {
-  note(BreakerEvent::Kind::Quarantine, Ch, NowNs, false);
+void ChannelScoreboard::noteQuarantine(int Ch, int64_t NowNs, int ReqId) {
+  note(BreakerEvent::Kind::Quarantine, Ch, NowNs, false, ReqId);
 }
 
 void ChannelScoreboard::noteRecovery(int Ch, int64_t NowNs) {
@@ -92,14 +93,14 @@ int64_t ChannelScoreboard::nextProbeNs(int Ch, int64_t NowNs) {
 bool ChannelScoreboard::probe(int Ch, int64_t NowNs, bool Healthy) {
   PerChannel &S = state(Ch);
   ++Probes;
-  note(BreakerEvent::Kind::Probe, Ch, NowNs, Healthy);
+  note(BreakerEvent::Kind::Probe, Ch, NowNs, Healthy, S.LastTripReq);
   if (!Healthy)
     return false;
   S.Open = false;
   S.Consecutive = 0;
   S.ProbeAttempts = 0;
   ++Readmits;
-  note(BreakerEvent::Kind::Readmit, Ch, NowNs, true);
+  note(BreakerEvent::Kind::Readmit, Ch, NowNs, true, S.LastTripReq);
   return true;
 }
 
@@ -116,4 +117,9 @@ int ChannelScoreboard::consecutiveFailures(int Ch) const {
 int ChannelScoreboard::tripCount(int Ch) const {
   const PerChannel *S = stateOrNull(Ch);
   return S ? S->Trips : 0;
+}
+
+int ChannelScoreboard::lastTripRequest(int Ch) const {
+  const PerChannel *S = stateOrNull(Ch);
+  return S ? S->LastTripReq : -1;
 }

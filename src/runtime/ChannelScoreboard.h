@@ -48,6 +48,11 @@ struct BreakerEvent {
   };
   int64_t TimeNs = 0;
   int Channel = 0;
+  /// Serve request attributed to the event: the grant holder whose
+  /// interruption caused a quarantine/trip, inherited by the trip's
+  /// cooldown probes and readmit. -1 when no request was involved
+  /// (static dead channels, outage-end recoveries).
+  int ReqId = -1;
   Kind K = Kind::Quarantine;
   bool Ok = false;
 };
@@ -66,17 +71,20 @@ public:
                 uint64_t Seed);
 
   /// Records a failure (an outage hitting the channel) at virtual time
-  /// \p NowNs. Returns true when this failure trips the breaker (logged
-  /// as a Trip event); the caller schedules the first probe.
-  bool recordFailure(int Ch, int64_t NowNs);
+  /// \p NowNs, attributed to serve request \p ReqId (-1 = none). Returns
+  /// true when this failure trips the breaker (logged as a Trip event);
+  /// the caller schedules the first probe. The tripping request is
+  /// remembered so later probes/readmits of the chain stay attributed.
+  bool recordFailure(int Ch, int64_t NowNs, int ReqId = -1);
 
   /// Records a successful completion on \p Ch, resetting its consecutive
   /// failure count (closed breakers only; an open breaker's state is
   /// owned by the probe path).
   void recordSuccess(int Ch);
 
-  /// Logs the quarantine of \p Ch (the allocator-side exclusion).
-  void noteQuarantine(int Ch, int64_t NowNs);
+  /// Logs the quarantine of \p Ch (the allocator-side exclusion),
+  /// attributed to the interrupted request when there was one.
+  void noteQuarantine(int Ch, int64_t NowNs, int ReqId = -1);
 
   /// Logs a non-breaker readmission: the outage ended and the (closed)
   /// breaker lets the channel return without a probe.
@@ -95,6 +103,9 @@ public:
   bool open(int Ch) const;
   int consecutiveFailures(int Ch) const;
   int tripCount(int Ch) const;
+  /// The request whose failure last tripped \p Ch's breaker (-1 when the
+  /// breaker never tripped or no request was attributed).
+  int lastTripRequest(int Ch) const;
 
   int64_t trips() const { return Trips; }
   int64_t probes() const { return Probes; }
@@ -110,12 +121,14 @@ private:
     int Consecutive = 0;
     int Trips = 0;
     int ProbeAttempts = 0;
+    int LastTripReq = -1;
     bool Open = false;
   };
 
   PerChannel &state(int Ch);
   const PerChannel *stateOrNull(int Ch) const;
-  void note(BreakerEvent::Kind K, int Ch, int64_t NowNs, bool Ok);
+  void note(BreakerEvent::Kind K, int Ch, int64_t NowNs, bool Ok,
+            int ReqId = -1);
 
   int TripThreshold;
   int64_t CooldownNs;

@@ -119,6 +119,7 @@ void Server::prepare() {
         PM.FloorDemoted.node(N.Id).Dev = Device::Gpu;
     PM.UnitNsByChannels.assign(static_cast<size_t>(Planned) + 1, 0.0);
     PM.UnitEnergyJByChannels.assign(static_cast<size_t>(Planned) + 1, 0.0);
+    PM.UnitTimelines.assign(static_cast<size_t>(Planned) + 1, Timeline{});
   }
 
   // Price every reachable (model, granted-channels) pair once, in
@@ -149,7 +150,22 @@ void Server::prepare() {
         Engine.execute(E.Channels > 0 ? PM.Materialized : PM.FloorDemoted);
     PM.UnitNsByChannels[static_cast<size_t>(E.Channels)] = TL.TotalNs;
     PM.UnitEnergyJByChannels[static_cast<size_t>(E.Channels)] = TL.EnergyJ;
+    // Keep the whole node schedule: the request trace replays it as the
+    // exec-phase span tree under each attempt.
+    PM.UnitTimelines[static_cast<size_t>(E.Channels)] = TL;
   });
+}
+
+const Timeline *Server::unitTimeline(int ModelIdx, int Channels) const {
+  if (!Prepared || ModelIdx < 0 ||
+      ModelIdx >= static_cast<int>(Models.size()))
+    return nullptr;
+  const PreparedModel &PM = Models[static_cast<size_t>(ModelIdx)];
+  if (Channels < 0 ||
+      Channels >= static_cast<int>(PM.UnitTimelines.size()))
+    return nullptr;
+  const Timeline &TL = PM.UnitTimelines[static_cast<size_t>(Channels)];
+  return TL.Nodes.empty() ? nullptr : &TL;
 }
 
 ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
@@ -189,6 +205,10 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
     auto S = std::make_unique<Session>();
     S->Req = Q;
     S->ChannelsWanted = Planned;
+    // The trace context travels with the session from generation on:
+    // the id is the lane key, the seeded trace id the cross-artifact
+    // correlation key.
+    S->TraceId = requestTraceId(Spec.Seed, Q.Id);
     const int64_t BudgetNs =
         Q.DeadlineNs > 0 ? Q.DeadlineNs : DefaultDeadlineNs;
     S->DeadlineNs = BudgetNs > 0 ? Q.ArrivalNs + BudgetNs : 0;
@@ -271,6 +291,7 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
     uint64_t Seq;
     TimerKind K;
     int Ch;
+    int Aux = -1; ///< outage ordinal for OutageStart/End timers
     bool operator>(const Timer &O) const {
       if (T != O.T)
         return T > O.T;
@@ -287,9 +308,10 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
     if (O.Channel < 0 || O.Channel >= Pool)
       continue; // out-of-pool entries are inert, like the static classes
     Timers.push({O.StartNs, PrioOutageStart, TimerSeq++,
-                 TimerKind::OutageStart, O.Channel});
+                 TimerKind::OutageStart, O.Channel, O.Id});
     Timers.push({O.EndNs, PrioOutageEnd, TimerSeq++, TimerKind::OutageEnd,
-                 O.Channel});
+                 O.Channel, O.Id});
+    R.Outages.push_back(O); // pool-clamped: the trace's fault lanes
   }
 
   std::deque<int> Waiting;
@@ -305,7 +327,26 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
     const int64_t ServiceNs = std::max<int64_t>(
         1, std::llround(S.UnitNs * static_cast<double>(S.Req.Batch)));
     S.EndNs = Now + ServiceNs;
+    if (!S.Attempts.empty()) {
+      // The attempt record projects its completion and carries the unit
+      // run's busy split — overwritten with the interrupt instant if an
+      // outage cuts the attempt short.
+      ExecAttempt &A = S.Attempts.back();
+      A.EndNs = S.EndNs;
+      const Timeline &TL = PM.UnitTimelines[static_cast<size_t>(C)];
+      A.UnitGpuBusyNs = TL.GpuBusyNs;
+      A.UnitPimBusyNs = TL.PimBusyNs;
+    }
     Completions.push({S.EndNs, S.Req.Id, S.Gen});
+  };
+
+  auto recordAttempt = [](Session &S, int64_t Now) {
+    ExecAttempt A;
+    A.StartNs = Now;
+    A.Channels = S.Channels;
+    A.Outcome = S.Outcome;
+    A.Reason = S.Reason;
+    S.Attempts.push_back(std::move(A));
   };
 
   auto start = [&](Session &S, int64_t Now) {
@@ -325,6 +366,9 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
       S.Outcome = RequestOutcome::FloorFallback;
       S.Reason = OutcomeReason::BelowFloor;
     }
+    recordAttempt(S, Now);
+    obs::flightEvent(obs::FlightEventKind::RequestAdmit, Now, C, Planned,
+                     0.0, outcomeName(S.Outcome), S.Req.Id);
     price(S, C, Now);
     ++Inflight;
   };
@@ -334,8 +378,9 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
   // immediate re-grant — the PR 4 ladder's remap, re-priced and restarted
   // at Now — or demote straight to the GPU floor. Either way the old
   // completion entry is a stale generation.
-  auto interrupt = [&](Session &S, int64_t Now) {
+  auto interrupt = [&](Session &S, int64_t Now, int OutageId) {
     ++R.FaultInterrupts;
+    ++S.Interrupts;
     auto It = LiveGrants.find(S.Req.Id);
     if (It == LiveGrants.end()) {
       obs::addCounter("serve.internal_errors");
@@ -344,6 +389,14 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
                   formatStr("request %d", S.Req.Id),
                   "interrupted session holds no grant");
       return;
+    }
+    if (!S.Attempts.empty()) {
+      // Close the cut attempt at the interrupt instant, remembering the
+      // outage window that killed it.
+      ExecAttempt &A = S.Attempts.back();
+      A.EndNs = Now;
+      A.Interrupted = true;
+      A.OutageId = OutageId;
     }
     Alloc.release(It->second, DE);
     LiveGrants.erase(It);
@@ -375,6 +428,9 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
       S.Outcome = RequestOutcome::FloorFallback;
       S.Reason = OutcomeReason::RetryBudget;
     }
+    recordAttempt(S, Now);
+    obs::flightEvent(obs::FlightEventKind::RequestRetry, Now, C, S.Retries,
+                     0.0, outcomeReasonName(S.Reason), S.Req.Id);
     // Replay semantics: the interrupted work is abandoned and the request
     // restarts from Now under its final configuration (only that final
     // run is charged for energy and re-executed by a worker).
@@ -419,25 +475,32 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
       Timers.pop();
       switch (E.K) {
       case TimerKind::OutageStart: {
+        // Find the holder first: quarantine, trip, and the interrupt
+        // below are all attributed to the request whose grant the
+        // outage cut (at most one — grants are exclusive).
+        int Holder = -1;
+        for (const auto &[Id, G] : LiveGrants) {
+          if (std::find(G.Channels.begin(), G.Channels.end(), E.Ch) !=
+              G.Channels.end()) {
+            Holder = Id;
+            break;
+          }
+        }
         if (!Alloc.isQuarantined(E.Ch)) {
           Alloc.quarantine(E.Ch);
-          Health.noteQuarantine(E.Ch, E.T);
+          Health.noteQuarantine(E.Ch, E.T, Holder);
         }
-        if (Health.recordFailure(E.Ch, E.T)) {
+        obs::flightEvent(obs::FlightEventKind::ChannelDead, E.T, E.Ch,
+                         E.Aux, 0.0, nullptr, Holder);
+        if (Health.recordFailure(E.Ch, E.T, Holder)) {
           obs::flightEvent(obs::FlightEventKind::BreakerTrip, E.T, E.Ch,
-                           Health.consecutiveFailures(E.Ch));
+                           Health.consecutiveFailures(E.Ch), 0.0, nullptr,
+                           Holder);
           Timers.push({Health.nextProbeNs(E.Ch, E.T), PrioProbe, TimerSeq++,
                        TimerKind::Probe, E.Ch});
         }
-        // At most one live grant can hold the channel (grants are
-        // exclusive); interrupt its session.
-        for (auto &[Id, G] : LiveGrants) {
-          if (std::find(G.Channels.begin(), G.Channels.end(), E.Ch) ==
-              G.Channels.end())
-            continue;
-          interrupt(*R.Sessions[static_cast<size_t>(Id)], E.T);
-          break; // LiveGrants mutated; the single holder is handled
-        }
+        if (Holder >= 0)
+          interrupt(*R.Sessions[static_cast<size_t>(Holder)], E.T, E.Aux);
         break;
       }
       case TimerKind::OutageEnd: {
@@ -455,11 +518,16 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
         if (!Health.open(E.Ch))
           break; // breaker closed by an earlier probe of this chain
         const bool Healthy = !Options.Faults.deadAt(E.Ch, E.T);
+        // Probes inherit the attribution of the request whose failure
+        // tripped the channel: the whole cooldown chain traces back to
+        // one interrupt.
+        const int TripReq = Health.lastTripRequest(E.Ch);
         obs::flightEvent(obs::FlightEventKind::BreakerProbe, E.T, E.Ch,
-                         Healthy ? 1 : 0);
+                         Healthy ? 1 : 0, 0.0, nullptr, TripReq);
         if (Health.probe(E.Ch, E.T, Healthy)) {
           Alloc.readmit(E.Ch);
-          obs::flightEvent(obs::FlightEventKind::BreakerReadmit, E.T, E.Ch);
+          obs::flightEvent(obs::FlightEventKind::BreakerReadmit, E.T, E.Ch,
+                           -1, 0.0, nullptr, TripReq);
         } else {
           Timers.push({Health.nextProbeNs(E.Ch, E.T), PrioProbe, TimerSeq++,
                        TimerKind::Probe, E.Ch});
@@ -483,6 +551,10 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
         LiveGrants.erase(It);
       }
       --Inflight;
+      obs::flightEvent(obs::FlightEventKind::RequestDone, Done.EndNs,
+                       S.channelsGranted(), S.Retries,
+                       static_cast<double>(S.latencyNs()), nullptr,
+                       S.Req.Id);
       submitRun(S);
       while (!Waiting.empty() && Inflight < MaxInflight) {
         Session &Next = *R.Sessions[static_cast<size_t>(Waiting.front())];
@@ -495,6 +567,10 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
           Next.Outcome = RequestOutcome::Shed;
           Next.Reason = OutcomeReason::DeadlineExpired;
           Next.StartNs = Next.EndNs = Next.DeadlineNs;
+          obs::flightEvent(obs::FlightEventKind::RequestShed,
+                           Next.DeadlineNs,
+                           static_cast<int32_t>(Next.Reason), -1, 0.0,
+                           outcomeReasonName(Next.Reason), Next.Req.Id);
           continue;
         }
         start(Next, Done.EndNs);
@@ -512,6 +588,9 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
       S.Outcome = RequestOutcome::Shed;
       S.Reason = OutcomeReason::QueueFull;
       S.StartNs = S.EndNs = Q.ArrivalNs;
+      obs::flightEvent(obs::FlightEventKind::RequestShed, Q.ArrivalNs,
+                       static_cast<int32_t>(S.Reason), -1, 0.0,
+                       outcomeReasonName(S.Reason), S.Req.Id);
     }
   }
   if (Inflight != 0 || !LiveGrants.empty() || !Waiting.empty()) {
@@ -656,6 +735,14 @@ ServeResult Server::run(const LoadSpec &Spec, DiagnosticEngine *DE) {
   R.LatencyMaxNs = Latencies.empty() ? 0 : Latencies.back();
   R.QueueDelayP50Ns = Rank(QueueDelays, 0.50);
   R.QueueDelayP99Ns = Rank(QueueDelays, 0.99);
+
+  // Tail sampling runs after the whole stream settled: membership
+  // depends only on the virtual-time session records, so the sampled
+  // set (like everything above) is byte-identical across --jobs.
+  R.SamplePolicy = Options.Sample.describe();
+  R.SampledRequests = sampleRequests(R, Options.Sample);
+  for (int Id : R.SampledRequests)
+    R.Sessions[static_cast<size_t>(Id)]->Sampled = true;
 
   PF_LOG_INFO("serve: %d requests -> %d served, %d degraded, %d floor, "
               "%d shed (latency p50 %lld ns, p99 %lld ns)",

@@ -59,6 +59,7 @@
 #include "core/PimFlow.h"
 #include "pim/FaultModel.h"
 #include "runtime/ChannelScoreboard.h"
+#include "serve/RequestTrace.h"
 #include "serve/Session.h"
 
 namespace pf::serve {
@@ -110,6 +111,11 @@ struct ServerOptions {
   /// transient entries are inert in serve mode (they price per-run, not
   /// per-stream).
   FaultModel Faults;
+
+  /// Which requests keep full-fidelity traces (--trace-sample); the
+  /// default traces everything. Sampling also gates the per-request
+  /// segment lists in the serve report.
+  TraceSamplePolicy Sample;
 };
 
 /// Aggregate outcome of a serve run. Sessions are ordered by request id;
@@ -172,6 +178,16 @@ struct ServeResult {
   };
   std::vector<GrantEvent> Grants;
 
+  /// The run's windowed outages clamped to the pool (with their timeline
+  /// ordinals) — the fault lanes of the request trace.
+  std::vector<ChannelOutage> Outages;
+
+  /// Canonical spelling of the sampling policy ("all" / "tail:8").
+  std::string SamplePolicy;
+  /// Requests the policy selected, ascending; those sessions carry
+  /// Sampled = true.
+  std::vector<int> SampledRequests;
+
   int64_t LatencyP50Ns = 0;
   int64_t LatencyP99Ns = 0;
   int64_t LatencyMaxNs = 0;
@@ -208,6 +224,16 @@ public:
   /// partially-executed timeline) surface as warnings instead of dying.
   ServeResult run(const LoadSpec &Spec, DiagnosticEngine *DE = nullptr);
 
+  /// Renders the per-request Chrome trace of \p R (which must have come
+  /// from this server's run(): node-level exec-phase spans replay the
+  /// prepared unit timelines). Only sampled requests get lanes; the
+  /// document is byte-identical for every --jobs=N
+  /// (docs/INTERNALS.md section 15).
+  std::string renderTrace(const ServeResult &R) const;
+
+  /// Writes renderTrace(R) to \p Path; false on I/O failure.
+  bool writeTrace(const ServeResult &R, const std::string &Path) const;
+
   const ServerOptions &options() const { return Options; }
   int plannedChannels() const { return Planned; }
   int poolChannels() const { return Pool; }
@@ -223,10 +249,17 @@ private:
     /// Pim.Channels = c. Entries in (0, PimFloor) are unused.
     std::vector<double> UnitNsByChannels;
     std::vector<double> UnitEnergyJByChannels;
+    /// The unit run's full node schedule per granted count — the
+    /// per-run span tree the request trace replays as exec-phase spans
+    /// under each attempt.
+    std::vector<Timeline> UnitTimelines;
   };
 
   SystemConfig configFor(int GrantedChannels) const;
   void prepare();
+  /// The priced unit timeline for (model, granted channels); nullptr
+  /// when unprepared or the entry was never priced.
+  const Timeline *unitTimeline(int ModelIdx, int Channels) const;
 
   ServerOptions Options;
   int Planned = 0;

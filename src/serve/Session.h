@@ -62,6 +62,33 @@ enum class DeadlineState : uint8_t {
 
 const char *deadlineStateName(DeadlineState D);
 
+/// One execution attempt of an admitted request: the interval between an
+/// admission (or mid-run re-grant) and its projected completion — or the
+/// outage interrupt that cut it short. The serve event loop appends one
+/// record per grant decision, so a request's attempt list is its full
+/// virtual-time history: Attempts.size() == 1 + interrupts. The request
+/// trace renders each attempt as one exec/retry span
+/// (docs/INTERNALS.md section 15).
+struct ExecAttempt {
+  int64_t StartNs = 0;
+  /// Projected completion when the attempt ran out, or the interrupt
+  /// instant when an outage cut it (Interrupted below).
+  int64_t EndNs = 0;
+  std::vector<int> Channels; ///< granted ids (empty = GPU floor)
+  RequestOutcome Outcome = RequestOutcome::Served;
+  OutcomeReason Reason = OutcomeReason::None;
+  bool Interrupted = false;
+  /// Ordinal of the ChannelOutage window that interrupted the attempt
+  /// (-1 when it ran to completion).
+  int OutageId = -1;
+  /// Unit-run device busy split under the attempt's granted config — the
+  /// exec-phase breakdown `pimflow report --request=` renders.
+  double UnitGpuBusyNs = 0.0;
+  double UnitPimBusyNs = 0.0;
+
+  int64_t durationNs() const { return EndNs - StartNs; }
+};
+
 /// One request's session: identity, virtual-time bookkeeping from the
 /// serve event loop, the channel grant it ran under, and the private
 /// observability scope its engine run recorded into.
@@ -91,6 +118,27 @@ struct Session {
   /// Completion-queue generation: stale completions from before an
   /// interrupt are lazily discarded by the event loop.
   int Gen = 0;
+
+  /// Channel-outage interrupts this session absorbed. Every interrupt
+  /// closes one attempt and opens the next, so for a ran() session
+  /// Attempts.size() == Interrupts + 1 (the chaos tests' attempt
+  /// conservation law). Unlike Retries this also counts interrupts the
+  /// retry budget denied (which demote to the floor without a re-grant).
+  int Interrupts = 0;
+
+  /// Stable trace correlation id: requestTraceId(Spec.Seed, Req.Id),
+  /// stamped at stream generation so it is identical across --jobs and
+  /// across reruns of the same (spec, options) input.
+  uint64_t TraceId = 0;
+
+  /// Whether the run's --trace-sample policy selected this request; only
+  /// sampled sessions emit request-lane trace events and report
+  /// segments.
+  bool Sampled = false;
+
+  /// Grant-to-grant execution history, one entry per admission or
+  /// mid-run re-grant (empty for shed requests).
+  std::vector<ExecAttempt> Attempts;
 
   /// Unit (batch-1) simulated latency / energy of the engine run that
   /// served this request; virtual service time is Batch * UnitNs.

@@ -150,7 +150,7 @@ TEST(ServerTest, ReportAndBenchRowsRenderConsistently) {
   const std::string Report = renderServeReport(R);
   EXPECT_NE(Report.find("\"kind\":\"pimflow-serve-report\""),
             std::string::npos);
-  EXPECT_NE(Report.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(Report.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(Report.find("serve.requests"), std::string::npos);
 
   const std::string Bench = renderServeBenchJson(R);

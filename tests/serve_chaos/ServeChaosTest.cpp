@@ -86,10 +86,29 @@ void checkConservation(const ServeResult &R, int Count) {
   EXPECT_EQ(R.Shed, R.ShedQueueFull + R.ShedDeadline);
   EXPECT_EQ(R.FloorFallbacks, R.FloorBelowFloor + R.FloorRetryBudget);
 
-  int Retries = 0, Met = 0, Missed = 0, Expired = 0;
+  int Retries = 0, Interrupts = 0, Met = 0, Missed = 0, Expired = 0;
   for (const auto &SP : R.Sessions) {
     const Session &S = *SP;
     Retries += S.Retries;
+    Interrupts += S.Interrupts;
+    // Attempt conservation (docs/INTERNALS.md section 15): every ran
+    // request's attempt log tiles its execution history — one entry per
+    // admission or interrupt re-grant — and shed requests never open one.
+    if (S.ran()) {
+      ASSERT_EQ(S.Attempts.size(), static_cast<size_t>(S.Interrupts) + 1)
+          << "req " << S.Req.Id;
+      EXPECT_EQ(S.Attempts.front().StartNs, S.StartNs)
+          << "req " << S.Req.Id;
+      EXPECT_EQ(S.Attempts.back().EndNs, S.EndNs) << "req " << S.Req.Id;
+      for (size_t A = 0; A + 1 < S.Attempts.size(); ++A) {
+        EXPECT_TRUE(S.Attempts[A].Interrupted) << "req " << S.Req.Id;
+        EXPECT_EQ(S.Attempts[A].EndNs, S.Attempts[A + 1].StartNs)
+            << "req " << S.Req.Id;
+      }
+      EXPECT_FALSE(S.Attempts.back().Interrupted) << "req " << S.Req.Id;
+    } else {
+      EXPECT_TRUE(S.Attempts.empty()) << "req " << S.Req.Id;
+    }
     switch (S.deadlineState()) {
     case DeadlineState::Met:
       ++Met;
@@ -133,6 +152,7 @@ void checkConservation(const ServeResult &R, int Count) {
     }
   }
   EXPECT_EQ(R.RetriesUsed, Retries);
+  EXPECT_EQ(R.FaultInterrupts, Interrupts);
   EXPECT_EQ(R.DeadlineMet, Met);
   EXPECT_EQ(R.DeadlineMissedRun, Missed);
   EXPECT_EQ(R.DeadlineExpiredQueued, Expired);

@@ -49,6 +49,13 @@
 #  10. The memory/UB tier: the serve + runtime resilience suites rebuilt
 #      and re-run under AddressSanitizer and UndefinedBehaviorSanitizer
 #      (PIMFLOW_SANITIZE=address|undefined; UBSan findings are fatal).
+#  11. The request-tracing tier: a 200-request chaos serve run with
+#      --trace-out + --trace-sample=tail whose Chrome trace must be
+#      byte-identical across --jobs values, pf_trace_check-clean (span
+#      nesting, flow resolution, one root per lane), and must carry shed,
+#      deadline-missed, fault, and breaker events; then `pimflow report
+#      --request=` on a deadline-missed id must render its segment
+#      breakdown; finally the tracing suites re-run under TSan.
 #
 # Usage: tools/ci.sh [jobs]   (jobs defaults to nproc)
 #===----------------------------------------------------------------------===#
@@ -308,5 +315,58 @@ cmake --build build-ubsan -j "$JOBS" \
   --target serve_test serve_chaos_test engine_test pim_test
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
   -R 'Server|ServeChaos|Channel|LoadGen|Fault|Session|Scoreboard'
+
+echo "== tier 11: request tracing — deterministic tail-sampled serve traces =="
+TRACE_DIR=build/trace-smoke
+rm -rf "$TRACE_DIR"
+mkdir -p "$TRACE_DIR"
+TRACE_SPEC='count:200,seed:7,mean-gap-us:20,batch:1|4,deadline-us:800'
+TRACE_FAULTS='dead@200..700:0,dead@900..1600:0'
+# A 200-request burst with mid-stream outages: the tail policy must keep
+# every shed/missed/faulted request plus the slowest completions.
+./build/tools/pimflow serve toy mobilenet-v2 \
+  --requests="$TRACE_SPEC" --max-inflight=3 --max-queue=2 \
+  --channel-pool=12 --jobs=1 \
+  --faults="$TRACE_FAULTS" --breaker-threshold=1 \
+  --breaker-cooldown-us=100 --retry-budget=8 \
+  --trace-sample=tail --trace-out="$TRACE_DIR/trace.j1.json" \
+  --perf-report="$TRACE_DIR/trace.perf.json" \
+  --summary-out="$TRACE_DIR/trace.summary.txt" > /dev/null
+# The trace is built from virtual-time records alone, so more workers
+# change nothing, byte for byte.
+./build/tools/pimflow serve toy mobilenet-v2 \
+  --requests="$TRACE_SPEC" --max-inflight=3 --max-queue=2 \
+  --channel-pool=12 --jobs=4 \
+  --faults="$TRACE_FAULTS" --breaker-threshold=1 \
+  --breaker-cooldown-us=100 --retry-budget=8 \
+  --trace-sample=tail --trace-out="$TRACE_DIR/trace.j4.json" > /dev/null
+cmp "$TRACE_DIR/trace.j1.json" "$TRACE_DIR/trace.j4.json"
+# Structural validity: Chrome field rules, balanced span nesting, resolved
+# flow ids, exactly one root span per request lane.
+./build/tools/pf_json_check --chrome "$TRACE_DIR/trace.j1.json" > /dev/null
+./build/tools/pf_trace_check --min-requests=100 "$TRACE_DIR/trace.j1.json"
+# The tail classes are all present in the sampled trace: shed instants,
+# deadline-missed roots, fault interrupts, and breaker lifecycle events.
+grep -q '"cat":"serve.shed"'    "$TRACE_DIR/trace.j1.json"
+grep -q '"deadline":"missed"'   "$TRACE_DIR/trace.j1.json"
+grep -q '"cat":"serve.fault"'   "$TRACE_DIR/trace.j1.json"
+grep -q '"cat":"serve.breaker"' "$TRACE_DIR/trace.j1.json"
+grep -q '"cat":"serve.flow"'    "$TRACE_DIR/trace.j1.json"
+# Drill into one deadline-missed request: the report renderer must break
+# its latency into queue-wait + exec segments with the exec-phase split.
+MISSED_ID=$(grep -o '{"id":[0-9]*,[^{]*"deadline":"missed"' \
+  "$TRACE_DIR/trace.perf.json" | head -1 | sed 's/{"id":\([0-9]*\),.*/\1/')
+if [ -z "$MISSED_ID" ]; then
+  echo "error: no deadline-missed request in the trace report" >&2
+  exit 1
+fi
+./build/tools/pimflow report --request="$MISSED_ID" \
+  "$TRACE_DIR/trace.perf.json" > "$TRACE_DIR/request.txt"
+grep -q 'queue-wait'       "$TRACE_DIR/request.txt"
+grep -q 'deadline missed'  "$TRACE_DIR/request.txt"
+grep -q 'exec-phase'       "$TRACE_DIR/request.txt"
+# The tracing suites race-free under TSan (tree built in tier 3).
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'RequestTrace|TraceCheck'
 
 echo "== ci.sh: all passes green =="

@@ -12,11 +12,13 @@
 ///   pf_json_check --stats stats.json    # stats dump: stats object present
 ///   pf_json_check file.json             # any well-formed JSON document
 ///
-/// --chrome validates the trace semantically, not just syntactically:
-/// every event must carry a string `ph` and numeric `pid`/`tid`; duration
-/// events additionally need a non-negative `ts`, and `dur` (when present)
-/// must be non-negative. Metadata events (`ph == "M"`) are exempt from the
-/// timestamp rule — the exporters emit them without one.
+/// --chrome validates the trace semantically, not just syntactically
+/// (obs/TraceCheck.h): every event must carry a string `ph` and numeric
+/// `pid`/`tid`; non-metadata events need a non-negative `ts` and any
+/// `dur` must be non-negative; per-lane `B`/`E` spans must nest (name-
+/// matched, none left open); and every flow id must resolve to an
+/// `s`/`f` pair. pf_trace_check adds the serve-specific request-lane
+/// laws on top of the same checker.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +27,7 @@
 #include <string>
 
 #include "obs/Json.h"
+#include "obs/TraceCheck.h"
 
 using namespace pf;
 
@@ -61,46 +64,16 @@ int main(int Argc, char **Argv) {
   }
 
   if (WantChrome) {
-    const obs::JsonValue *Events = Doc->find("traceEvents");
-    if (!Events || !Events->isArray() || Events->Array.empty()) {
-      std::fprintf(stderr,
-                   "error: %s: missing or empty 'traceEvents' array\n",
-                   Path);
+    std::string CheckError;
+    obs::TraceCheckSummary Summary;
+    if (!obs::checkChromeTrace(*Doc, CheckError, &Summary)) {
+      std::fprintf(stderr, "error: %s: %s\n", Path, CheckError.c_str());
       return 1;
     }
-    for (size_t I = 0; I < Events->Array.size(); ++I) {
-      const obs::JsonValue &E = Events->Array[I];
-      auto fail = [&](const char *What) {
-        std::fprintf(stderr, "error: %s: traceEvents[%zu]: %s\n", Path, I,
-                     What);
-        return 1;
-      };
-      if (!E.isObject())
-        return fail("not an object");
-      const obs::JsonValue *Ph = E.find("ph");
-      if (!Ph || !Ph->isString())
-        return fail("missing string 'ph'");
-      const obs::JsonValue *Pid = E.find("pid");
-      if (!Pid || !Pid->isNumber())
-        return fail("missing numeric 'pid'");
-      const obs::JsonValue *Tid = E.find("tid");
-      if (!Tid || !Tid->isNumber())
-        return fail("missing numeric 'tid'");
-      const obs::JsonValue *Ts = E.find("ts");
-      if (Ph->Str != "M") {
-        // Non-metadata events are on a timeline and need a timestamp.
-        if (!Ts || !Ts->isNumber())
-          return fail("missing numeric 'ts'");
-        if (Ts->Number < 0)
-          return fail("negative 'ts'");
-      } else if (Ts && Ts->isNumber() && Ts->Number < 0)
-        return fail("negative 'ts'");
-      const obs::JsonValue *Dur = E.find("dur");
-      if (Dur && Dur->isNumber() && Dur->Number < 0)
-        return fail("negative 'dur'");
-    }
-    std::printf("%s: valid Chrome trace, %zu events\n", Path,
-                Events->Array.size());
+    std::printf("%s: valid Chrome trace, %zu events (%zu span pairs, "
+                "%zu flow chains)\n",
+                Path, Summary.Events, Summary.PairedSpans,
+                Summary.FlowChains);
   }
   if (WantStats) {
     const obs::JsonValue *Stats = Doc->find("stats");

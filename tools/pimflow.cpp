@@ -104,6 +104,8 @@ struct CliOptions {
   std::string Requests;   // serve --requests=<spec>: load-generator spec.
   std::string SummaryOut; // serve --summary-out=<file>: golden summary.
   std::string BenchJson;  // serve --bench-json=<file>: pf_perf_diff rows.
+  std::string TraceSample; // serve --trace-sample=<all|tail|tail:K>.
+  int ReportRequest = -1; // report --request=<id>: one request's segments.
   int MaxInflight = 4;    // serve --max-inflight=N admission bound.
   int MaxQueue = 8;       // serve --max-queue=N wait-line bound.
   int ChannelPool = 0;    // serve --channel-pool=N arbitrated PIM group.
@@ -142,8 +144,8 @@ void usage() {
       "dir>]\n"
       "       pimflow run <net> --plan=<file>   (replay a compiled plan; "
       "search is skipped)\n"
-      "       pimflow report <perf-report.json> [--metrics]   (render a "
-      "saved report)\n"
+      "       pimflow report <perf-report.json> [--metrics] "
+      "[--request=<id>]   (render a saved report)\n"
       "       pimflow serve <net>... --requests=<spec>   (closed-loop "
       "multi-tenant serving)\n"
       "               serve spec keys: count:N,seed:S,mean-gap-us:G,"
@@ -152,6 +154,8 @@ void usage() {
       "[--channel-pool=N] [--summary-out=<file>] [--bench-json=<file>]\n"
       "               [--default-deadline-us=N] [--retry-budget=N] "
       "[--breaker-threshold=K] [--breaker-cooldown-us=N]\n"
+      "               [--trace-sample=<all|tail|tail:K>]   (which requests "
+      "keep full traces / report segments)\n"
       "               (serve --faults also takes windowed outages: "
       "dead@<t1>..<t2>:<ch> in virtual us)\n"
       "               [--gpu_only] [--policy=<mechanism>] [--dir=<path>]\n"
@@ -243,6 +247,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
       O.SummaryOut = Val();
     else if (startsWith(Arg, "--bench-json="))
       O.BenchJson = Val();
+    else if (startsWith(Arg, "--trace-sample="))
+      O.TraceSample = Val();
+    else if (startsWith(Arg, "--request="))
+      Ok &= parseIntOption(Arg, Val(), 0, 1 << 30, O.ReportRequest, DE);
     else if (startsWith(Arg, "--max-inflight="))
       Ok &= parseIntOption(Arg, Val(), 1, 4096, O.MaxInflight, DE);
     else if (startsWith(Arg, "--max-queue="))
@@ -339,10 +347,44 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O, DiagnosticEngine &DE) {
     if (O.ServeNets.empty())
       O.ServeNets.push_back(O.Net);
   } else if (!O.Requests.empty() || !O.SummaryOut.empty() ||
-             !O.BenchJson.empty()) {
+             !O.BenchJson.empty() || !O.TraceSample.empty()) {
     DE.error(DiagCode::BadOption, "--requests",
-             "serve-only flags (--requests/--summary-out/--bench-json) "
-             "require the serve verb");
+             "serve-only flags (--requests/--summary-out/--bench-json/"
+             "--trace-sample) require the serve verb");
+    Ok = false;
+  }
+  if (O.Mode == "serve" && !O.JsonStats.empty()) {
+    // Silently ignored until the flag combinations were made hard errors;
+    // serve's machine-readable export is --perf-report.
+    DE.error(DiagCode::BadOption, "--json-stats",
+             "applies to single runs; serve exports --perf-report instead");
+    Ok = false;
+  }
+  if (O.Mode == "compile" &&
+      (!O.TraceOut.empty() || !O.JsonStats.empty() ||
+       !O.PerfReport.empty())) {
+    DE.error(DiagCode::BadOption, "compile",
+             "runs no execution, so --trace-out/--json-stats/--perf-report "
+             "have nothing to export (use run, or serve for request "
+             "traces)");
+    Ok = false;
+  }
+  if (O.Mode == "report" &&
+      (O.observed() || !O.FlightDump.empty())) {
+    DE.error(DiagCode::BadOption, "report",
+             "renders an existing document; output flags (--trace-out/"
+             "--json-stats/--perf-report/--metrics-out/--flight-dump) are "
+             "meaningless here");
+    Ok = false;
+  }
+  if (O.ReportRequest >= 0 && O.Mode != "report") {
+    DE.error(DiagCode::BadOption, "--request",
+             "is only meaningful with report (render one serve request)");
+    Ok = false;
+  }
+  if (O.ReportRequest >= 0 && O.ReportMetrics) {
+    DE.error(DiagCode::BadOption, "--request",
+             "cannot be combined with --metrics (pick one view)");
     Ok = false;
   }
   if (O.Mode == "compile" && O.PlanOut.empty() &&
@@ -846,6 +888,18 @@ int runReport(const CliOptions &O) {
                  O.ReportFile.c_str(), Error.c_str());
     return 1;
   }
+  if (O.ReportRequest >= 0) {
+    std::string RequestError;
+    const std::string Text =
+        serve::renderServeRequestText(*Doc, O.ReportRequest, &RequestError);
+    if (Text.empty()) {
+      std::fprintf(stderr, "error: %s: %s\n", O.ReportFile.c_str(),
+                   RequestError.c_str());
+      return 1;
+    }
+    std::printf("%s", Text.c_str());
+    return 0;
+  }
   if (O.ReportMetrics) {
     const std::string Text = obs::renderPerfReportMetricsText(*Doc);
     if (Text.empty()) {
@@ -894,6 +948,11 @@ int runServe(const CliOptions &O) {
   SO.RetryBudget = O.RetryBudget;
   SO.BreakerThreshold = O.BreakerThreshold;
   SO.BreakerCooldownUs = O.BreakerCooldownUs;
+  if (!O.TraceSample.empty() &&
+      !serve::TraceSamplePolicy::parse(O.TraceSample, SO.Sample, DE)) {
+    std::fprintf(stderr, "%s", DE.render().c_str());
+    return 2;
+  }
   if (!O.Flow.FaultSpec.empty()) {
     const int Pool = O.ChannelPool > 0 ? O.ChannelPool : O.Flow.PimChannels;
     if (O.Flow.FaultSpec == "chaos") {
@@ -947,6 +1006,19 @@ int runServe(const CliOptions &O) {
       return 1;
     }
     std::printf("serve report written to %s\n", O.PerfReport.c_str());
+  }
+  if (!O.TraceOut.empty()) {
+    // The serve sibling of the run modes' Chrome trace: request lanes,
+    // channel lanes, and the sampled per-attempt span trees. Used to be
+    // silently ignored in serve mode.
+    if (!Srv.writeTrace(R, O.TraceOut)) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.TraceOut.c_str());
+      return 1;
+    }
+    std::printf("serve request trace written to %s (%zu of %zu requests "
+                "sampled under --trace-sample=%s)\n",
+                O.TraceOut.c_str(), R.SampledRequests.size(),
+                R.Sessions.size(), R.SamplePolicy.c_str());
   }
   if (!O.MetricsOut.empty()) {
     if (!obs::writeMetricsText(O.MetricsOut)) {
